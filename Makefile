@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction.
+
+PY ?= python3
+
+.PHONY: install test bench experiments full-sweep clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PY) -m repro.experiments --exp all --collection small
+
+full-sweep:
+	REPRO_BENCH_COLLECTION=full REPRO_BENCH_LIMIT=0 \
+		$(PY) -m pytest benchmarks/ --benchmark-only
+
+clean:
+	rm -rf .repro_cache .pytest_cache build *.egg-info

@@ -1,0 +1,63 @@
+"""Ablation (the paper's future work): sector cache with SELL-C-sigma.
+
+Alappat et al. found SELL-C-sigma faster than CSR on the A64FX but never
+combined it with the sector cache; the paper names that combination as
+future work.  Here both formats' traces run through the same reuse-
+distance machinery: misses of the no-sector baseline vs. 5 sector-1 ways,
+for CSR and SELL-C-sigma, on a skewed matrix where the format's row
+sorting matters.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import spmv_trace
+from repro.core.sellcs_trace import sellcs_trace
+from repro.core.trace import repeat_trace
+from repro.cachesim import simulate
+from repro.matrices import power_law
+from repro.parallel import interleave
+from repro.spmv import listing1_policy, static_schedule
+from repro.spmv.sellcs import SellCSigmaMatrix
+
+
+def _misses(trace_list, machine, ways):
+    merged = repeat_trace(interleave(trace_list, "mcs"), 2)
+    cmgs = (merged.threads // machine.cores_per_cmg).astype(np.int64)
+    rd = simulate(merged, machine.l2, listing1_policy(1), cache_ids=cmgs)
+    window = merged.iteration == 1
+    return int((rd.miss_mask(ways) & window).sum())
+
+
+def test_sellcs_sector_cache_ablation(benchmark, capsys, parallel_setup):
+    machine = parallel_setup.machine()
+    matrix = power_law(24_000, 8.0, exponent=1.8, seed=9)
+    sell = benchmark.pedantic(
+        lambda: SellCSigmaMatrix.from_csr(matrix, chunk_size=8, sigma=256),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    csr_traces = spmv_trace(
+        matrix, None, static_schedule(matrix, 48), line_size=machine.line_size
+    )
+    sell_traces = sellcs_trace(sell, num_threads=48, line_size=machine.line_size)
+
+    rows = []
+    for label, traces in (("CSR", csr_traces), ("SELL-8-256", sell_traces)):
+        base = _misses(traces, machine, 0)
+        part = _misses(traces, machine, 5)
+        rows.append(
+            (
+                label,
+                base,
+                part,
+                f"{100 * (part - base) / base:+.1f}" if base else "n/a",
+            )
+        )
+    with capsys.disabled():
+        print()
+        print(render_table(
+            ["format", "L2 misses (baseline)", "(5 L2 ways)", "change %"],
+            rows,
+            title="Ablation: sector cache with SELL-C-sigma (future work of the paper)",
+        ))
+        print(f"SELL padding ratio: {sell.padding_ratio:.3f}")

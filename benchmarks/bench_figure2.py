@@ -1,0 +1,27 @@
+"""Figure 2: L2 miss change distributions per sector configuration.
+
+The timed kernel is one full sector-configuration sweep on the simulated
+testbed (every way split from one reuse-distance analysis).
+"""
+
+from repro.cachesim import SimConfig, SpMVCacheSim
+from repro.experiments import best_l2_ways, figure2_series, render_figure2
+from repro.matrices import banded
+
+
+def test_figure2_miss_distributions(benchmark, capsys, parallel_records, parallel_setup):
+    machine = parallel_setup.machine()
+    matrix = banded(3_000, 120, 40, seed=0)
+
+    def sweep():
+        sim = SpMVCacheSim(matrix, machine, SimConfig(num_threads=48))
+        return sim.sweep((2, 3, 4, 5, 6), (0,))
+
+    benchmark.pedantic(sweep, rounds=2, iterations=1, warmup_rounds=0)
+    series = figure2_series(parallel_records)
+    with capsys.disabled():
+        print()
+        print(render_figure2(series))
+        best = best_l2_ways(series)
+        print(f"lowest median miss change at {best} L2 ways "
+              "(paper: 4-5 ways, typical reduction ~5 %)")

@@ -1,0 +1,37 @@
+"""Figure 5: speedup vs. change in L2 demand misses (5 L2 ways).
+
+The timed kernel extracts the demand-miss deltas from cached events; the
+artefact is the per-class scatter plus the correlation the paper reads
+off the figure.
+"""
+
+import numpy as np
+
+from repro.experiments import correlation, figure5_points, render_figure5
+
+
+def test_figure5_speedup_vs_demand_misses(benchmark, capsys, parallel_records, parallel_setup):
+    machine = parallel_setup.machine()
+
+    def extract():
+        return figure5_points(parallel_records, machine)
+
+    points = benchmark.pedantic(extract, rounds=5, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print()
+        print(render_figure5(points))
+        rho = correlation(points)
+        print(f"correlation(demand-miss change, speedup) = {rho:.3f} (expected negative)")
+        top = [
+            (change, speed)
+            for pts in points.values()
+            for change, speed in pts
+            if speed >= 1.2
+        ]
+        if top:
+            lo = min(change for change, _ in top)
+            hi = max(change for change, _ in top)
+            print(
+                f"speedups >= 1.2x show demand-miss changes in [{lo:.0f} %, {hi:.0f} %] "
+                "(paper: about -80 % to -30 %)"
+            )

@@ -1,0 +1,62 @@
+"""Section 4.5.1: runtime overhead of method (A) versus method (B).
+
+The paper reports t_A / t_B of 4.21x (1 thread) and 3.02x (48 threads).
+Both methods are timed directly here on the same matrix, sequential and
+parallel, and the collection-wide average ratio is reported from the
+cached records.
+"""
+
+from repro.core import MethodA, MethodB
+from repro.experiments import method_overhead
+from repro.matrices import banded
+from repro.spmv import listing1_policy
+
+
+def _run_method_a(matrix, machine, threads):
+    model = MethodA(matrix, machine, num_threads=threads)
+    return model.predict(listing1_policy(5))
+
+
+def _run_method_b(matrix, machine, threads):
+    model = MethodB(matrix, machine, num_threads=threads)
+    return model.predict(listing1_policy(5))
+
+
+def test_overhead_method_a_sequential(benchmark, parallel_setup):
+    matrix = banded(3_000, 120, 40, seed=0)
+    benchmark.pedantic(
+        lambda: _run_method_a(matrix, parallel_setup.machine(), 1),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+
+
+def test_overhead_method_b_sequential(benchmark, parallel_setup):
+    matrix = banded(3_000, 120, 40, seed=0)
+    benchmark.pedantic(
+        lambda: _run_method_b(matrix, parallel_setup.machine(), 1),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+
+
+def test_overhead_method_a_parallel(benchmark, parallel_setup):
+    matrix = banded(3_000, 120, 40, seed=0)
+    benchmark.pedantic(
+        lambda: _run_method_a(matrix, parallel_setup.machine(), 48),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+
+
+def test_overhead_method_b_parallel(benchmark, capsys, parallel_records, parallel_setup):
+    matrix = banded(3_000, 120, 40, seed=0)
+    benchmark.pedantic(
+        lambda: _run_method_b(matrix, parallel_setup.machine(), 48),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    stats = method_overhead(parallel_records)
+    with capsys.disabled():
+        print()
+        print(
+            f"collection average t_A/t_B = {stats['mean_ta_over_tb']:.2f}x "
+            f"(paper: 4.21x sequential, 3.02x parallel); "
+            f"t_A = {stats['mean_ta_seconds']:.2f}s, t_B = {stats['mean_tb_seconds']:.2f}s"
+        )

@@ -1,0 +1,53 @@
+"""Reuse-distance engine throughput (the machinery behind Section 4.5.1).
+
+Compares the vectorized CDQ stack processing (the production path) against
+the Fenwick-tree sweep and the Kim et al. grouped stack on identical
+traces, reporting references per second.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reuse import (
+    reuse_distances,
+    reuse_distances_fenwick,
+    reuse_distances_kim,
+)
+
+
+def _trace(n=200_000, lines=20_000, groups=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, lines, n), rng.integers(0, groups, n)
+
+
+def test_cdq_throughput(benchmark):
+    trace, groups = _trace()
+    rd = benchmark(lambda: reuse_distances(trace, groups))
+    assert rd.shape == trace.shape
+
+
+def test_fenwick_throughput(benchmark):
+    trace, groups = _trace(n=30_000)
+    rd = benchmark.pedantic(
+        lambda: reuse_distances_fenwick(trace, groups),
+        rounds=2, iterations=1, warmup_rounds=0,
+    )
+    assert rd.shape == trace.shape
+
+
+def test_kim_throughput(benchmark):
+    trace, groups = _trace(n=30_000)
+    rd = benchmark.pedantic(
+        lambda: reuse_distances_kim(trace, groups, group_size=64),
+        rounds=2, iterations=1, warmup_rounds=0,
+    )
+    assert rd.shape == trace.shape
+
+
+@pytest.mark.parametrize("n", [50_000, 400_000])
+def test_cdq_scales_near_linearithmic(benchmark, n):
+    trace, groups = _trace(n=n)
+    benchmark.pedantic(
+        lambda: reuse_distances(trace, groups),
+        rounds=2, iterations=1, warmup_rounds=0,
+    )

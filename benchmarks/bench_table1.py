@@ -1,0 +1,25 @@
+"""Table 1: CSR SpMV Gflop/s of the 18 named matrices, 48 threads.
+
+Regenerates the paper's Table 1 from the synthetic proxies; the timed
+kernel is the full per-matrix measurement pipeline (trace synthesis, L1+L2
+simulation, performance model) on a representative proxy.
+"""
+
+from repro.experiments import ExperimentSetup, measure_matrix, render_table1, run_table1
+from repro.matrices.table1 import table1_entry
+
+_SETUP = ExperimentSetup(num_threads=48, l2_way_options=(0,), l1_way_options=(0,))
+
+
+def test_table1_rows(benchmark, capsys):
+    proxy = table1_entry("pwtk").proxy()
+    benchmark.pedantic(
+        lambda: measure_matrix(proxy, _SETUP), rounds=2, iterations=1, warmup_rounds=0
+    )
+    rows = run_table1(setup=_SETUP)
+    with capsys.disabled():
+        print()
+        print(render_table1(rows))
+        spread = [r.gflops_ours for r in rows]
+        print(f"model spread: {min(spread):.1f} - {max(spread):.1f} Gflop/s "
+              f"(paper: 5.8 - 117.8)")

@@ -1,0 +1,32 @@
+"""Table 2: L2 miss-prediction error (MAPE), sequential SpMV.
+
+Regenerates the paper's Table 2 over the collection; the timed kernel is
+the method-A + method-B prediction path for one matrix (the model itself,
+not the testbed simulation).
+"""
+
+from repro.core import CacheMissModel
+from repro.experiments import l1_accuracy, accuracy_rows, render_accuracy_table
+from repro.matrices import banded
+from repro.spmv import listing1_policy
+
+
+def test_table2_sequential_accuracy(benchmark, capsys, sequential_records, sequential_setup):
+    machine = sequential_setup.machine()
+    matrix = banded(3_000, 120, 40, seed=0)
+
+    def predict_both():
+        model = CacheMissModel(matrix, machine, num_threads=1)
+        policy = listing1_policy(5)
+        return model.predict(policy, "A"), model.predict(policy, "B")
+
+    benchmark.pedantic(predict_both, rounds=3, iterations=1, warmup_rounds=0)
+    rows = accuracy_rows(sequential_records, machine, parallel=False)
+    l1_row = l1_accuracy(sequential_records, machine, parallel=False)
+    with capsys.disabled():
+        print()
+        print(render_accuracy_table(
+            rows, "Table 2: L2 miss prediction error, sequential SpMV"
+        ))
+        print(f"L1 (Sec. 4.5.4): A {l1_row.method_a}  B {l1_row.method_b}")
+        print("paper: A ~1.5-2.7 %, B ~2.3-3.5 % partitioned; B 6.5 % unpartitioned")

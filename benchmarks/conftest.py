@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures.  Measurement
+bundles are cached on disk (``.repro_cache``), so the first run of the
+suite pays the simulation cost and later runs only re-derive the artefacts;
+``BENCH_LIMIT`` bounds the matrix count so a cold run stays in minutes.
+Set ``REPRO_BENCH_COLLECTION=full`` (and clear the limit with
+``REPRO_BENCH_LIMIT=0``) to regenerate the 490-matrix sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentSetup, collection_records
+
+BENCH_COLLECTION = os.environ.get("REPRO_BENCH_COLLECTION", "small")
+_limit = int(os.environ.get("REPRO_BENCH_LIMIT", "24"))
+BENCH_LIMIT = None if _limit <= 0 else _limit
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+
+
+@pytest.fixture(scope="session")
+def parallel_setup() -> ExperimentSetup:
+    return ExperimentSetup(num_threads=48)
+
+
+@pytest.fixture(scope="session")
+def sequential_setup() -> ExperimentSetup:
+    return ExperimentSetup(num_threads=1)
+
+
+@pytest.fixture(scope="session")
+def parallel_records(parallel_setup):
+    return collection_records(
+        BENCH_COLLECTION, parallel_setup, CACHE_DIR, limit=BENCH_LIMIT
+    )
+
+
+@pytest.fixture(scope="session")
+def sequential_records(sequential_setup):
+    return collection_records(
+        BENCH_COLLECTION, sequential_setup, CACHE_DIR, limit=BENCH_LIMIT
+    )

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Reordering study: RCM and load balancing on a low-locality matrix.
+
+The paper observes (Section 4.2) that its Table-1 numbers trail Alappat
+et al. on kkt_power, bundle_adj, audikw_1 and delaunay_n24 because the
+comparison applies RCM reordering and nonzero-balanced scheduling.  This
+example applies both with the from-scratch implementations and shows how
+they move locality, misses and modelled Gflop/s.
+
+Run:  python examples/reordering_study.py
+"""
+
+from repro import SimConfig, SpMVCacheSim, scaled_machine
+from repro.analysis import render_table
+from repro.machine.perfmodel import PerformanceModel
+from repro.matrices import matrix_stats, power_law, rcm_reorder
+from repro.spmv import balanced_schedule, static_schedule
+
+
+def main() -> None:
+    machine = scaled_machine(16)
+    perf = PerformanceModel(machine)
+    threads = 48
+
+    matrix = power_law(28_000, 7.0, exponent=1.7, seed=5)
+    reordered = rcm_reorder(matrix)
+
+    configs = [
+        ("original, static rows", matrix, static_schedule(matrix, threads)),
+        ("original, nnz-balanced", matrix, balanced_schedule(matrix, threads)),
+        ("RCM, static rows", reordered, static_schedule(reordered, threads)),
+        ("RCM, nnz-balanced", reordered, balanced_schedule(reordered, threads)),
+    ]
+
+    rows = []
+    for label, m, schedule in configs:
+        stats = matrix_stats(m)
+        sim = SpMVCacheSim(m, machine, SimConfig(num_threads=threads), schedule=schedule)
+        events = sim.baseline_events()
+        est = perf.estimate(m, events, threads)
+        rows.append(
+            (
+                label,
+                stats.bandwidth,
+                f"{schedule.imbalance(m):.2f}",
+                events.l2_misses,
+                events.l2_demand_misses,
+                f"{est.gflops:.1f}",
+            )
+        )
+    print(f"matrix: {matrix}\n")
+    print(render_table(
+        ["configuration", "bandwidth", "imbalance", "L2 misses", "demand", "Gflop/s"],
+        rows,
+    ))
+    print("\nRCM shrinks the pattern bandwidth (better x locality); the")
+    print("balanced schedule equalises nonzeros per thread - together the")
+    print("optimisations Alappat et al. apply before their measurements.")
+
+
+if __name__ == "__main__":
+    main()

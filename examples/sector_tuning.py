@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Sector-cache tuning: pick the way split for a given matrix.
+
+What an A64FX user does before setting the FCC pragmas of Listing 1:
+sweep the sector-1 way count on the simulated testbed, look at misses,
+demand misses and modelled speedup, and print the recommended directives.
+Exercises the paper's Figures 2-3 pipeline on a single matrix.
+
+Run:  python examples/sector_tuning.py [--matrix band|scatter|graph]
+"""
+
+import argparse
+
+from repro import SimConfig, SpMVCacheSim, scaled_machine
+from repro.analysis import render_table
+from repro.machine.perfmodel import PerformanceModel
+from repro.matrices import banded, diagonal_plus_random, rmat
+from repro.spmv import listing1_policy, no_sector_cache
+
+MATRICES = {
+    "band": lambda: banded(26_000, 2_500, 11, seed=3),
+    "scatter": lambda: diagonal_plus_random(24_000, 8, 2, bandwidth=300, seed=3),
+    "graph": lambda: rmat(15, 8, seed=3),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--matrix", choices=sorted(MATRICES), default="scatter")
+    parser.add_argument("--threads", type=int, default=48)
+    args = parser.parse_args()
+
+    machine = scaled_machine(16)
+    matrix = MATRICES[args.matrix]()
+    print(f"tuning {matrix} on {args.threads} threads\n")
+
+    sim = SpMVCacheSim(matrix, machine, SimConfig(num_threads=args.threads))
+    perf = PerformanceModel(machine)
+    base = sim.events(no_sector_cache())
+    base_time = perf.estimate(matrix, base, args.threads).seconds
+
+    rows = []
+    best_ways, best_speedup = 0, 1.0
+    for ways in range(2, 8):
+        events = sim.events(listing1_policy(ways))
+        est = perf.estimate(matrix, events, args.threads)
+        speedup = base_time / est.seconds
+        rows.append(
+            (
+                f"{ways} L2 ways",
+                events.l2_misses,
+                f"{100 * (events.l2_misses - base.l2_misses) / base.l2_misses:+.1f}",
+                events.l2_demand_misses,
+                f"{speedup:.3f}",
+            )
+        )
+        if speedup > best_speedup:
+            best_ways, best_speedup = ways, speedup
+    rows.insert(0, ("baseline", base.l2_misses, "+0.0", base.l2_demand_misses, "1.000"))
+    print(render_table(
+        ["config", "L2 misses", "change %", "demand misses", "speedup"], rows
+    ))
+
+    print()
+    if best_ways:
+        print(f"recommended ({best_speedup:.2f}x):")
+        print(f"  #pragma procedure scache_isolate_way L2={best_ways}")
+        print("  #pragma procedure scache_isolate_assign a colidx")
+    else:
+        print("recommendation: leave the sector cache disabled for this matrix")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro: reuse-distance cache-miss modelling of CSR SpMV with the A64FX
+sector cache, plus the simulated memory-hierarchy testbed used to evaluate
+it (reproduction of Breiter, Trotter & Fuerlinger, SC-W 2023).
+
+Public API highlights
+---------------------
+* :class:`repro.spmv.CSRMatrix` and the SpMV kernels,
+* :class:`repro.core.CacheMissModel` — the paper's model (methods A and B),
+* :class:`repro.cachesim.SpMVCacheSim` — the simulated A64FX testbed,
+* :class:`repro.machine.A64FX` / :func:`repro.machine.scaled_machine`,
+* :mod:`repro.matrices` — generators and the synthetic collection,
+* :mod:`repro.experiments` — drivers for every table and figure.
+"""
+
+from .cachesim import CacheEvents, SimConfig, SpMVCacheSim
+from .core import CacheMissModel, MatrixClass, MethodA, MethodB, classify
+from .machine import A64FX, full_machine, scaled_machine
+from .machine.perfmodel import PerformanceEstimate, PerformanceModel
+from .matrices import collection, iter_matrices, matrix_stats
+from .spmv import (
+    CSRMatrix,
+    SectorPolicy,
+    listing1_policy,
+    no_sector_cache,
+    spmv,
+    spmv_reference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A64FX",
+    "CSRMatrix",
+    "CacheEvents",
+    "CacheMissModel",
+    "MatrixClass",
+    "MethodA",
+    "MethodB",
+    "PerformanceEstimate",
+    "PerformanceModel",
+    "SectorPolicy",
+    "SimConfig",
+    "SpMVCacheSim",
+    "classify",
+    "collection",
+    "full_machine",
+    "iter_matrices",
+    "listing1_policy",
+    "matrix_stats",
+    "no_sector_cache",
+    "scaled_machine",
+    "spmv",
+    "spmv_reference",
+]

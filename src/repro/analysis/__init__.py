@@ -1,0 +1,20 @@
+"""Evaluation utilities: error stats, boxplot summaries, curves, rendering."""
+
+from .boxstats import BoxStats, box_stats, render_box_table
+from .curves import MissRatioCurve, miss_ratio_curve, partition_efficiency
+from .mape import ErrorStats, absolute_percentage_errors, error_stats
+from .report import render_series, render_table
+
+__all__ = [
+    "BoxStats",
+    "ErrorStats",
+    "MissRatioCurve",
+    "absolute_percentage_errors",
+    "box_stats",
+    "error_stats",
+    "miss_ratio_curve",
+    "partition_efficiency",
+    "render_box_table",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,73 @@
+"""Boxplot summary statistics and ASCII rendering.
+
+Figures 2 and 3 of the paper are boxplot distributions over the matrix
+collection (quartiles, medians, 1.5-IQR whiskers, outliers).  The harness
+prints the same five-number summaries as aligned text so the figures can
+be compared series-by-series without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus outliers (Tukey 1.5-IQR fences)."""
+
+    median: float
+    q1: float
+    q3: float
+    whisker_lo: float
+    whisker_hi: float
+    outliers: tuple[float, ...]
+    count: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"median={self.median:+.2f} IQR=[{self.q1:+.2f}, {self.q3:+.2f}] "
+            f"whiskers=[{self.whisker_lo:+.2f}, {self.whisker_hi:+.2f}] "
+            f"outliers={len(self.outliers)}"
+        )
+
+
+def box_stats(values: np.ndarray) -> BoxStats:
+    """Tukey boxplot statistics of a sample."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    q1, median, q3 = np.percentile(values, [25, 50, 75])
+    iqr = q3 - q1
+    lo_fence, hi_fence = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+    inside = values[(values >= lo_fence) & (values <= hi_fence)]
+    outliers = tuple(float(v) for v in np.sort(values[(values < lo_fence) | (values > hi_fence)]))
+    return BoxStats(
+        median=float(median),
+        q1=float(q1),
+        q3=float(q3),
+        whisker_lo=float(inside.min()),
+        whisker_hi=float(inside.max()),
+        outliers=outliers,
+        count=int(values.size),
+    )
+
+
+def render_box_table(rows: list[tuple[str, BoxStats]], value_label: str) -> str:
+    """Aligned text table of labelled boxplot summaries."""
+    header = (
+        f"{'configuration':<24} {'median':>8} {'q1':>8} {'q3':>8} "
+        f"{'lo':>8} {'hi':>8} {'outl':>5}   ({value_label})"
+    )
+    lines = [header, "-" * len(header)]
+    for label, stats in rows:
+        lines.append(
+            f"{label:<24} {stats.median:>8.2f} {stats.q1:>8.2f} {stats.q3:>8.2f} "
+            f"{stats.whisker_lo:>8.2f} {stats.whisker_hi:>8.2f} {len(stats.outliers):>5d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Miss-ratio curves and working-set analysis.
+
+Reuse-distance profiles answer miss counts for *every* capacity at once
+(paper Section 2.2); this module turns that into the standard artefacts of
+cache studies: miss-ratio curves, working-set knees (capacities where the
+marginal benefit of more cache collapses), and a text sparkline renderer
+so curves print alongside the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..reuse.histogram import ReuseProfile
+
+_SPARK = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """Miss ratio as a function of cache capacity (in lines)."""
+
+    capacities: np.ndarray
+    miss_ratios: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "capacities", np.ascontiguousarray(self.capacities, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "miss_ratios", np.ascontiguousarray(self.miss_ratios, dtype=np.float64)
+        )
+        if self.capacities.shape != self.miss_ratios.shape:
+            raise ValueError("capacities and miss_ratios must be aligned")
+        if np.any(np.diff(self.capacities) <= 0):
+            raise ValueError("capacities must be strictly increasing")
+
+    def ratio_at(self, capacity: int) -> float:
+        """Miss ratio at an arbitrary capacity (step interpolation)."""
+        idx = int(np.searchsorted(self.capacities, capacity, side="right")) - 1
+        if idx < 0:
+            return 1.0
+        return float(self.miss_ratios[idx])
+
+    def knees(self, drop_threshold: float = 0.05) -> list[int]:
+        """Capacities where the miss ratio falls by >= ``drop_threshold``.
+
+        These are the working-set sizes: giving the data less cache than a
+        knee is wasteful, giving it more is pointless — the quantity a
+        sector-cache (or any partitioning) tuner needs.
+        """
+        if drop_threshold <= 0:
+            raise ValueError("drop_threshold must be positive")
+        drops = self.miss_ratios[:-1] - self.miss_ratios[1:]
+        return [int(c) for c in self.capacities[1:][drops >= drop_threshold]]
+
+    def sparkline(self, width: int = 64) -> str:
+        """Render the curve as a one-line text sparkline (high = misses)."""
+        if width <= 0:
+            raise ValueError("width must be positive")
+        idx = np.linspace(0, self.miss_ratios.shape[0] - 1, width).round().astype(int)
+        sampled = self.miss_ratios[idx]
+        chars = (sampled * (len(_SPARK) - 1)).round().astype(int)
+        return "".join(_SPARK[c] for c in chars)
+
+
+def miss_ratio_curve(
+    profile: ReuseProfile,
+    max_capacity: int,
+    num_points: int = 128,
+    log_spaced: bool = True,
+) -> MissRatioCurve:
+    """Evaluate a reuse profile into a miss-ratio curve up to a capacity."""
+    if max_capacity <= 0:
+        raise ValueError("max_capacity must be positive")
+    if num_points <= 1:
+        raise ValueError("num_points must exceed 1")
+    if log_spaced:
+        capacities = np.unique(
+            np.geomspace(1, max_capacity, num_points).round().astype(np.int64)
+        )
+    else:
+        capacities = np.unique(
+            np.linspace(1, max_capacity, num_points).round().astype(np.int64)
+        )
+    total = max(profile.num_accesses, 1)
+    ratios = profile.miss_curve(capacities) / total
+    return MissRatioCurve(capacities=capacities, miss_ratios=ratios)
+
+
+def partition_efficiency(
+    curve0: MissRatioCurve,
+    curve1: MissRatioCurve,
+    total_lines: int,
+    sector1_fractions: np.ndarray,
+) -> np.ndarray:
+    """Combined miss ratio for a range of way splits of two partitions.
+
+    ``curve0``/``curve1`` are the miss-ratio curves of the data assigned to
+    sector 0 / sector 1 (weighted by their access counts being equal is not
+    assumed — the caller applies weights).  Returns one combined ratio per
+    requested sector-1 fraction, the continuous generalisation of Eq. (2).
+    """
+    fractions = np.asarray(sector1_fractions, dtype=np.float64)
+    if np.any((fractions < 0) | (fractions > 1)):
+        raise ValueError("fractions must lie in [0, 1]")
+    out = np.empty(fractions.shape[0], dtype=np.float64)
+    for i, f in enumerate(fractions):
+        n1 = int(round(total_lines * float(f)))
+        n0 = total_lines - n1
+        out[i] = curve0.ratio_at(n0) + curve1.ratio_at(n1)
+    return out

@@ -1,0 +1,49 @@
+"""Prediction-error statistics (Eq. 3 of the paper).
+
+MAPE = (100/N) * sum(|measured_i - predicted_i| / measured_i); the paper
+reports it with the standard deviation of the absolute percentage error
+(Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """MAPE and APE standard deviation over a set of matrices."""
+
+    mape: float
+    std: float
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mape:.2f} % +- {self.std:.2f} % (n={self.count})"
+
+
+def absolute_percentage_errors(
+    measured: np.ndarray, predicted: np.ndarray
+) -> np.ndarray:
+    """Per-sample |x - xhat| / x * 100.  Measured zeros are rejected.
+
+    The paper excludes matrices whose miss counts are dominated by noise
+    (i.e. near zero) before aggregating; callers filter first.
+    """
+    measured = np.asarray(measured, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if measured.shape != predicted.shape:
+        raise ValueError("measured and predicted must be aligned")
+    if np.any(measured == 0):
+        raise ValueError("measured values must be nonzero for percentage errors")
+    return np.abs(measured - predicted) / np.abs(measured) * 100.0
+
+
+def error_stats(measured: np.ndarray, predicted: np.ndarray) -> ErrorStats:
+    """MAPE and APE std over aligned measurement/prediction arrays."""
+    ape = absolute_percentage_errors(measured, predicted)
+    if ape.size == 0:
+        return ErrorStats(mape=0.0, std=0.0, count=0)
+    return ErrorStats(mape=float(ape.mean()), std=float(ape.std()), count=int(ape.size))

@@ -1,0 +1,53 @@
+"""Plain-text table/series rendering for experiment output.
+
+Every experiment driver prints the rows or series the corresponding paper
+table/figure reports, via these helpers, so outputs are diffable and
+consistently formatted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align_left: int = 1,
+) -> str:
+    """Render an aligned text table; the first ``align_left`` columns are
+    left-justified (labels), the rest right-justified (numbers)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(parts: Sequence[str]) -> str:
+        out = []
+        for i, part in enumerate(parts):
+            out.append(part.ljust(widths[i]) if i < align_left else part.rjust(widths[i]))
+        return "  ".join(out)
+
+    body = [line(headers), "  ".join("-" * w for w in widths)]
+    body += [line(r) for r in cells]
+    if title:
+        body.insert(0, title)
+    return "\n".join(body)
+
+
+def render_series(
+    name: str, points: Sequence[tuple[object, object]], x_label: str, y_label: str
+) -> str:
+    """Render an (x, y) series as aligned text (one figure series)."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>14}  {_fmt(y):>12}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

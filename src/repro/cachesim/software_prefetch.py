@@ -1,0 +1,98 @@
+"""Software prefetching of the x vector (the paper's future work).
+
+Hardware stream prefetchers cannot cover the indirect ``x[colidx[i]]``
+accesses — but software can: ``colidx`` is available arbitrarily far
+ahead, so the kernel may issue ``prefetch(x + colidx[i + d])`` alongside
+iteration ``i``.  The paper names "software prefetching in conjunction
+with the sector cache" as future work; this module makes the experiment
+runnable by injecting the corresponding references into the trace.
+
+A software prefetch with lookahead ``d`` turns an x demand miss into a
+prefetch fill whenever the prefetched line survives in x's partition for
+``d`` nonzeros — so its interaction with the sector configuration is
+exactly the premature-eviction arithmetic the simulator already models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.layout import ARRAY_ID
+from ..core.trace import MemoryTrace
+
+_X = ARRAY_ID["x"]
+
+
+def inject_x_software_prefetch(trace: MemoryTrace, lookahead: int) -> MemoryTrace:
+    """Inject software prefetches for x, ``lookahead`` x-references ahead.
+
+    For each thread, the k-th x reference triggers a prefetch of the line
+    of its (k + lookahead)-th x reference; the first ``lookahead``
+    references of a thread are additionally prefetched at the thread's
+    first x reference (the loop preamble).  ``lookahead = 0`` disables.
+    """
+    if lookahead < 0:
+        raise ValueError("lookahead must be non-negative")
+    if lookahead == 0 or len(trace) == 0:
+        return trace
+    sel = np.flatnonzero(trace.arrays == _X)
+    if sel.size == 0:
+        return trace
+    threads = trace.threads[sel].astype(np.int64)
+    lines = trace.lines[sel]
+
+    order = np.lexsort((sel, threads))
+    sorted_sel = sel[order]
+    sorted_lines = lines[order]
+    sorted_threads = threads[order]
+    # position of each x ref within its thread's x stream
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], sorted_threads[1:] != sorted_threads[:-1]))
+    )
+    starts = np.repeat(boundaries, np.diff(np.append(boundaries, sorted_sel.size)))
+    within = np.arange(sorted_sel.size) - starts
+
+    # steady state: trigger k prefetches the line of x ref k + lookahead
+    target_idx = np.arange(sorted_sel.size) + lookahead
+    same_thread = np.zeros(sorted_sel.size, dtype=bool)
+    valid = target_idx < sorted_sel.size
+    same_thread[valid] = sorted_threads[target_idx[valid]] == sorted_threads[valid]
+    ok = valid & same_thread
+    inject_after = [sorted_sel[ok]]
+    inject_lines = [sorted_lines[target_idx[ok]]]
+    inject_threads = [sorted_threads[ok]]
+    inject_rank = [np.full(int(ok.sum()), lookahead, dtype=np.int64)]
+
+    # preamble: the thread's first x ref prefetches refs 1..lookahead-1
+    first = within == 0
+    for d in range(1, lookahead):
+        tgt = np.arange(sorted_sel.size) + d
+        okp = first & (tgt < sorted_sel.size)
+        okp[okp] &= sorted_threads[tgt[okp]] == sorted_threads[okp]
+        inject_after.append(sorted_sel[okp])
+        inject_lines.append(sorted_lines[tgt[okp]])
+        inject_threads.append(sorted_threads[okp])
+        inject_rank.append(np.full(int(okp.sum()), d, dtype=np.int64))
+
+    n = len(trace)
+    after = np.concatenate(inject_after)
+    all_lines = np.concatenate([trace.lines] + inject_lines)
+    all_arrays = np.concatenate(
+        [trace.arrays, np.full(after.shape[0], _X, dtype=np.int8)]
+    )
+    all_threads = np.concatenate([trace.threads.astype(np.int64)] + inject_threads)
+    all_prefetch = np.concatenate(
+        [trace.is_prefetch, np.ones(after.shape[0], dtype=bool)]
+    )
+    all_iteration = np.concatenate([trace.iteration, trace.iteration[after]])
+    anchor = np.concatenate([np.arange(n, dtype=np.int64), after])
+    rank = np.concatenate([np.zeros(n, dtype=np.int64)] + inject_rank)
+    order = np.lexsort((rank, anchor))
+    return MemoryTrace(
+        all_lines[order],
+        all_arrays[order],
+        all_threads[order],
+        trace.layout,
+        all_prefetch[order],
+        all_iteration[order],
+    )

@@ -1,0 +1,187 @@
+"""Sector-cache policy advisor.
+
+The paper's practical payoff: given a matrix and an execution setup, decide
+*whether* to enable the sector cache, *how many* ways to give the
+non-temporal data, and *which* arrays to isolate — the decisions a user
+encodes in the FCC pragmas of Listing 1.  Section 3.1 sketches the
+decision procedure by class; this module implements it quantitatively with
+the cache-miss model (method B by default, since the advisor's point is
+being cheap) and the performance model.
+
+The advisor also evaluates the Section-3.1 alternative for class-(3)
+matrices — additionally assigning ``rowptr`` and ``y`` to the small
+partition so ``x`` gets the largest possible share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.a64fx import A64FX
+from ..machine.perfmodel import PerformanceModel
+from ..spmv.csr import CSRMatrix
+from ..spmv.schedule import RowSchedule
+from ..spmv.sector_policy import SectorPolicy, isolate_x_policy, listing1_policy, no_sector_cache
+from ..cachesim.events import CacheEvents
+from .analytic import stream_misses
+from .classification import MatrixClass, classify
+from .method_b import MethodB
+
+
+@dataclass(frozen=True)
+class PolicyChoice:
+    """One evaluated candidate policy."""
+
+    policy: SectorPolicy
+    predicted_l2_misses: int
+    predicted_seconds: float
+
+    @property
+    def pragma(self) -> str:
+        return self.policy.describe()
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict: best policy plus the evaluated field."""
+
+    best: PolicyChoice
+    baseline: PolicyChoice
+    candidates: tuple[PolicyChoice, ...]
+    matrix_class: MatrixClass
+
+    @property
+    def predicted_speedup(self) -> float:
+        return self.baseline.predicted_seconds / self.best.predicted_seconds
+
+    @property
+    def worthwhile(self) -> bool:
+        """True if enabling the sector cache is predicted to help at all."""
+        return (
+            self.best.policy.l2_enabled
+            and self.best.predicted_l2_misses < self.baseline.predicted_l2_misses
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"matrix class: {self.matrix_class}",
+            f"recommended: {self.best.pragma}",
+            f"predicted L2 misses: {self.baseline.predicted_l2_misses} -> "
+            f"{self.best.predicted_l2_misses}",
+            f"predicted speedup: {self.predicted_speedup:.3f}x",
+        ]
+        if not self.worthwhile:
+            lines.append("verdict: leave the sector cache disabled")
+        return "\n".join(lines)
+
+
+class SectorAdvisor:
+    """Pick a sector policy for a matrix from model predictions alone.
+
+    Every candidate is priced with one method-B pass (a single stack
+    processing of the x trace serves every way split), then ranked by the
+    performance model's predicted runtime; ties break toward fewer
+    sector-1 ways (more space for the reusable data).
+    """
+
+    def __init__(
+        self,
+        machine: A64FX,
+        num_threads: int = 48,
+        way_options: tuple[int, ...] = (2, 3, 4, 5, 6),
+        consider_isolate_x: bool = True,
+        min_sector1_ways_with_prefetch: int = 4,
+    ) -> None:
+        if not way_options:
+            raise ValueError("way_options must not be empty")
+        self.machine = machine
+        self.num_threads = num_threads
+        self.way_options = way_options
+        self.consider_isolate_x = consider_isolate_x
+        #: Section 4.3: smaller sectors suffer premature eviction of
+        #: prefetched lines; the advisor refuses them unless told otherwise.
+        self.min_ways = min_sector1_ways_with_prefetch
+        self.perf = PerformanceModel(machine)
+
+    def _choice(
+        self, model: MethodB, matrix: CSRMatrix, policy: SectorPolicy
+    ) -> PolicyChoice:
+        misses = model.predict(policy).l2_misses
+        streams = stream_misses(matrix, self.machine.line_size)
+        # model-level event surrogate: all predicted misses are refills;
+        # the demand share is whatever prefetchable streams cannot cover
+        prediction = model.predict(policy)
+        prefetchable = sum(
+            prediction.per_array.get(a, 0)
+            for a in ("values", "colidx", "rowptr", "y")
+        )
+        demand = prediction.per_array.get("x", 0)
+        events = CacheEvents(
+            l1_refill=streams.total + matrix.nnz // 8,
+            l2_refill=misses,
+            l2_refill_demand=demand,
+            l2_refill_prefetch=prefetchable,
+            l2_writeback=streams.y if misses else 0,
+        )
+        est = self.perf.estimate(matrix, events, self.num_threads)
+        return PolicyChoice(
+            policy=policy, predicted_l2_misses=misses, predicted_seconds=est.seconds
+        )
+
+    def recommend(
+        self, matrix: CSRMatrix, schedule: RowSchedule | None = None
+    ) -> Recommendation:
+        """Evaluate candidates and return the ranked recommendation."""
+        model = MethodB(
+            matrix, self.machine, num_threads=self.num_threads, schedule=schedule
+        )
+        num_cmgs = -(-self.num_threads // self.machine.cores_per_cmg)
+        cls = classify(matrix, self.machine, max(self.way_options), num_cmgs)
+
+        baseline = self._choice(model, matrix, no_sector_cache())
+        candidates = [baseline]
+        for ways in self.way_options:
+            if ways < self.min_ways:
+                continue
+            candidates.append(self._choice(model, matrix, listing1_policy(ways)))
+        if self.consider_isolate_x and cls in (MatrixClass.CLASS3A, MatrixClass.CLASS3B):
+            for ways in self.way_options:
+                if ways < self.min_ways:
+                    continue
+                policy = isolate_x_policy(ways)
+                misses = _isolate_x_misses(model, matrix, self.machine, ways)
+                streams = stream_misses(matrix, self.machine.line_size)
+                events = CacheEvents(
+                    l1_refill=streams.total + matrix.nnz // 8,
+                    l2_refill=misses,
+                    l2_refill_demand=max(0, misses - streams.total),
+                    l2_refill_prefetch=min(misses, streams.total),
+                    l2_writeback=streams.y,
+                )
+                est = self.perf.estimate(matrix, events, self.num_threads)
+                candidates.append(
+                    PolicyChoice(policy, misses, est.seconds)
+                )
+        best = min(
+            candidates,
+            key=lambda c: (c.predicted_seconds, c.policy.l2_sector1_ways),
+        )
+        return Recommendation(
+            best=best,
+            baseline=baseline,
+            candidates=tuple(candidates),
+            matrix_class=cls,
+        )
+
+
+def _isolate_x_misses(model: MethodB, matrix: CSRMatrix, machine: A64FX, ways: int) -> int:
+    """Predicted misses for the Section-3.1 isolate-x policy.
+
+    ``x`` owns partition 0 alone, so its reuse distances need no scaling
+    (the third case of Section 3.2.2); everything else streams through
+    sector 1.
+    """
+    n0, _ = machine.l2.partition_lines(ways)
+    streams = stream_misses(matrix, machine.line_size)
+    x_misses = model.x_misses(1.0, n0)
+    return streams.total + x_misses

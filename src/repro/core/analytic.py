@@ -1,0 +1,77 @@
+"""Closed-form miss counts for the streamed SpMV arrays (Section 3.1).
+
+For an M-by-N matrix with K nonzeros and cache line size L, one SpMV sweep
+streams:
+
+* the nonzero values (8-byte):       ``ceil(8K / L)`` lines,
+* the column indices (4-byte):       ``ceil(4K / L)`` lines,
+* the row pointers (8-byte, M+1):    ``ceil(8(M+1) / L)`` lines,
+* the output vector (8-byte, M):     ``ceil(8M / L)`` lines.
+
+In steady-state iterative SpMV, an array incurs exactly its line count in
+capacity misses per iteration whenever it cannot be retained in the cache
+space available to it, and zero otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..spmv.csr import CSRMatrix
+
+
+def _lines(num_bytes: int, line_size: int) -> int:
+    return -(-num_bytes // line_size)
+
+
+@dataclass(frozen=True)
+class StreamMisses:
+    """Per-array streaming line counts of one SpMV iteration."""
+
+    values: int
+    colidx: int
+    rowptr: int
+    y: int
+
+    @property
+    def matrix_data(self) -> int:
+        """Lines of the non-temporal matrix data (paper: a + colidx)."""
+        return self.values + self.colidx
+
+    @property
+    def vectors(self) -> int:
+        """Lines of the row-wise streamed reusable data (rowptr + y)."""
+        return self.rowptr + self.y
+
+    @property
+    def total(self) -> int:
+        return self.matrix_data + self.vectors
+
+
+def stream_misses(matrix: CSRMatrix, line_size: int) -> StreamMisses:
+    """Streaming miss counts of Section 3.1 for one SpMV iteration."""
+    if line_size <= 0:
+        raise ValueError("line_size must be positive")
+    return StreamMisses(
+        values=_lines(matrix.values_bytes, line_size),
+        colidx=_lines(matrix.colidx_bytes, line_size),
+        rowptr=_lines(matrix.rowptr_bytes, line_size),
+        y=_lines(matrix.y_bytes, line_size),
+    )
+
+
+def method_b_scale_factors(matrix: CSRMatrix) -> tuple[float, float]:
+    """The reuse-distance scaling factors s1, s2 of Section 3.2.2.
+
+    ``s1 = (16 M/K + 8) / 8`` inflates x-only reuse distances when x shares
+    its partition with ``rowptr`` and ``y``; ``s2 = (16 M/K + 20) / 8``
+    additionally accounts for ``a`` and ``colidx`` when the cache is not
+    partitioned.  Both are the average bytes touched per x element divided
+    by the x element size.
+    """
+    if matrix.nnz == 0:
+        raise ValueError("scale factors undefined for an empty matrix")
+    ratio = matrix.num_rows / matrix.nnz
+    s1 = (16.0 * ratio + 8.0) / 8.0
+    s2 = (16.0 * ratio + 20.0) / 8.0
+    return s1, s2

@@ -1,0 +1,77 @@
+"""Matrix classification by working-set size (paper Section 3.1).
+
+The paper divides matrices into classes predicting whether the sector cache
+helps iterative SpMV:
+
+* **class (1)** — matrix and vectors together fit into cache: no capacity
+  misses, partitioning cannot help;
+* **class (2)** — the whole working set does not fit, but ``x``, ``y`` and
+  ``rowptr`` together fit into the large partition: partitioning removes all
+  their misses, the biggest win;
+* **class (3a)** — ``x``+``y``+``rowptr`` no longer fit, but ``x`` alone
+  fits the large partition;
+* **class (3b)** — even ``x`` does not fit; isolating the matrix data only
+  *lowers* the reuse distance of ``x`` references.
+
+Sizes are compared against one shared L2 segment (the paper's Fig. 4 draws
+the L2 boundary at the 8 MiB segment size).  Under parallel execution the
+row-partitioned arrays (``y``, ``rowptr``) split across the CMGs while
+``x`` may be replicated into every segment, so their bytes are divided by
+the number of CMGs used and ``x`` is counted in full.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..machine.a64fx import A64FX
+from ..spmv.csr import CSRMatrix
+
+
+class MatrixClass(enum.Enum):
+    """Working-set classes of Section 3.1."""
+
+    CLASS1 = "1"
+    CLASS2 = "2"
+    CLASS3A = "3a"
+    CLASS3B = "3b"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"class ({self.value})"
+
+
+def reusable_bytes(matrix: CSRMatrix, num_cmgs: int = 1) -> int:
+    """Bytes of the reusable data (x, y, rowptr) seen by one L2 segment."""
+    if num_cmgs <= 0:
+        raise ValueError("num_cmgs must be positive")
+    return matrix.x_bytes + (matrix.y_bytes + matrix.rowptr_bytes) // num_cmgs
+
+
+def working_set_bytes(matrix: CSRMatrix, num_cmgs: int = 1) -> int:
+    """Bytes of the full working set seen by one L2 segment."""
+    streamed = matrix.values_bytes + matrix.colidx_bytes
+    return reusable_bytes(matrix, num_cmgs) + streamed // num_cmgs
+
+
+def classify(
+    matrix: CSRMatrix,
+    machine: A64FX,
+    sector1_ways: int = 0,
+    num_cmgs: int = 1,
+) -> MatrixClass:
+    """Classify a matrix for a given sector-1 way count.
+
+    With the sector cache disabled (``sector1_ways == 0``) the "large
+    partition" is the whole cache, so classes (2)/(3) describe what
+    partitioning *would* achieve; the paper's Fig. 4 uses the 5-way split.
+    """
+    cache = machine.l2.capacity_bytes
+    n0_lines, _ = machine.l2.partition_lines(sector1_ways)
+    partition0 = n0_lines * machine.line_size
+    if working_set_bytes(matrix, num_cmgs) <= cache:
+        return MatrixClass.CLASS1
+    if reusable_bytes(matrix, num_cmgs) <= partition0:
+        return MatrixClass.CLASS2
+    if matrix.x_bytes <= partition0:
+        return MatrixClass.CLASS3A
+    return MatrixClass.CLASS3B

@@ -1,0 +1,105 @@
+"""Memory traces of CSC SpMV (the scatter kernel).
+
+Per column ``c`` the kernel touches::
+
+    colptr[c]  then per nonzero i: values[i], rowidx[i], y[rowidx[i]]  then x[c]
+
+— the exact dual of the CSR pattern: now the indirect, reuse-carrying
+references target ``y`` while ``x`` streams.  The sector-cache question
+therefore flips, and the same model applies with ``y`` playing the role of
+``x`` (the paper's "extends to other kernels" claim, made executable).
+
+Array labels reuse the shared vocabulary so sector policies carry over:
+``rowptr`` tags the column pointer, ``colidx`` the row indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spmv.csc import CSCMatrix
+from .layout import COLIDX, MemoryLayout, ROWPTR, VALUES, X, Y
+from .trace import MemoryTrace
+
+
+def csc_layout(matrix: CSCMatrix, line_size: int) -> MemoryLayout:
+    """Line layout of the CSC arrays."""
+    return MemoryLayout.from_counts(
+        {
+            "x": matrix.num_cols,
+            "y": matrix.num_rows,
+            "values": matrix.nnz,
+            "colidx": matrix.nnz,      # the 4-byte row indices
+            "rowptr": matrix.num_cols + 1,  # the 8-byte column pointer
+        },
+        line_size,
+    )
+
+
+def csc_thread_trace(
+    matrix: CSCMatrix,
+    layout: MemoryLayout,
+    thread: int,
+    col_begin: int,
+    col_end: int,
+) -> MemoryTrace:
+    """Trace of one thread executing columns ``[col_begin, col_end)``."""
+    if not 0 <= col_begin <= col_end <= matrix.num_cols:
+        raise ValueError("invalid column range")
+    num_cols = col_end - col_begin
+    if num_cols == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return MemoryTrace(empty, empty, empty, layout)
+    cols = np.arange(col_begin, col_end, dtype=np.int64)
+    lengths = matrix.col_lengths[cols]
+    nnz = int(lengths.sum())
+    n = 2 * num_cols + 3 * nnz + 1
+
+    lines = np.empty(n, dtype=np.int64)
+    arrays = np.empty(n, dtype=np.int8)
+    seg = 2 + 3 * lengths
+    col_off = np.zeros(num_cols, dtype=np.int64)
+    np.cumsum(seg[:-1], out=col_off[1:])
+
+    lines[col_off] = layout.lines_of("rowptr", cols)
+    arrays[col_off] = ROWPTR
+    x_pos = col_off + 1 + 3 * lengths
+    lines[x_pos] = layout.lines_of("x", cols)
+    arrays[x_pos] = X
+
+    if nnz:
+        first = int(matrix.colptr[col_begin])
+        nnz_idx = np.arange(first, first + nnz, dtype=np.int64)
+        local = np.arange(nnz, dtype=np.int64) - np.repeat(
+            np.concatenate(([0], np.cumsum(lengths[:-1]))), lengths
+        )
+        base = np.repeat(col_off, lengths) + 1 + 3 * local
+        lines[base] = layout.lines_of("values", nnz_idx)
+        arrays[base] = VALUES
+        lines[base + 1] = layout.lines_of("colidx", nnz_idx)
+        arrays[base + 1] = COLIDX
+        lines[base + 2] = layout.lines_of("y", matrix.rowidx[nnz_idx])
+        arrays[base + 2] = Y
+
+    lines[-1] = layout.lines_of("rowptr", np.array([col_end]))[0]
+    arrays[-1] = ROWPTR
+    threads = np.full(n, thread, dtype=np.int32)
+    return MemoryTrace(lines, arrays, threads, layout)
+
+
+def csc_trace(
+    matrix: CSCMatrix,
+    layout: MemoryLayout | None = None,
+    num_threads: int = 1,
+    line_size: int = 256,
+) -> list[MemoryTrace]:
+    """Per-thread traces of a CSC SpMV (columns split contiguously)."""
+    if num_threads <= 0:
+        raise ValueError("num_threads must be positive")
+    if layout is None:
+        layout = csc_layout(matrix, line_size)
+    bounds = np.linspace(0, matrix.num_cols, num_threads + 1).round().astype(int)
+    return [
+        csc_thread_trace(matrix, layout, t, int(bounds[t]), int(bounds[t + 1]))
+        for t in range(num_threads)
+    ]

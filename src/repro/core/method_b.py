@@ -1,0 +1,167 @@
+"""Method (B): cache-miss approximation from the column indices alone.
+
+Section 3.2.2 of the paper: instead of processing the full kernel trace,
+process only the x-vector access trace (given directly by ``colidx``) — a
+3-5x smaller reference set — and recover the effect of the other arrays
+analytically:
+
+* x-only reuse distances are inflated by ``s1 = (16 M/K + 8)/8`` when x
+  shares its partition with ``rowptr`` and ``y`` (partitioned case), or by
+  ``s2 = (16 M/K + 20)/8`` when additionally ``a`` and ``colidx`` compete
+  for the same cache (no partitioning);
+* misses of the streamed arrays come from the closed-form line counts of
+  Section 3.1, gated by the class considerations (an array streams misses
+  iff it cannot be retained in the space available to it).
+
+One stack pass covers every sector configuration.  The documented accuracy
+loss for matrices with few nonzeros per row and high row-length variation
+(the scaling factor is an average) is evaluated in Table 2/3 benches.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..machine.a64fx import A64FX
+from ..parallel.interleave import interleave
+from ..reuse.cdq import reuse_distances
+from ..reuse.histogram import ReuseProfile, scale_distances
+from ..spmv.csr import CSRMatrix
+from ..spmv.schedule import RowSchedule, static_schedule
+from ..spmv.sector_policy import SectorPolicy
+from .analytic import method_b_scale_factors, stream_misses
+from .method_a import MissPrediction
+from .trace import repeat_trace, x_only_trace
+
+
+class MethodB:
+    """Column-index-only miss model (single stack pass, analytic envelope)."""
+
+    def __init__(
+        self,
+        matrix: CSRMatrix,
+        machine: A64FX,
+        num_threads: int = 1,
+        schedule: RowSchedule | None = None,
+        iterations: int = 2,
+        interleave_policy: str = "mcs",
+    ) -> None:
+        if matrix.nnz == 0:
+            raise ValueError("method B requires a non-empty matrix")
+        self.matrix = matrix
+        self.machine = machine
+        self.num_threads = num_threads
+        self.iterations = iterations
+        if schedule is None:
+            schedule = static_schedule(matrix, num_threads)
+        self.schedule = schedule
+        per_thread = x_only_trace(matrix, None, schedule, line_size=machine.line_size)
+        merged = interleave(per_thread, interleave_policy)
+        self.trace = repeat_trace(merged, iterations)
+        self._cmgs = (self.trace.threads // machine.cores_per_cmg).astype(np.int64)
+        self._window = self.trace.iteration == iterations - 1
+        self.s1, self.s2 = method_b_scale_factors(matrix)
+        self._streams = stream_misses(matrix, machine.line_size)
+
+    @property
+    def num_cmgs_used(self) -> int:
+        return int(self._cmgs.max()) + 1 if len(self.trace) else 1
+
+    @cached_property
+    def _x_rd(self) -> np.ndarray:
+        """The single stack pass over x references, per CMG segment."""
+        return reuse_distances(self.trace.lines, self._cmgs)
+
+    def x_misses(self, scale: float, capacity_lines: int) -> int:
+        """Misses of x references with inflated distances vs. a capacity.
+
+        ``scale=1.0`` prices the Section-3.2.2 case (3) where x owns a
+        partition alone; s1/s2 price the shared-partition cases.
+        """
+        rd = scale_distances(self._x_rd[self._window], scale)
+        profile = ReuseProfile.from_distances(rd)
+        return profile.misses(capacity_lines)
+
+    # ------------------------------------------------------------------
+    def predict(self, policy: SectorPolicy) -> MissPrediction:
+        """Predicted L2 misses of one steady-state iteration."""
+        policy.validate(self.machine)
+        streams = self._streams
+        line = self.machine.line_size
+        cmgs = self.num_cmgs_used
+        per_array: dict[str, int] = {}
+        if policy.l2_enabled:
+            n0, n1 = self.machine.l2.partition_lines(policy.l2_sector1_ways)
+            # matrix data streams through sector 1: misses unless retained
+            matrix_lines_per_cmg = streams.matrix_data // cmgs
+            if matrix_lines_per_cmg > n1:
+                per_array["values"] = streams.values
+                per_array["colidx"] = streams.colidx
+            # rowptr and y share sector 0 with x: stream misses unless the
+            # reusable data fits the partition (class-2 criterion)
+            reusable = (
+                self.matrix.x_bytes
+                + (self.matrix.y_bytes + self.matrix.rowptr_bytes) // cmgs
+            )
+            if reusable > n0 * line:
+                per_array["rowptr"] = streams.rowptr
+                per_array["y"] = streams.y
+            per_array["x"] = self.x_misses(self.s1, n0)
+        else:
+            total = self.machine.l2.capacity_lines
+            working = (
+                self.matrix.x_bytes
+                + (
+                    self.matrix.total_bytes - self.matrix.x_bytes
+                ) // cmgs
+            )
+            if working > total * line:
+                per_array["values"] = streams.values
+                per_array["colidx"] = streams.colidx
+                per_array["rowptr"] = streams.rowptr
+                per_array["y"] = streams.y
+                per_array["x"] = self.x_misses(self.s2, total)
+            else:
+                per_array["x"] = 0  # class (1): no capacity misses
+        per_array = {k: v for k, v in per_array.items() if v}
+        return MissPrediction(
+            l2_misses=sum(per_array.values()),
+            per_array=per_array,
+            method="B",
+            policy=policy,
+        )
+
+    def predict_l1(self, policy: SectorPolicy) -> MissPrediction:
+        """Predicted L1 misses (summed over private caches).
+
+        The x trace is re-grouped per thread; streamed arrays always exceed
+        a 64 KiB L1 for the matrix sizes of interest, so they contribute
+        their full line counts.
+        """
+        policy.validate(self.machine)
+        threads = self.trace.threads.astype(np.int64)
+        rd = reuse_distances(self.trace.lines, threads)
+        if policy.l1_enabled:
+            n0, _ = self.machine.l1.partition_lines(policy.l1_sector1_ways)
+            scale, capacity = self.s1, n0
+        else:
+            scale, capacity = self.s2, self.machine.l1.capacity_lines
+        x_miss = ReuseProfile.from_distances(
+            scale_distances(rd[self._window], scale)
+        ).misses(capacity)
+        streams = self._streams
+        per_array = {
+            "values": streams.values,
+            "colidx": streams.colidx,
+            "rowptr": streams.rowptr,
+            "y": streams.y,
+            "x": x_miss,
+        }
+        return MissPrediction(
+            l2_misses=sum(per_array.values()),
+            per_array=per_array,
+            method="B",
+            policy=policy,
+        )

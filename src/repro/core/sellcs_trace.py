@@ -1,0 +1,128 @@
+"""Memory traces of SELL-C-sigma SpMV.
+
+Extends the paper's trace-synthesis methodology (Section 3.2.1) to the
+SELL-C-sigma storage format — the extension its conclusion proposes.  Per
+chunk the kernel touches::
+
+    chunk_ptr[c]
+    for j in 0..width-1, lane in 0..C-1:  values[slot], colidx[slot], x[colidx[slot]]
+    y[row_perm[c*C + lane]]  for each lane
+
+i.e. the matrix data streams column-major inside each chunk, and, unlike
+CSR, all C output elements of a chunk are written together.  Padded slots
+really are loaded by the SIMD kernel (they multiply by zero), so their
+references are included.
+
+The resulting traces feed the same reuse-distance model and cache
+simulator as the CSR traces, enabling a sector-cache study of the format
+(see ``benchmarks/bench_ablation_sellcs.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spmv.schedule import RowSchedule
+from ..spmv.sellcs import SellCSigmaMatrix
+from .layout import COLIDX, MemoryLayout, ROWPTR, VALUES, X, Y
+from .trace import MemoryTrace
+
+
+def sellcs_layout(matrix: SellCSigmaMatrix, line_size: int) -> MemoryLayout:
+    """Line layout of the SELL-C-sigma arrays.
+
+    The ``rowptr`` slot holds the chunk pointer (one 8-byte entry per
+    chunk plus the end sentinel), matching its role in the kernel.
+    """
+    return MemoryLayout.from_counts(
+        {
+            "x": matrix.num_cols,
+            "y": matrix.num_rows,
+            "values": matrix.nnz_stored,
+            "colidx": matrix.nnz_stored,
+            "rowptr": matrix.num_chunks + 1,
+        },
+        line_size,
+    )
+
+
+def sellcs_thread_trace(
+    matrix: SellCSigmaMatrix,
+    layout: MemoryLayout,
+    thread: int,
+    chunk_begin: int,
+    chunk_end: int,
+) -> MemoryTrace:
+    """Trace of one thread executing chunks ``[chunk_begin, chunk_end)``."""
+    if not 0 <= chunk_begin <= chunk_end <= matrix.num_chunks:
+        raise ValueError("invalid chunk range")
+    C = matrix.chunk_size
+    chunks = np.arange(chunk_begin, chunk_end, dtype=np.int64)
+    if chunks.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return MemoryTrace(empty, empty, empty, layout)
+    slots_per_chunk = (matrix.chunk_len[chunks] * C).astype(np.int64)
+    lanes_per_chunk = np.minimum(C, matrix.num_rows - chunks * C).astype(np.int64)
+    lanes_per_chunk = np.maximum(lanes_per_chunk, 0)
+    seg = 1 + 3 * slots_per_chunk + lanes_per_chunk
+    total = int(seg.sum())
+    lines = np.empty(total, dtype=np.int64)
+    arrays = np.empty(total, dtype=np.int8)
+
+    chunk_off = np.zeros(chunks.size, dtype=np.int64)
+    np.cumsum(seg[:-1], out=chunk_off[1:])
+
+    # chunk pointer read at the start of each chunk
+    lines[chunk_off] = layout.lines_of("rowptr", chunks)
+    arrays[chunk_off] = ROWPTR
+
+    nslots = int(slots_per_chunk.sum())
+    if nslots:
+        slot_chunk = np.repeat(np.arange(chunks.size), slots_per_chunk)
+        local = np.arange(nslots, dtype=np.int64) - np.repeat(
+            np.concatenate(([0], np.cumsum(slots_per_chunk[:-1]))), slots_per_chunk
+        )
+        slot_idx = matrix.chunk_ptr[chunks][slot_chunk] + local
+        pos = chunk_off[slot_chunk] + 1 + 3 * local
+        lines[pos] = layout.lines_of("values", slot_idx)
+        arrays[pos] = VALUES
+        lines[pos + 1] = layout.lines_of("colidx", slot_idx)
+        arrays[pos + 1] = COLIDX
+        lines[pos + 2] = layout.lines_of("x", matrix.colidx[slot_idx])
+        arrays[pos + 2] = X
+
+    nlanes = int(lanes_per_chunk.sum())
+    if nlanes:
+        lane_chunk = np.repeat(np.arange(chunks.size), lanes_per_chunk)
+        lane_local = np.arange(nlanes, dtype=np.int64) - np.repeat(
+            np.concatenate(([0], np.cumsum(lanes_per_chunk[:-1]))), lanes_per_chunk
+        )
+        rows = matrix.row_perm[chunks[lane_chunk] * C + lane_local]
+        pos = chunk_off[lane_chunk] + 1 + 3 * slots_per_chunk[lane_chunk] + lane_local
+        lines[pos] = layout.lines_of("y", rows)
+        arrays[pos] = Y
+
+    threads = np.full(total, thread, dtype=np.int32)
+    return MemoryTrace(lines, arrays, threads, layout)
+
+
+def sellcs_trace(
+    matrix: SellCSigmaMatrix,
+    layout: MemoryLayout | None = None,
+    num_threads: int = 1,
+    line_size: int = 256,
+) -> list[MemoryTrace]:
+    """Per-thread traces of a (possibly parallel) SELL-C-sigma SpMV.
+
+    Chunks are split into contiguous, chunk-balanced ranges (the static
+    schedule at chunk granularity).
+    """
+    if num_threads <= 0:
+        raise ValueError("num_threads must be positive")
+    if layout is None:
+        layout = sellcs_layout(matrix, line_size)
+    bounds = np.linspace(0, matrix.num_chunks, num_threads + 1).round().astype(int)
+    return [
+        sellcs_thread_trace(matrix, layout, t, int(bounds[t]), int(bounds[t + 1]))
+        for t in range(num_threads)
+    ]

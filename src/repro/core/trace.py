@@ -1,0 +1,253 @@
+"""Synthetic memory traces of the CSR SpMV kernel.
+
+The model infers the memory access pattern of Listing 1 from the sparsity
+pattern alone, without executing SpMV (paper Section 3.2.1).  Per row ``r``
+the kernel touches::
+
+    rowptr[r]  then per nonzero i: values[i], colidx[i], x[colidx[i]]  then y[r]
+
+with one trailing ``rowptr`` access for the final bound, matching the access
+pattern of Fig. 1(b).  Traces carry, per reference, the global cache-line
+number, the owning array, and the issuing thread, so sector assignment and
+cache grouping are cheap vectorized lookups afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..spmv.csr import CSRMatrix
+from ..spmv.schedule import RowSchedule, static_schedule
+from ..spmv.sector_policy import ARRAYS, SectorPolicy
+from .layout import ARRAY_ID, COLIDX, MemoryLayout, ROWPTR, VALUES, X, Y
+
+
+@dataclass(frozen=True)
+class MemoryTrace:
+    """A sequence of memory references at cache-line granularity.
+
+    Attributes
+    ----------
+    lines:
+        Global cache-line number of each reference.
+    arrays:
+        Array id (:data:`repro.core.layout.ARRAY_ID`) of each reference.
+    threads:
+        Issuing thread of each reference.
+    layout:
+        The line layout the ``lines`` refer to.
+    is_prefetch:
+        True for references injected by a prefetcher model (demand
+        references otherwise).  Empty traces keep all-False.
+    iteration:
+        SpMV iteration index of each reference (0 for a single iteration;
+        steady-state modelling repeats the trace and reports the last
+        iteration's events only).
+    """
+
+    lines: np.ndarray
+    arrays: np.ndarray
+    threads: np.ndarray
+    layout: MemoryLayout
+    is_prefetch: np.ndarray = field(default=None)  # type: ignore[assignment]
+    iteration: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lines", np.ascontiguousarray(self.lines, dtype=np.int64))
+        object.__setattr__(self, "arrays", np.ascontiguousarray(self.arrays, dtype=np.int8))
+        object.__setattr__(self, "threads", np.ascontiguousarray(self.threads, dtype=np.int32))
+        if self.is_prefetch is None:
+            object.__setattr__(
+                self, "is_prefetch", np.zeros(self.lines.shape[0], dtype=bool)
+            )
+        else:
+            object.__setattr__(
+                self, "is_prefetch", np.ascontiguousarray(self.is_prefetch, dtype=bool)
+            )
+        if self.iteration is None:
+            object.__setattr__(
+                self, "iteration", np.zeros(self.lines.shape[0], dtype=np.int8)
+            )
+        else:
+            object.__setattr__(
+                self, "iteration", np.ascontiguousarray(self.iteration, dtype=np.int8)
+            )
+        n = self.lines.shape[0]
+        for name in ("arrays", "threads", "is_prefetch", "iteration"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"{name} must match trace length {n}")
+
+    def __len__(self) -> int:
+        return int(self.lines.shape[0])
+
+    @property
+    def num_threads(self) -> int:
+        return int(self.threads.max()) + 1 if len(self) else 1
+
+    def sectors(self, policy: SectorPolicy) -> np.ndarray:
+        """Sector id (0/1) of each reference under a policy."""
+        table = np.array([policy.sector_of(a) for a in ARRAYS], dtype=np.int8)
+        return table[self.arrays]
+
+    def array_mask(self, *names: str) -> np.ndarray:
+        """Boolean mask of references to the named arrays."""
+        ids = [ARRAY_ID[n] for n in names]
+        mask = np.zeros(len(self), dtype=bool)
+        for aid in ids:
+            mask |= self.arrays == aid
+        return mask
+
+    def select(self, mask: np.ndarray) -> "MemoryTrace":
+        """Subtrace of the masked references (program order preserved)."""
+        mask = np.asarray(mask, dtype=bool)
+        return MemoryTrace(
+            self.lines[mask],
+            self.arrays[mask],
+            self.threads[mask],
+            self.layout,
+            self.is_prefetch[mask],
+            self.iteration[mask],
+        )
+
+    def reorder(self, order: np.ndarray) -> "MemoryTrace":
+        """Trace with references permuted into ``order``."""
+        order = np.asarray(order, dtype=np.int64)
+        return MemoryTrace(
+            self.lines[order],
+            self.arrays[order],
+            self.threads[order],
+            self.layout,
+            self.is_prefetch[order],
+            self.iteration[order],
+        )
+
+
+def repeat_trace(trace: MemoryTrace, iterations: int) -> MemoryTrace:
+    """Concatenate ``iterations`` copies of a trace, numbering iterations.
+
+    Models repeated SpMV (paper Section 3.1): reuse distances of iteration
+    ``k > 0`` capture cross-iteration reuse, so restricting event counts to
+    the final iteration yields steady-state (warmed-up) behaviour.
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    if iterations == 1:
+        return trace
+    n = len(trace)
+    reps = [trace.iteration + k for k in range(iterations)]
+    return MemoryTrace(
+        np.tile(trace.lines, iterations),
+        np.tile(trace.arrays, iterations),
+        np.tile(trace.threads, iterations),
+        trace.layout,
+        np.tile(trace.is_prefetch, iterations),
+        np.concatenate(reps),
+    )
+
+
+def spmv_thread_trace(
+    matrix: CSRMatrix,
+    layout: MemoryLayout,
+    thread: int,
+    row_begin: int,
+    row_end: int,
+) -> MemoryTrace:
+    """Trace of one thread executing rows ``[row_begin, row_end)``."""
+    if not 0 <= row_begin <= row_end <= matrix.num_rows:
+        raise ValueError("invalid row range")
+    num_rows = row_end - row_begin
+    if num_rows == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return MemoryTrace(empty, empty, empty, layout)
+    rows = np.arange(row_begin, row_end, dtype=np.int64)
+    lengths = matrix.row_lengths[rows]
+    nnz = int(lengths.sum())
+    n = 2 * num_rows + 3 * nnz + 1
+
+    lines = np.empty(n, dtype=np.int64)
+    arrays = np.empty(n, dtype=np.int8)
+
+    # per-row segment offsets: rowptr ref, 3 refs per nonzero, y ref
+    seg = 2 + 3 * lengths
+    row_off = np.zeros(num_rows, dtype=np.int64)
+    np.cumsum(seg[:-1], out=row_off[1:])
+
+    rowptr_pos = row_off
+    y_pos = row_off + 1 + 3 * lengths
+
+    lines[rowptr_pos] = layout.lines_of("rowptr", rows)
+    arrays[rowptr_pos] = ROWPTR
+    lines[y_pos] = layout.lines_of("y", rows)
+    arrays[y_pos] = Y
+
+    if nnz:
+        first_nnz = int(matrix.rowptr[row_begin])
+        nnz_idx = np.arange(first_nnz, first_nnz + nnz, dtype=np.int64)
+        local = np.arange(nnz, dtype=np.int64) - np.repeat(
+            np.concatenate(([0], np.cumsum(lengths[:-1]))), lengths
+        )
+        base = np.repeat(row_off, lengths) + 1 + 3 * local
+        lines[base] = layout.lines_of("values", nnz_idx)
+        arrays[base] = VALUES
+        lines[base + 1] = layout.lines_of("colidx", nnz_idx)
+        arrays[base + 1] = COLIDX
+        lines[base + 2] = layout.lines_of("x", matrix.colidx[nnz_idx])
+        arrays[base + 2] = X
+
+    # trailing access to the final row bound (rowptr[row_end])
+    lines[-1] = layout.lines_of("rowptr", np.array([row_end]))[0]
+    arrays[-1] = ROWPTR
+
+    threads = np.full(n, thread, dtype=np.int32)
+    return MemoryTrace(lines, arrays, threads, layout)
+
+
+def spmv_trace(
+    matrix: CSRMatrix,
+    layout: MemoryLayout | None = None,
+    schedule: RowSchedule | None = None,
+    line_size: int = 256,
+) -> list[MemoryTrace]:
+    """Per-thread traces of a (possibly parallel) SpMV execution.
+
+    With no schedule the whole matrix runs on a single thread.  Each entry
+    is one thread's references in program order; interleave them with
+    :func:`repro.parallel.interleave.interleave` to model a shared cache.
+    """
+    if layout is None:
+        layout = MemoryLayout.for_matrix(matrix, line_size)
+    if schedule is None:
+        schedule = static_schedule(matrix, 1)
+    return [
+        spmv_thread_trace(matrix, layout, t, *schedule.rows_of(t))
+        for t in range(schedule.num_threads)
+    ]
+
+
+def x_only_trace(
+    matrix: CSRMatrix,
+    layout: MemoryLayout | None = None,
+    schedule: RowSchedule | None = None,
+    line_size: int = 256,
+) -> list[MemoryTrace]:
+    """Per-thread traces of only the x-vector references (method B input).
+
+    The x access pattern is fully determined by ``colidx`` in row order;
+    this is the reduced trace of paper Section 3.2.2.
+    """
+    if layout is None:
+        layout = MemoryLayout.for_matrix(matrix, line_size)
+    if schedule is None:
+        schedule = static_schedule(matrix, 1)
+    traces = []
+    for t in range(schedule.num_threads):
+        r0, r1 = schedule.rows_of(t)
+        lo, hi = int(matrix.rowptr[r0]), int(matrix.rowptr[r1])
+        cols = matrix.colidx[lo:hi]
+        lines = layout.lines_of("x", cols)
+        arrays = np.full(lines.shape[0], X, dtype=np.int8)
+        threads = np.full(lines.shape[0], t, dtype=np.int32)
+        traces.append(MemoryTrace(lines, arrays, threads, layout))
+    return traces

@@ -1,0 +1,49 @@
+"""Experiment drivers: one module per table/figure of the paper."""
+
+from .common import (
+    ExperimentSetup,
+    MatrixRecord,
+    collection_records,
+    measure_matrix,
+    run_collection,
+)
+from .figure2 import best_l2_ways, figure2_series, render_figure2
+from .figure3 import figure3_series, headline_numbers, render_figure3
+from .figure4 import class_summary, figure4_points, render_figure4
+from .figure5 import correlation, figure5_points, render_figure5
+from .table1 import Table1Row, render_table1, run_table1
+from .tables23 import (
+    AccuracyRow,
+    accuracy_rows,
+    l1_accuracy,
+    method_overhead,
+    render_accuracy_table,
+)
+
+__all__ = [
+    "AccuracyRow",
+    "ExperimentSetup",
+    "MatrixRecord",
+    "Table1Row",
+    "accuracy_rows",
+    "best_l2_ways",
+    "class_summary",
+    "collection_records",
+    "correlation",
+    "figure2_series",
+    "figure3_series",
+    "figure4_points",
+    "figure5_points",
+    "headline_numbers",
+    "l1_accuracy",
+    "measure_matrix",
+    "method_overhead",
+    "render_accuracy_table",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "render_table1",
+    "run_collection",
+    "run_table1",
+]

@@ -1,0 +1,238 @@
+"""Shared experiment infrastructure.
+
+All tables and figures of the paper derive from the same per-matrix
+measurements: simulated PMU events for a grid of sector configurations,
+model predictions by methods (A) and (B), and performance estimates.
+:func:`measure_matrix` computes one matrix's bundle; :func:`run_collection`
+sweeps a collection with JSON on-disk caching so drivers and benches share
+work across invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..cachesim.events import CacheEvents
+from ..cachesim.hierarchy import SimConfig, SpMVCacheSim
+from ..core.classification import classify
+from ..core.model import CacheMissModel
+from ..machine.a64fx import A64FX, scaled_machine
+from ..machine.perfmodel import PerformanceModel
+from ..matrices.collection import MatrixSpec, collection
+from ..matrices.stats import matrix_stats
+from ..spmv.csr import CSRMatrix
+from ..spmv.sector_policy import SectorPolicy, no_sector_cache
+
+#: L2 way splits evaluated everywhere (0 = sector cache off).
+L2_WAY_OPTIONS: tuple[int, ...] = (0, 2, 3, 4, 5, 6, 7)
+#: L1 way splits of Figure 2/3 (0 = L1 sector cache off).
+L1_WAY_OPTIONS: tuple[int, ...] = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Machine, execution and sweep parameters of one experiment family."""
+
+    scale: int = 16
+    num_threads: int = 48
+    iterations: int = 2
+    l1_prefetch_distance: int = 2
+    l2_prefetch_distance: int = 4
+    l2_way_options: tuple[int, ...] = L2_WAY_OPTIONS
+    l1_way_options: tuple[int, ...] = L1_WAY_OPTIONS
+
+    def machine(self) -> A64FX:
+        return scaled_machine(self.scale) if self.scale > 1 else scaled_machine(1)
+
+    def sim_config(self) -> SimConfig:
+        return SimConfig(
+            num_threads=self.num_threads,
+            iterations=self.iterations,
+            l1_prefetch_distance=self.l1_prefetch_distance,
+            l2_prefetch_distance=self.l2_prefetch_distance,
+        )
+
+    def cache_key(self, matrix_name: str) -> str:
+        payload = json.dumps(
+            ["v5", matrix_name, self.scale, self.num_threads, self.iterations,
+             self.l1_prefetch_distance, self.l2_prefetch_distance,
+             list(self.l2_way_options), list(self.l1_way_options)],
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+def _policy(setup: ExperimentSetup, l2w: int, l1w: int) -> SectorPolicy:
+    if l2w == 0 and l1w == 0:
+        return no_sector_cache()
+    return SectorPolicy(l2_sector1_ways=l2w, l1_sector1_ways=l1w)
+
+
+def _config_key(l2w: int, l1w: int) -> str:
+    return f"{l2w},{l1w}"
+
+
+@dataclass
+class MatrixRecord:
+    """One matrix's full measurement/prediction bundle (JSON-serialisable)."""
+
+    name: str
+    num_rows: int
+    num_cols: int
+    nnz: int
+    mean_nnz_per_row: float
+    cv_nnz_per_row: float
+    x_bytes: int
+    working_set_bytes: int
+    threads: int
+    #: Section 3.1 class per L2 way split, e.g. {"5": "2"}
+    classes: dict[str, str] = field(default_factory=dict)
+    #: simulated events per "(l2w,l1w)" key
+    measured: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: method A / B predicted L2 misses per L2 way split key
+    model_a: dict[str, int] = field(default_factory=dict)
+    model_b: dict[str, int] = field(default_factory=dict)
+    #: method A / B predicted L1 misses (sector cache off)
+    model_a_l1: int = 0
+    model_b_l1: int = 0
+    #: modelled runtime (seconds) and Gflop/s per "(l2w,l1w)" key
+    perf: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: wall-clock seconds spent in methods A and B (Section 4.5.1)
+    model_a_seconds: float = 0.0
+    model_b_seconds: float = 0.0
+
+    def events(self, l2w: int, l1w: int = 0) -> CacheEvents:
+        raw = self.measured[_config_key(l2w, l1w)]
+        return CacheEvents(**{k: v for k, v in raw.items()})
+
+    def l2_misses(self, l2w: int, l1w: int = 0) -> int:
+        return self.measured[_config_key(l2w, l1w)]["l2_refill"]
+
+    def demand_misses(self, l2w: int, l1w: int = 0) -> int:
+        return self.measured[_config_key(l2w, l1w)]["l2_refill_demand"]
+
+    def miss_change_percent(self, l2w: int, l1w: int = 0) -> float:
+        base = self.l2_misses(0, 0)
+        return 100.0 * (self.l2_misses(l2w, l1w) - base) / base if base else 0.0
+
+    def demand_change_percent(self, l2w: int, l1w: int = 0) -> float:
+        base = self.demand_misses(0, 0)
+        return (
+            100.0 * (self.demand_misses(l2w, l1w) - base) / base if base else 0.0
+        )
+
+    def speedup(self, l2w: int, l1w: int = 0) -> float:
+        t0 = self.perf[_config_key(0, 0)]["seconds"]
+        t1 = self.perf[_config_key(l2w, l1w)]["seconds"]
+        return t0 / t1
+
+    def gflops(self, l2w: int = 0, l1w: int = 0) -> float:
+        return self.perf[_config_key(l2w, l1w)]["gflops"]
+
+    def matrix_class(self, l2w: int) -> str:
+        return self.classes[str(l2w)]
+
+
+def measure_matrix(
+    matrix: CSRMatrix, setup: ExperimentSetup, perf_model: PerformanceModel | None = None
+) -> MatrixRecord:
+    """Simulate, model and estimate one matrix under a setup."""
+    machine = setup.machine()
+    stats = matrix_stats(matrix)
+    perf_model = perf_model or PerformanceModel(machine)
+    num_cmgs = -(-setup.num_threads // machine.cores_per_cmg)
+    record = MatrixRecord(
+        name=matrix.name,
+        num_rows=matrix.num_rows,
+        num_cols=matrix.num_cols,
+        nnz=matrix.nnz,
+        mean_nnz_per_row=stats.mean_nnz_per_row,
+        cv_nnz_per_row=stats.cv_nnz_per_row,
+        x_bytes=matrix.x_bytes,
+        working_set_bytes=matrix.total_bytes,
+        threads=setup.num_threads,
+    )
+    for l2w in setup.l2_way_options:
+        record.classes[str(l2w)] = classify(matrix, machine, l2w, num_cmgs).value
+
+    sim = SpMVCacheSim(matrix, machine, setup.sim_config())
+    for l1w in setup.l1_way_options:
+        for l2w in setup.l2_way_options:
+            if l1w > 0 and l2w == 0:
+                continue  # the paper never enables L1 sectors alone
+            events = sim.events(_policy(setup, l2w, l1w))
+            key = _config_key(l2w, l1w)
+            record.measured[key] = {
+                "l1_refill": events.l1_refill,
+                "l2_refill": events.l2_refill,
+                "l2_refill_demand": events.l2_refill_demand,
+                "l2_refill_prefetch": events.l2_refill_prefetch,
+                "l2_writeback": events.l2_writeback,
+            }
+            est = perf_model.estimate(matrix, events, setup.num_threads)
+            record.perf[key] = {"seconds": est.seconds, "gflops": est.gflops}
+
+    model = CacheMissModel(
+        matrix, machine, num_threads=setup.num_threads, iterations=setup.iterations
+    )
+    t0 = time.perf_counter()
+    for l2w in setup.l2_way_options:
+        record.model_a[str(l2w)] = model.predict(_policy(setup, l2w, 0), "A").l2_misses
+    record.model_a_l1 = model.predict_l1(no_sector_cache(), "A").l2_misses
+    t1 = time.perf_counter()
+    for l2w in setup.l2_way_options:
+        record.model_b[str(l2w)] = model.predict(_policy(setup, l2w, 0), "B").l2_misses
+    record.model_b_l1 = model.predict_l1(no_sector_cache(), "B").l2_misses
+    t2 = time.perf_counter()
+    record.model_a_seconds = t1 - t0
+    record.model_b_seconds = t2 - t1
+    return record
+
+
+def run_collection(
+    specs: list[MatrixSpec],
+    setup: ExperimentSetup,
+    cache_dir: str | Path | None = ".repro_cache",
+    verbose: bool = False,
+) -> list[MatrixRecord]:
+    """Measurement bundles for a list of matrix specs, with disk caching."""
+    records = []
+    cache_path = Path(cache_dir) if cache_dir else None
+    if cache_path:
+        cache_path.mkdir(parents=True, exist_ok=True)
+    for i, spec in enumerate(specs):
+        entry = cache_path / f"{setup.cache_key(spec.name)}.json" if cache_path else None
+        if entry and entry.exists():
+            records.append(MatrixRecord(**json.loads(entry.read_text())))
+            continue
+        matrix = spec.materialize()
+        started = time.perf_counter()
+        record = measure_matrix(matrix, setup)
+        if verbose:
+            print(
+                f"[{i + 1}/{len(specs)}] {spec.name}: nnz={matrix.nnz} "
+                f"({time.perf_counter() - started:.1f}s)"
+            )
+        if entry:
+            entry.write_text(json.dumps(asdict(record)))
+        records.append(record)
+    return records
+
+
+def collection_records(
+    size: str = "small",
+    setup: ExperimentSetup | None = None,
+    cache_dir: str | Path | None = ".repro_cache",
+    limit: int | None = None,
+    verbose: bool = False,
+) -> list[MatrixRecord]:
+    """Records for the named synthetic collection (the usual entry point)."""
+    setup = setup or ExperimentSetup()
+    specs = collection(size, machine=setup.machine())
+    if limit is not None:
+        specs = specs[:limit]
+    return run_collection(specs, setup, cache_dir, verbose=verbose)

@@ -1,0 +1,51 @@
+"""Figure 2: distribution of L2 cache-miss change per sector configuration.
+
+Boxplots over the collection of the relative difference in L2 cache misses
+(48-thread SpMV) between each sector configuration — L2 ways 2-6 for the
+non-reusable data, combined with L1 sector off or 1-3 ways — and the
+baseline without the sector cache.  Negative = fewer misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.boxstats import BoxStats, box_stats, render_box_table
+from .common import MatrixRecord
+
+L2_WAYS = (2, 3, 4, 5, 6)
+L1_WAYS = (0, 1, 2, 3)
+
+
+def figure2_series(
+    records: list[MatrixRecord],
+    l2_ways: tuple[int, ...] = L2_WAYS,
+    l1_ways: tuple[int, ...] = L1_WAYS,
+) -> dict[tuple[int, int], BoxStats]:
+    """Boxplot stats of the L2 miss change, keyed by (L2 ways, L1 ways)."""
+    out = {}
+    for l1w in l1_ways:
+        for l2w in l2_ways:
+            changes = np.array([r.miss_change_percent(l2w, l1w) for r in records])
+            out[(l2w, l1w)] = box_stats(changes)
+    return out
+
+
+def render_figure2(series: dict[tuple[int, int], BoxStats]) -> str:
+    rows = []
+    for (l2w, l1w), stats in sorted(series.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        l1_label = "none" if l1w == 0 else str(l1w)
+        rows.append((f"L2 ways {l2w}, L1 ways {l1_label}", stats))
+    return (
+        "Figure 2: difference in L2 cache misses vs no-sector baseline [%]\n"
+        + render_box_table(rows, "negative = fewer misses")
+    )
+
+
+def best_l2_ways(series: dict[tuple[int, int], BoxStats]) -> int:
+    """The L2 way count with the lowest median miss change (L1 off).
+
+    The paper finds 4-5 ways best (Section 4.3).
+    """
+    candidates = {l2w: s for (l2w, l1w), s in series.items() if l1w == 0}
+    return min(candidates, key=lambda w: candidates[w].median)

@@ -1,0 +1,53 @@
+"""Figure 3: distribution of SpMV speedup per sector configuration.
+
+Boxplots over the collection of the (modelled) speedup of each sector
+configuration — L2 ways 2-6, L1 sector off / 1 / 2 ways — over the
+no-sector baseline, 48 threads.  The paper's headline numbers: 5 L2 ways
+is best overall, median speedup ~1.05x, maximum ~1.6x, and enabling the
+L1 sector cache degrades performance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.boxstats import BoxStats, box_stats, render_box_table
+from .common import MatrixRecord
+
+L2_WAYS = (2, 3, 4, 5, 6)
+L1_WAYS = (0, 1, 2)
+
+
+def figure3_series(
+    records: list[MatrixRecord],
+    l2_ways: tuple[int, ...] = L2_WAYS,
+    l1_ways: tuple[int, ...] = L1_WAYS,
+) -> dict[tuple[int, int], BoxStats]:
+    """Boxplot stats of speedups, keyed by (L2 ways, L1 ways)."""
+    out = {}
+    for l1w in l1_ways:
+        for l2w in l2_ways:
+            speedups = np.array([r.speedup(l2w, l1w) for r in records])
+            out[(l2w, l1w)] = box_stats(speedups)
+    return out
+
+
+def render_figure3(series: dict[tuple[int, int], BoxStats]) -> str:
+    rows = []
+    for (l2w, l1w), stats in sorted(series.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        l1_label = "no" if l1w == 0 else str(l1w)
+        rows.append((f"L2 ways {l2w}, {l1_label} L1 ways", stats))
+    return "Figure 3: SpMV speedup over no-sector baseline\n" + render_box_table(
+        rows, "1.0 = baseline"
+    )
+
+
+def headline_numbers(records: list[MatrixRecord], l2_ways: int = 5) -> dict[str, float]:
+    """The paper's summary stats for the best configuration (5 L2 ways)."""
+    speedups = np.array([r.speedup(l2_ways, 0) for r in records])
+    return {
+        "median_speedup": float(np.median(speedups)),
+        "max_speedup": float(speedups.max()),
+        "fraction_at_or_above_baseline": float((speedups >= 1.0).mean()),
+        "fraction_10pct_or_more": float((speedups >= 1.10).mean()),
+    }

@@ -1,0 +1,50 @@
+"""Figure 4: speedup versus vector size, by matrix class.
+
+Scatter of the 5-L2-way speedup against the number of matrix columns
+(i.e. the x-vector size), with each matrix labelled by its Section-3.1
+class.  The paper's reading: class (1) hugs 1.0, class (2) holds the
+biggest speedups, class (3) tapers off as ever less of x fits the large
+partition.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..analysis.report import render_series
+from .common import MatrixRecord
+
+
+def figure4_points(
+    records: list[MatrixRecord], l2_ways: int = 5
+) -> dict[str, list[tuple[int, float]]]:
+    """(columns, speedup) scatter points grouped by matrix class."""
+    out: dict[str, list[tuple[int, float]]] = defaultdict(list)
+    for r in records:
+        out[r.matrix_class(l2_ways)].append((r.num_cols, r.speedup(l2_ways, 0)))
+    return {k: sorted(v) for k, v in out.items()}
+
+
+def render_figure4(points: dict[str, list[tuple[int, float]]]) -> str:
+    blocks = ["Figure 4: speedup vs matrix columns, sector cache with 5 L2 ways"]
+    for cls in sorted(points):
+        blocks.append(
+            render_series(f"class ({cls})", points[cls], "columns", "speedup")
+        )
+    return "\n".join(blocks)
+
+
+def class_summary(points: dict[str, list[tuple[int, float]]]) -> dict[str, dict[str, float]]:
+    """Median / max speedup per class — the paper's qualitative claims."""
+    out = {}
+    for cls, pts in points.items():
+        speedups = np.array([s for _, s in pts])
+        out[cls] = {
+            "count": float(speedups.size),
+            "median": float(np.median(speedups)),
+            "max": float(speedups.max()),
+            "min": float(speedups.min()),
+        }
+    return out

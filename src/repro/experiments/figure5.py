@@ -1,0 +1,68 @@
+"""Figure 5: speedup versus change in L2 demand misses.
+
+Scatter (5 L2 ways, matrices whose working set exceeds the L2) of speedup
+against the relative change in L2 *demand* misses after enabling the
+sector cache.  The paper's reading: speedups come with demand-miss
+reductions; the top speedups (1.2x+) show 30-80 % fewer demand misses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..analysis.report import render_series
+from ..machine.a64fx import A64FX
+from .common import MatrixRecord
+
+
+def figure5_points(
+    records: list[MatrixRecord],
+    machine: A64FX,
+    l2_ways: int = 5,
+) -> dict[str, list[tuple[float, float]]]:
+    """(demand-miss change %, speedup) points by class, classes (2)-(3b).
+
+    Class-(1) matrices are excluded like in the paper (working set below
+    the cache, demand misses dominated by noise).
+    """
+    out: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for r in records:
+        cls = r.matrix_class(l2_ways)
+        if cls == "1":
+            continue
+        out[cls].append((r.demand_change_percent(l2_ways, 0), r.speedup(l2_ways, 0)))
+    return {k: sorted(v) for k, v in out.items()}
+
+
+def render_figure5(points: dict[str, list[tuple[float, float]]]) -> str:
+    blocks = [
+        "Figure 5: speedup vs difference in L2 demand misses [%], 5 L2 ways"
+    ]
+    for cls in sorted(points):
+        blocks.append(
+            render_series(
+                f"class ({cls})", points[cls], "demand-miss change %", "speedup"
+            )
+        )
+    return "\n".join(blocks)
+
+
+def correlation(points: dict[str, list[tuple[float, float]]]) -> float:
+    """Pearson correlation between demand-miss change and speedup.
+
+    The paper reports a strong negative relationship (fewer demand misses,
+    more speedup).
+    """
+    xs, ys = [], []
+    for pts in points.values():
+        for x, y in pts:
+            xs.append(x)
+            ys.append(y)
+    if len(xs) < 2:
+        return 0.0
+    xs_arr, ys_arr = np.array(xs), np.array(ys)
+    if xs_arr.std() == 0 or ys_arr.std() == 0:
+        return 0.0
+    return float(np.corrcoef(xs_arr, ys_arr)[0, 1])

@@ -1,0 +1,99 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments --exp table1
+    python -m repro.experiments --exp figure2 --collection small
+    python -m repro.experiments --exp all --collection full --cache .repro_cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .common import ExperimentSetup, collection_records
+from .figure2 import figure2_series, render_figure2
+from .figure3 import figure3_series, headline_numbers, render_figure3
+from .figure4 import class_summary, figure4_points, render_figure4
+from .figure5 import correlation, figure5_points, render_figure5
+from .table1 import render_table1, run_table1
+from .tables23 import (
+    accuracy_rows,
+    l1_accuracy,
+    method_overhead,
+    render_accuracy_table,
+)
+
+EXPERIMENTS = ("table1", "table2", "table3", "figure2", "figure3", "figure4", "figure5", "overhead")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--exp", choices=EXPERIMENTS + ("all",), default="all")
+    parser.add_argument("--collection", choices=("tiny", "small", "full"), default="small")
+    parser.add_argument("--limit", type=int, default=None, help="cap the matrix count")
+    parser.add_argument("--cache", default=".repro_cache", help="'' disables caching")
+    parser.add_argument("--scale", type=int, default=16, help="machine scale factor")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    cache = args.cache or None
+    wanted = EXPERIMENTS if args.exp == "all" else (args.exp,)
+
+    if "table1" in wanted:
+        print(render_table1(run_table1()))
+        print()
+
+    parallel_setup = ExperimentSetup(scale=args.scale, num_threads=48)
+    needs_parallel = {"table3", "figure2", "figure3", "figure4", "figure5", "overhead"}
+    if needs_parallel & set(wanted):
+        records = collection_records(
+            args.collection, parallel_setup, cache, limit=args.limit, verbose=args.verbose
+        )
+        machine = parallel_setup.machine()
+        if "figure2" in wanted:
+            print(render_figure2(figure2_series(records)))
+            print()
+        if "figure3" in wanted:
+            print(render_figure3(figure3_series(records)))
+            print("headline:", headline_numbers(records))
+            print()
+        if "figure4" in wanted:
+            points = figure4_points(records)
+            print(render_figure4(points))
+            print("per-class summary:", class_summary(points))
+            print()
+        if "figure5" in wanted:
+            points = figure5_points(records, machine)
+            print(render_figure5(points))
+            print(f"correlation(demand-miss change, speedup) = {correlation(points):.3f}")
+            print()
+        if "table3" in wanted:
+            rows = accuracy_rows(records, machine, parallel=True)
+            print(render_accuracy_table(
+                rows, "Table 3: L2 miss prediction error, parallel SpMV (48 threads)"
+            ))
+            print(l1_accuracy(records, machine, parallel=True))
+            print()
+        if "overhead" in wanted:
+            print("Section 4.5.1 overhead:", method_overhead(records))
+            print()
+
+    if "table2" in wanted:
+        sequential = ExperimentSetup(scale=args.scale, num_threads=1)
+        records = collection_records(
+            args.collection, sequential, cache, limit=args.limit, verbose=args.verbose
+        )
+        machine = sequential.machine()
+        rows = accuracy_rows(records, machine, parallel=False)
+        print(render_accuracy_table(
+            rows, "Table 2: L2 miss prediction error, sequential SpMV"
+        ))
+        print(l1_accuracy(records, machine, parallel=False))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

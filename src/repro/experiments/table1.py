@@ -1,0 +1,74 @@
+"""Table 1: SpMV performance of 18 named matrices, ours vs. Alappat et al.
+
+The paper's Table 1 lists Gflop/s of CSR SpMV with 48 threads and no
+sector cache.  Offline we run the synthetic proxies through the simulated
+testbed and the performance model, printing the modelled Gflop/s next to
+both published columns.  The published numbers are reference constants —
+the reproduction target is the *spread* (5-120 Gflop/s driven by locality)
+and the relative ordering, not absolute agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.report import render_table
+from ..machine.perfmodel import PerformanceModel
+from ..matrices.table1 import TABLE1, Table1Entry
+from .common import ExperimentSetup, measure_matrix
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    name: str
+    rows_published: int
+    nnz_published: int
+    gflops_ours: float
+    gflops_paper: float
+    gflops_alappat: float
+
+
+def run_table1(
+    setup: ExperimentSetup | None = None,
+    proxy_scale: int | None = None,
+    entries: tuple[Table1Entry, ...] = TABLE1,
+) -> list[Table1Row]:
+    """Measure every Table-1 proxy and model its full-machine Gflop/s."""
+    setup = setup or ExperimentSetup(
+        l2_way_options=(0,), l1_way_options=(0,)  # Table 1 runs without sectors
+    )
+    machine = setup.machine()
+    perf = PerformanceModel(machine)
+    rows = []
+    for entry in entries:
+        matrix = entry.proxy(proxy_scale)
+        record = measure_matrix(matrix, setup, perf_model=perf)
+        rows.append(
+            Table1Row(
+                name=entry.name,
+                rows_published=entry.rows,
+                nnz_published=entry.nnz,
+                gflops_ours=record.gflops(0, 0),
+                gflops_paper=entry.gflops_paper,
+                gflops_alappat=entry.gflops_alappat,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    return render_table(
+        ["Matrix", "Rows", "Nonzeros", "Gflop/s (model)", "Gflop/s (paper)", "Gflop/s [1]"],
+        [
+            (
+                r.name,
+                f"{r.rows_published / 1e6:.3f}M",
+                f"{r.nnz_published / 1e6:.1f}M",
+                f"{r.gflops_ours:.1f}",
+                f"{r.gflops_paper:.1f}",
+                f"{r.gflops_alappat:.1f}",
+            )
+            for r in rows
+        ],
+        title="Table 1: CSR SpMV, 48 threads, sector cache disabled",
+    )

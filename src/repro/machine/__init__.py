@@ -1,0 +1,5 @@
+"""Machine models: A64FX geometry and the ECM-style performance model."""
+
+from .a64fx import A64FX, CacheGeometry, full_machine, scaled_machine
+
+__all__ = ["A64FX", "CacheGeometry", "full_machine", "scaled_machine"]

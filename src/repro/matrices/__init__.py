@@ -1,0 +1,40 @@
+"""Matrix substrate: generators, collections, reordering, stats, I/O."""
+
+from .collection import MatrixSpec, collection, iter_matrices
+from .generators import (
+    banded,
+    block_diagonal,
+    diagonal_plus_random,
+    power_law,
+    random_uniform,
+    rmat,
+    stencil_2d,
+    stencil_3d,
+)
+from .mmio import read_matrix_market, write_matrix_market
+from .rcm import rcm_permutation, rcm_reorder
+from .stats import MatrixStats, matrix_stats, meets_method_b_regularity
+from .table1 import TABLE1, Table1Entry, table1_entry
+
+__all__ = [
+    "MatrixSpec",
+    "MatrixStats",
+    "TABLE1",
+    "Table1Entry",
+    "banded",
+    "block_diagonal",
+    "collection",
+    "diagonal_plus_random",
+    "iter_matrices",
+    "matrix_stats",
+    "meets_method_b_regularity",
+    "power_law",
+    "random_uniform",
+    "rcm_permutation",
+    "rcm_reorder",
+    "read_matrix_market",
+    "stencil_2d",
+    "stencil_3d",
+    "table1_entry",
+    "write_matrix_market",
+]

@@ -1,0 +1,236 @@
+"""Synthetic sparse-matrix generators.
+
+The paper evaluates on 490 SuiteSparse matrices spanning structural FEM
+problems, circuit simulation, optimisation (KKT systems), graphs and
+meshes.  Offline, those families are reproduced generatively; each
+generator targets the structural property that matters for SpMV locality:
+
+* bandwidth (how far column indices stray from the diagonal),
+* nonzeros per row (mean and coefficient of variation),
+* block structure (dense sub-blocks → spatial locality in x),
+* randomness (long reuse distances for x).
+
+All generators are deterministic given a seed and return
+:class:`repro.spmv.csr.CSRMatrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spmv.csr import CSRMatrix
+
+
+def banded(
+    n: int, bandwidth: int, nnz_per_row: int, seed: int = 0, name: str = ""
+) -> CSRMatrix:
+    """Band matrix: nonzeros uniform in ``[i - bandwidth, i + bandwidth]``.
+
+    Models FEM stiffness matrices after a good ordering (pwtk, af_shell):
+    excellent x locality once the band fits in cache.
+    """
+    _check(n > 0, "n must be positive")
+    _check(bandwidth >= 0, "bandwidth must be non-negative")
+    _check(nnz_per_row > 0, "nnz_per_row must be positive")
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n, dtype=np.int64), nnz_per_row)
+    offsets = rng.integers(-bandwidth, bandwidth + 1, rows.shape[0])
+    cols = np.clip(rows + offsets, 0, n - 1)
+    return CSRMatrix.from_coo(n, n, rows, cols, name=name or f"banded_n{n}_b{bandwidth}")
+
+
+def block_diagonal(
+    n: int, block_size: int, fill: float = 1.0, seed: int = 0, name: str = ""
+) -> CSRMatrix:
+    """Dense (or nearly dense) blocks along the diagonal.
+
+    Models matrices assembled from dense element blocks (pdb1HYS,
+    shipsec1): very high nonzeros per row and near-perfect x reuse inside
+    a block.
+    """
+    _check(n > 0 and block_size > 0, "n and block_size must be positive")
+    _check(0.0 < fill <= 1.0, "fill must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    num_blocks = -(-n // block_size)
+    rows_parts, cols_parts = [], []
+    for b in range(num_blocks):
+        lo = b * block_size
+        hi = min(lo + block_size, n)
+        size = hi - lo
+        r, c = np.meshgrid(np.arange(lo, hi), np.arange(lo, hi), indexing="ij")
+        r, c = r.ravel(), c.ravel()
+        if fill < 1.0:
+            keep = rng.random(r.shape[0]) < fill
+            keep |= r == c  # keep the diagonal so no row is empty
+            r, c = r[keep], c[keep]
+        rows_parts.append(r)
+        cols_parts.append(c)
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    return CSRMatrix.from_coo(
+        n, n, rows, cols, name=name or f"blockdiag_n{n}_b{block_size}"
+    )
+
+
+def stencil_2d(nx: int, ny: int, points: int = 5, name: str = "") -> CSRMatrix:
+    """2-D structured-grid stencil (5- or 9-point) on an nx-by-ny grid.
+
+    Models discretised PDEs (G3_circuit-like regularity): bandwidth ~ nx,
+    exactly repeating access pattern.
+    """
+    _check(nx > 0 and ny > 0, "grid dimensions must be positive")
+    if points == 5:
+        offsets = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+    elif points == 9:
+        offsets = [(di, dj) for di in (-1, 0, 1) for dj in (-1, 0, 1)]
+    else:
+        raise ValueError("points must be 5 or 9")
+    return _stencil_grid((nx, ny), offsets, name or f"stencil{points}_{nx}x{ny}")
+
+
+def stencil_3d(nx: int, ny: int, nz: int, points: int = 7, name: str = "") -> CSRMatrix:
+    """3-D structured-grid stencil (7- or 27-point)."""
+    _check(nx > 0 and ny > 0 and nz > 0, "grid dimensions must be positive")
+    if points == 7:
+        offsets = [(0, 0, 0), (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
+    elif points == 27:
+        offsets = [
+            (di, dj, dk)
+            for di in (-1, 0, 1)
+            for dj in (-1, 0, 1)
+            for dk in (-1, 0, 1)
+        ]
+    else:
+        raise ValueError("points must be 7 or 27")
+    return _stencil_grid((nx, ny, nz), offsets, name or f"stencil{points}_{nx}x{ny}x{nz}")
+
+
+def _stencil_grid(dims: tuple[int, ...], offsets: list[tuple[int, ...]], name: str) -> CSRMatrix:
+    n = int(np.prod(dims))
+    coords = np.unravel_index(np.arange(n, dtype=np.int64), dims)
+    rows_parts, cols_parts = [], []
+    for off in offsets:
+        shifted = [c + o for c, o in zip(coords, off)]
+        valid = np.ones(n, dtype=bool)
+        for s, d in zip(shifted, dims):
+            valid &= (s >= 0) & (s < d)
+        col = np.ravel_multi_index([s[valid] for s in shifted], dims)
+        rows_parts.append(np.arange(n, dtype=np.int64)[valid])
+        cols_parts.append(col)
+    return CSRMatrix.from_coo(
+        n, n, np.concatenate(rows_parts), np.concatenate(cols_parts), name=name
+    )
+
+
+def random_uniform(
+    n: int, nnz_per_row: int, seed: int = 0, num_cols: int | None = None, name: str = ""
+) -> CSRMatrix:
+    """Uniform random columns: the worst case for x locality.
+
+    Models low-locality meshes and graphs (delaunay_n24-like behaviour):
+    every x access is effectively a random cache line.
+    """
+    _check(n > 0 and nnz_per_row > 0, "n and nnz_per_row must be positive")
+    num_cols = n if num_cols is None else num_cols
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n, dtype=np.int64), nnz_per_row)
+    cols = rng.integers(0, num_cols, rows.shape[0])
+    return CSRMatrix.from_coo(n, num_cols, rows, cols, name=name or f"random_n{n}_k{nnz_per_row}")
+
+
+def power_law(
+    n: int,
+    avg_nnz_per_row: float,
+    exponent: float = 2.0,
+    seed: int = 0,
+    name: str = "",
+) -> CSRMatrix:
+    """Power-law row lengths with random columns (circuit/graph matrices).
+
+    Models Hamrle3/kkt_power-like skew: few very dense rows, many sparse
+    ones — high coefficient of variation of nonzeros per row, the regime
+    where the paper expects method (B) to lose accuracy.
+    """
+    _check(n > 0 and avg_nnz_per_row > 0, "n and avg_nnz_per_row must be positive")
+    _check(exponent > 1.0, "exponent must exceed 1")
+    rng = np.random.default_rng(seed)
+    raw = rng.pareto(exponent - 1.0, n) + 1.0
+    lengths = np.maximum(1, np.round(raw * avg_nnz_per_row / raw.mean()).astype(np.int64))
+    lengths = np.minimum(lengths, n)
+    rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+    cols = rng.integers(0, n, rows.shape[0])
+    return CSRMatrix.from_coo(n, n, rows, cols, name=name or f"powerlaw_n{n}")
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    probabilities: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: int = 0,
+    name: str = "",
+) -> CSRMatrix:
+    """Recursive-matrix (R-MAT/Kronecker) graph generator.
+
+    Models social/web graph adjacency matrices: power-law degrees plus
+    community block structure, 2**scale vertices.
+    """
+    _check(0 < scale < 31, "scale must be in (0, 31)")
+    _check(edge_factor > 0, "edge_factor must be positive")
+    a, b, c, d = probabilities
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ValueError("probabilities must sum to 1")
+    n = 1 << scale
+    num_edges = n * edge_factor
+    rng = np.random.default_rng(seed)
+    rows = np.zeros(num_edges, dtype=np.int64)
+    cols = np.zeros(num_edges, dtype=np.int64)
+    for _ in range(scale):
+        r = rng.random(num_edges)
+        quad_b = (r >= a) & (r < a + b)
+        quad_c = (r >= a + b) & (r < a + b + c)
+        quad_d = r >= a + b + c
+        rows = 2 * rows + (quad_c | quad_d)
+        cols = 2 * cols + (quad_b | quad_d)
+    # make every row non-empty by adding the diagonal
+    diag = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([rows, diag])
+    cols = np.concatenate([cols, diag])
+    return CSRMatrix.from_coo(n, n, rows, cols, name=name or f"rmat_s{scale}")
+
+
+def diagonal_plus_random(
+    n: int,
+    band_nnz: int,
+    random_nnz: int,
+    bandwidth: int | None = None,
+    seed: int = 0,
+    name: str = "",
+) -> CSRMatrix:
+    """Narrow band plus uniform random fill (optimisation/KKT-like).
+
+    Mixes a local, cache-friendly component with scattered long-range
+    entries — the combination where sector-cache benefit peaks.
+    """
+    _check(n > 0 and band_nnz >= 0 and random_nnz >= 0, "sizes must be non-negative")
+    _check(band_nnz + random_nnz > 0, "matrix would be empty")
+    rng = np.random.default_rng(seed)
+    bandwidth = max(1, n // 1000) if bandwidth is None else bandwidth
+    parts_r, parts_c = [], []
+    if band_nnz:
+        r = np.repeat(np.arange(n, dtype=np.int64), band_nnz)
+        c = np.clip(r + rng.integers(-bandwidth, bandwidth + 1, r.shape[0]), 0, n - 1)
+        parts_r.append(r)
+        parts_c.append(c)
+    if random_nnz:
+        r = np.repeat(np.arange(n, dtype=np.int64), random_nnz)
+        parts_r.append(r)
+        parts_c.append(rng.integers(0, n, r.shape[0]))
+    return CSRMatrix.from_coo(
+        n, n, np.concatenate(parts_r), np.concatenate(parts_c),
+        name=name or f"diagrand_n{n}",
+    )
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)

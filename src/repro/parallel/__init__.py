@@ -1,0 +1,6 @@
+"""Parallelism substrate: trace interleaving and the MCS-lock collator."""
+
+from .interleave import interleave
+from .mcs import MCSLock, collate_fifo
+
+__all__ = ["MCSLock", "collate_fifo", "interleave"]

@@ -1,0 +1,24 @@
+"""Reuse-distance engine: exact and approximate stack processing."""
+
+from .cdq import hit_mask, miss_count, reuse_distances
+from .fenwick import FenwickTree, compute_prev, reuse_distances_fenwick
+from .histogram import ReuseProfile, scale_distances
+from .kim import reuse_distances_kim
+from .naive import COLD, reuse_distances_naive
+from .sampling import SampledProfile, sample_reuse_distances
+
+__all__ = [
+    "COLD",
+    "FenwickTree",
+    "ReuseProfile",
+    "SampledProfile",
+    "compute_prev",
+    "hit_mask",
+    "miss_count",
+    "reuse_distances",
+    "reuse_distances_fenwick",
+    "reuse_distances_kim",
+    "reuse_distances_naive",
+    "sample_reuse_distances",
+    "scale_distances",
+]

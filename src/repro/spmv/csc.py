@@ -1,0 +1,120 @@
+"""Compressed Sparse Column (CSC) storage and SpMV kernels.
+
+The paper's conclusion proposes extending the miss-estimation method to
+other kernels; CSC SpMV is the canonical dual of CSR: the roles of the
+vectors swap (``x`` is streamed once per column, ``y`` is updated through
+indirect accesses), so the sector-cache question inverts — now the
+*output* vector's locality decides whether partitioning pays off.
+
+Element sizes mirror the CSR convention (8-byte values/pointers, 4-byte
+indices) so the analytic miss terms carry over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """A sparse matrix in CSC format.
+
+    ``colptr[c]:colptr[c+1]`` index the nonzeros of column ``c`` in
+    ``rowidx``/``values``.
+    """
+
+    num_rows: int
+    num_cols: int
+    colptr: np.ndarray
+    rowidx: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "colptr", np.ascontiguousarray(self.colptr, dtype=np.int64))
+        object.__setattr__(self, "rowidx", np.ascontiguousarray(self.rowidx, dtype=np.int32))
+        object.__setattr__(self, "values", np.ascontiguousarray(self.values, dtype=np.float64))
+        if self.colptr.shape != (self.num_cols + 1,):
+            raise ValueError("colptr must have length num_cols + 1")
+        if self.colptr[0] != 0 or np.any(np.diff(self.colptr) < 0):
+            raise ValueError("colptr must be non-decreasing and start at 0")
+        nnz = int(self.colptr[-1])
+        if self.rowidx.shape != (nnz,) or self.values.shape != (nnz,):
+            raise ValueError("rowidx/values must have length nnz")
+        if nnz and (self.rowidx.min() < 0 or self.rowidx.max() >= self.num_rows):
+            raise ValueError("row indices out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.colptr[-1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def col_lengths(self) -> np.ndarray:
+        return np.diff(self.colptr)
+
+    @classmethod
+    def from_csr(cls, matrix: CSRMatrix) -> "CSCMatrix":
+        """Convert from CSR (a transpose of the index structure)."""
+        transposed = matrix.transpose()
+        return cls(
+            num_rows=matrix.num_rows,
+            num_cols=matrix.num_cols,
+            colptr=transposed.rowptr,
+            rowidx=transposed.colidx,
+            values=transposed.values,
+            name=matrix.name,
+        )
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR."""
+        as_rows = CSRMatrix(
+            self.num_cols, self.num_rows, self.colptr, self.rowidx, self.values
+        )
+        out = as_rows.transpose()
+        return CSRMatrix(
+            self.num_rows, self.num_cols, out.rowptr, out.colidx, out.values,
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``y + A x`` column-wise (scatter into y)."""
+        if x.shape != (self.num_cols,):
+            raise ValueError(f"x must have shape ({self.num_cols},), got {x.shape}")
+        if y is None:
+            y = np.zeros(self.num_rows, dtype=np.float64)
+        elif y.shape != (self.num_rows,):
+            raise ValueError(f"y must have shape ({self.num_rows},), got {y.shape}")
+        if self.nnz == 0:
+            return y
+        contributions = self.values * np.repeat(x, self.col_lengths)
+        np.add.at(y, self.rowidx, contributions)
+        return y
+
+    def spmv_transposed(self, y_in: np.ndarray, x_out: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``x_out + A^T y_in`` (a gather, CSR-like over columns)."""
+        if y_in.shape != (self.num_rows,):
+            raise ValueError(f"y_in must have shape ({self.num_rows},), got {y_in.shape}")
+        if x_out is None:
+            x_out = np.zeros(self.num_cols, dtype=np.float64)
+        elif x_out.shape != (self.num_cols,):
+            raise ValueError("x_out has the wrong shape")
+        if self.nnz == 0:
+            return x_out
+        products = self.values * y_in[self.rowidx]
+        starts = self.colptr[:-1]
+        nonempty = self.col_lengths > 0
+        if np.all(nonempty):
+            x_out += np.add.reduceat(products, starts)
+        else:
+            idx = np.flatnonzero(nonempty)
+            x_out[idx] += np.add.reduceat(products, starts[idx])
+        return x_out

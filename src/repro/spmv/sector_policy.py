@@ -1,0 +1,109 @@
+"""Sector-cache partitioning policy.
+
+Emulates the semantics of the Fujitsu compiler directives used in the paper
+(Listing 1)::
+
+    #pragma procedure scache_isolate_way L2=N2 [L1=N1]
+    #pragma procedure scache_isolate_assign a colidx
+
+A :class:`SectorPolicy` names the arrays assigned to sector 1 and the number
+of L1/L2 ways given to that sector; everything else lives in sector 0.  The
+trace generator tags each memory reference with its sector ID (the hardware
+encodes it in the top byte of the virtual address; here it is an explicit
+field), and the cache simulator and the partitioned reuse-distance model both
+honour the way split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.a64fx import A64FX
+
+#: The five data structures of the CSR SpMV kernel, by paper name.
+ARRAYS = ("x", "y", "values", "colidx", "rowptr")
+
+#: Default assignment from Listing 1: non-temporal matrix data to sector 1.
+MATRIX_DATA = frozenset({"values", "colidx"})
+
+
+@dataclass(frozen=True)
+class SectorPolicy:
+    """Assignment of SpMV arrays to cache sectors plus the way split.
+
+    ``l2_sector1_ways == 0`` (and likewise for L1) disables partitioning at
+    that level: all data competes for the full cache.
+    """
+
+    sector1_arrays: frozenset[str] = field(default_factory=lambda: MATRIX_DATA)
+    l2_sector1_ways: int = 0
+    l1_sector1_ways: int = 0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.sector1_arrays) - set(ARRAYS)
+        if unknown:
+            raise ValueError(f"unknown arrays in sector 1: {sorted(unknown)}")
+        if self.l2_sector1_ways < 0 or self.l1_sector1_ways < 0:
+            raise ValueError("way counts must be non-negative")
+
+    def validate(self, machine: A64FX) -> None:
+        """Check the way split fits the machine (at least one way per sector)."""
+        if self.l2_sector1_ways and not 1 <= self.l2_sector1_ways <= machine.l2.ways - 1:
+            raise ValueError(
+                f"L2 sector-1 ways must be in [1, {machine.l2.ways - 1}], "
+                f"got {self.l2_sector1_ways}"
+            )
+        if self.l1_sector1_ways and not 1 <= self.l1_sector1_ways <= machine.l1.ways - 1:
+            raise ValueError(
+                f"L1 sector-1 ways must be in [1, {machine.l1.ways - 1}], "
+                f"got {self.l1_sector1_ways}"
+            )
+
+    @property
+    def l2_enabled(self) -> bool:
+        return self.l2_sector1_ways > 0
+
+    @property
+    def l1_enabled(self) -> bool:
+        return self.l1_sector1_ways > 0
+
+    def sector_of(self, array: str) -> int:
+        """Sector ID (0 or 1) of a named array."""
+        if array not in ARRAYS:
+            raise ValueError(f"unknown array {array!r}")
+        return 1 if array in self.sector1_arrays else 0
+
+    def describe(self) -> str:
+        """Human-readable form, close to the FCC pragma."""
+        if not self.l2_enabled and not self.l1_enabled:
+            return "sector cache disabled"
+        ways = f"L2={self.l2_sector1_ways}"
+        if self.l1_enabled:
+            ways += f" L1={self.l1_sector1_ways}"
+        arrays = " ".join(sorted(self.sector1_arrays))
+        return f"scache_isolate_way {ways}; scache_isolate_assign {arrays}"
+
+
+def no_sector_cache() -> SectorPolicy:
+    """Baseline: sector cache disabled at both levels."""
+    return SectorPolicy(l2_sector1_ways=0, l1_sector1_ways=0)
+
+
+def listing1_policy(l2_ways: int, l1_ways: int = 0) -> SectorPolicy:
+    """The paper's policy: values+colidx isolated with the given way counts."""
+    return SectorPolicy(
+        sector1_arrays=MATRIX_DATA, l2_sector1_ways=l2_ways, l1_sector1_ways=l1_ways
+    )
+
+
+def isolate_x_policy(l2_ways: int, l1_ways: int = 0) -> SectorPolicy:
+    """Section 3.1's alternative: everything except ``x`` in sector 1.
+
+    For class-(3) matrices the paper suggests also assigning ``rowptr`` and
+    ``y`` to the small partition, leaving a maximal partition for ``x``.
+    """
+    return SectorPolicy(
+        sector1_arrays=frozenset({"values", "colidx", "rowptr", "y"}),
+        l2_sector1_ways=l2_ways,
+        l1_sector1_ways=l1_ways,
+    )

@@ -1,0 +1,187 @@
+"""SELL-C-sigma sparse storage and SpMV kernel.
+
+The paper's related work notes that Alappat et al. found SELL-C-sigma
+faster than CSR on the A64FX but did not study it with the sector cache,
+and names "other sparse matrix storage formats" as future work.  This
+module provides the format so that study can be run on the simulated
+testbed (see ``benchmarks/bench_ablation_sellcs.py``).
+
+SELL-C-sigma (Kreutzer et al.) packs rows into *chunks* of C rows, each
+stored column-major and padded to the chunk's longest row; rows are sorted
+by descending length inside windows of sigma rows first, which keeps
+padding small while disturbing locality only locally.  On SIMD machines C
+matches the vector width; the A64FX's 512-bit SVE gives C = 8 doubles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class SellCSigmaMatrix:
+    """A sparse matrix in SELL-C-sigma format.
+
+    Attributes
+    ----------
+    chunk_size:
+        C — rows per chunk (the SIMD width).
+    sigma:
+        The sorting-window size (sigma = 1 disables sorting; sigma = rows
+        is full sorting).
+    chunk_ptr:
+        Start offset of each chunk in ``colidx``/``values``
+        (length ``num_chunks + 1``); chunk ``c`` occupies
+        ``chunk_ptr[c]:chunk_ptr[c+1]`` = ``C * chunk_len[c]`` slots.
+    chunk_len:
+        Width (padded row length) of each chunk.
+    colidx / values:
+        Column indices and values, column-major inside each chunk; padded
+        slots carry column 0 and value 0.
+    row_perm:
+        ``row_perm[i]`` is the original row stored at packed position
+        ``i`` (gather convention, like :meth:`CSRMatrix.permute`).
+    """
+
+    num_rows: int
+    num_cols: int
+    chunk_size: int
+    sigma: int
+    chunk_ptr: np.ndarray
+    chunk_len: np.ndarray
+    colidx: np.ndarray
+    values: np.ndarray
+    row_perm: np.ndarray
+    name: str = ""
+
+    @property
+    def num_chunks(self) -> int:
+        return int(self.chunk_len.shape[0])
+
+    @property
+    def nnz_stored(self) -> int:
+        """Stored slots including padding."""
+        return int(self.colidx.shape[0])
+
+    @property
+    def padding_ratio(self) -> float:
+        """Stored slots per structural nonzero (1.0 = no padding)."""
+        nnz = int(np.count_nonzero(self.values)) if self.nnz_stored else 0
+        # structural zeros may exist; recompute from the builder's count
+        return self.nnz_stored / max(self._structural_nnz, 1)
+
+    @property
+    def _structural_nnz(self) -> int:
+        # padded slots always hold value 0 AND column 0; count real slots
+        # via the per-chunk row lengths recorded at build time
+        return int(self.row_lengths.sum())
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Original (unpadded) nonzero count per packed row position."""
+        return self._row_lengths
+
+    # populated by the builder; dataclass field workaround
+    _row_lengths: np.ndarray = None  # type: ignore[assignment]
+
+    @classmethod
+    def from_csr(
+        cls,
+        matrix: CSRMatrix,
+        chunk_size: int = 8,
+        sigma: int | None = None,
+    ) -> "SellCSigmaMatrix":
+        """Convert a CSR matrix (C = 8 matches the A64FX SVE width)."""
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if sigma is None:
+            sigma = max(chunk_size, 1) * 32
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        n = matrix.num_rows
+        lengths = matrix.row_lengths
+        # sort rows by descending length within sigma windows
+        perm_parts = []
+        for start in range(0, n, sigma):
+            stop = min(start + sigma, n)
+            window = np.arange(start, stop)
+            order = np.argsort(-lengths[window], kind="stable")
+            perm_parts.append(window[order])
+        row_perm = (
+            np.concatenate(perm_parts) if perm_parts else np.empty(0, dtype=np.int64)
+        )
+
+        num_chunks = -(-n // chunk_size) if n else 0
+        chunk_len = np.zeros(num_chunks, dtype=np.int64)
+        packed_lengths = lengths[row_perm] if n else np.empty(0, dtype=np.int64)
+        for c in range(num_chunks):
+            rows = packed_lengths[c * chunk_size : (c + 1) * chunk_size]
+            chunk_len[c] = int(rows.max()) if rows.size else 0
+        chunk_ptr = np.zeros(num_chunks + 1, dtype=np.int64)
+        np.cumsum(chunk_len * chunk_size, out=chunk_ptr[1:])
+
+        colidx = np.zeros(int(chunk_ptr[-1]), dtype=np.int32)
+        values = np.zeros(int(chunk_ptr[-1]), dtype=np.float64)
+        for c in range(num_chunks):
+            width = int(chunk_len[c])
+            base = int(chunk_ptr[c])
+            for lane in range(chunk_size):
+                pos = c * chunk_size + lane
+                if pos >= n:
+                    break
+                src = int(row_perm[pos])
+                lo, hi = int(matrix.rowptr[src]), int(matrix.rowptr[src + 1])
+                count = hi - lo
+                # column-major: slot j of lane sits at base + j*C + lane
+                dst = base + np.arange(count) * chunk_size + lane
+                colidx[dst] = matrix.colidx[lo:hi]
+                values[dst] = matrix.values[lo:hi]
+        out = cls(
+            num_rows=n,
+            num_cols=matrix.num_cols,
+            chunk_size=chunk_size,
+            sigma=sigma,
+            chunk_ptr=chunk_ptr,
+            chunk_len=chunk_len,
+            colidx=colidx,
+            values=values,
+            row_perm=row_perm,
+            name=matrix.name,
+        )
+        object.__setattr__(out, "_row_lengths", packed_lengths)
+        return out
+
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``y + A x`` (result in original row order)."""
+        if x.shape != (self.num_cols,):
+            raise ValueError(f"x must have shape ({self.num_cols},), got {x.shape}")
+        if y is None:
+            y = np.zeros(self.num_rows, dtype=np.float64)
+        elif y.shape != (self.num_rows,):
+            raise ValueError(f"y must have shape ({self.num_rows},), got {y.shape}")
+        C = self.chunk_size
+        for c in range(self.num_chunks):
+            width = int(self.chunk_len[c])
+            base = int(self.chunk_ptr[c])
+            lanes = min(C, self.num_rows - c * C)
+            if width == 0 or lanes <= 0:
+                continue
+            block_cols = self.colidx[base : base + width * C].reshape(width, C)
+            block_vals = self.values[base : base + width * C].reshape(width, C)
+            acc = (block_vals[:, :lanes] * x[block_cols[:, :lanes]]).sum(axis=0)
+            y[self.row_perm[c * C : c * C + lanes]] += acc
+        return y
+
+    def memory_bytes(self) -> int:
+        """Bytes of the stored format (8B values, 4B colidx, 8B chunk_ptr)."""
+        return (
+            8 * self.values.shape[0]
+            + 4 * self.colidx.shape[0]
+            + 8 * (self.chunk_ptr.shape[0] + self.chunk_len.shape[0])
+            + 8 * self.row_perm.shape[0]
+        )

@@ -1,0 +1,100 @@
+"""Analysis utilities: MAPE, boxplot stats, rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    absolute_percentage_errors,
+    box_stats,
+    error_stats,
+    render_box_table,
+    render_series,
+    render_table,
+)
+
+
+def test_mape_matches_eq3():
+    measured = np.array([100.0, 200.0, 400.0])
+    predicted = np.array([110.0, 180.0, 400.0])
+    stats = error_stats(measured, predicted)
+    expected = np.array([10.0, 10.0, 0.0])
+    assert stats.mape == pytest.approx(expected.mean())
+    assert stats.std == pytest.approx(expected.std())
+    assert stats.count == 3
+
+
+def test_ape_rejects_zero_measurements():
+    with pytest.raises(ValueError):
+        absolute_percentage_errors(np.array([0.0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        absolute_percentage_errors(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+def test_perfect_prediction_zero_error():
+    x = np.array([5.0, 9.0])
+    stats = error_stats(x, x)
+    assert stats.mape == 0.0 and stats.std == 0.0
+
+
+def test_empty_error_stats():
+    stats = error_stats(np.empty(0), np.empty(0))
+    assert stats.count == 0 and stats.mape == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.floats(1.0, 1e6), st.floats(0.0, 1e6)), min_size=1, max_size=50
+    )
+)
+def test_mape_non_negative_and_scale_invariant(data):
+    measured = np.array([m for m, _ in data])
+    predicted = np.array([p for _, p in data])
+    stats = error_stats(measured, predicted)
+    assert stats.mape >= 0
+    scaled = error_stats(measured * 7, predicted * 7)
+    assert scaled.mape == pytest.approx(stats.mape, rel=1e-9)
+
+
+def test_box_stats_quartiles():
+    values = np.arange(1, 101, dtype=np.float64)
+    stats = box_stats(values)
+    assert stats.median == pytest.approx(50.5)
+    assert stats.q1 == pytest.approx(25.75)
+    assert stats.q3 == pytest.approx(75.25)
+    assert stats.count == 100
+    assert not stats.outliers
+
+
+def test_box_stats_flags_outliers():
+    values = np.concatenate([np.ones(20), [100.0]])
+    stats = box_stats(values)
+    assert stats.outliers == (100.0,)
+    assert stats.whisker_hi == 1.0
+
+
+def test_box_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        box_stats(np.empty(0))
+
+
+def test_render_box_table_alignment():
+    stats = box_stats(np.array([1.0, 2.0, 3.0]))
+    text = render_box_table([("config A", stats)], "units")
+    assert "config A" in text and "units" in text
+    assert len(text.splitlines()) == 3
+
+
+def test_render_table_basic():
+    text = render_table(["name", "value"], [("a", 1.5), ("bb", 20)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert "1.50" in text and "20" in text
+
+
+def test_render_series():
+    text = render_series("s", [(1, 2.0)], "x", "y")
+    assert "s" in text and "2.00" in text

@@ -1,0 +1,72 @@
+"""Miss-ratio curves and working-set analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.curves import MissRatioCurve, miss_ratio_curve, partition_efficiency
+from repro.reuse import ReuseProfile, reuse_distances
+
+
+def cyclic_profile(working_set=64, repeats=20):
+    trace = np.tile(np.arange(working_set), repeats)
+    return ReuseProfile.from_distances(reuse_distances(trace))
+
+
+def test_curve_is_monotone_decreasing():
+    curve = miss_ratio_curve(cyclic_profile(), max_capacity=256)
+    assert np.all(np.diff(curve.miss_ratios) <= 1e-12)
+    assert curve.miss_ratios[0] > curve.miss_ratios[-1]
+
+
+def test_cyclic_trace_has_knee_at_working_set():
+    # a cyclic scan misses 100% below the working set, ~0 above it
+    curve = miss_ratio_curve(cyclic_profile(64), max_capacity=256, num_points=256,
+                             log_spaced=False)
+    knees = curve.knees(drop_threshold=0.5)
+    assert knees and abs(knees[0] - 64) <= 2
+
+
+def test_ratio_at_step_semantics():
+    curve = MissRatioCurve(np.array([1, 10, 100]), np.array([1.0, 0.5, 0.0]))
+    assert curve.ratio_at(0) == 1.0
+    assert curve.ratio_at(5) == 1.0
+    assert curve.ratio_at(10) == 0.5
+    assert curve.ratio_at(1000) == 0.0
+
+
+def test_curve_validation():
+    with pytest.raises(ValueError):
+        MissRatioCurve(np.array([1, 1]), np.array([1.0, 0.5]))
+    with pytest.raises(ValueError):
+        MissRatioCurve(np.array([1]), np.array([1.0, 0.5]))
+    with pytest.raises(ValueError):
+        miss_ratio_curve(cyclic_profile(), max_capacity=0)
+    with pytest.raises(ValueError):
+        miss_ratio_curve(cyclic_profile(), max_capacity=10, num_points=1)
+    curve = miss_ratio_curve(cyclic_profile(), max_capacity=128)
+    with pytest.raises(ValueError):
+        curve.knees(drop_threshold=0.0)
+    with pytest.raises(ValueError):
+        curve.sparkline(width=0)
+
+
+def test_sparkline_shape():
+    curve = miss_ratio_curve(cyclic_profile(), max_capacity=256)
+    line = curve.sparkline(width=32)
+    assert len(line) == 32
+    # high miss ratio on the left, low on the right
+    assert line[0] != line[-1]
+
+
+def test_partition_efficiency_prefers_fitting_both():
+    # sector 0 holds a 32-line working set, sector 1 a 16-line one
+    c0 = miss_ratio_curve(cyclic_profile(32), max_capacity=128, num_points=128,
+                          log_spaced=False)
+    c1 = miss_ratio_curve(cyclic_profile(16), max_capacity=128, num_points=128,
+                          log_spaced=False)
+    fractions = np.array([0.0, 0.25, 0.5, 0.9])
+    combined = partition_efficiency(c0, c1, total_lines=64, sector1_fractions=fractions)
+    # 25% (16 lines) for sector 1 fits both working sets: best combined ratio
+    assert np.argmin(combined) == 1
+    with pytest.raises(ValueError):
+        partition_efficiency(c0, c1, 64, np.array([1.5]))

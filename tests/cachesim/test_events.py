@@ -1,0 +1,50 @@
+"""PMU-style event bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import CacheEvents, combine, per_array_counts
+from repro.core.layout import ARRAY_ID
+
+
+def test_l2_misses_is_total_refills():
+    ev = CacheEvents(l2_refill=100, l2_refill_demand=30, l2_refill_prefetch=70)
+    assert ev.l2_misses == 100
+    assert ev.l2_demand_misses == 30
+
+
+def test_traffic_counts_refills_and_writebacks():
+    ev = CacheEvents(l2_refill=10, l2_writeback=5)
+    assert ev.traffic_bytes(256) == 15 * 256
+
+
+def test_bandwidth_formula():
+    ev = CacheEvents(l2_refill=1000, l2_writeback=200)
+    assert ev.bandwidth(256, 1e-3) == pytest.approx(1200 * 256 / 1e-3)
+    with pytest.raises(ValueError):
+        ev.bandwidth(256, 0.0)
+
+
+def test_combine_sums_fields_and_breakdowns():
+    a = CacheEvents(l1_refill=1, l2_refill=2, per_array_l2_misses={"x": 2})
+    b = CacheEvents(l1_refill=10, l2_refill=20, per_array_l2_misses={"x": 5, "y": 1})
+    c = combine([a, b])
+    assert c.l1_refill == 11
+    assert c.l2_refill == 22
+    assert c.per_array_l2_misses == {"x": 7, "y": 1}
+
+
+def test_combine_empty_is_zero():
+    assert combine([]).l2_refill == 0
+
+
+def test_unknown_array_in_breakdown_rejected():
+    with pytest.raises(ValueError):
+        CacheEvents(per_array_l2_misses={"bogus": 1})
+
+
+def test_per_array_counts_drops_zeros():
+    arrays = np.array([ARRAY_ID["x"], ARRAY_ID["y"], ARRAY_ID["x"]], dtype=np.int8)
+    miss = np.array([True, False, True])
+    counts = per_array_counts(arrays, miss)
+    assert counts == {"x": 2}

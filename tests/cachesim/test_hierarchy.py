@@ -1,0 +1,114 @@
+"""SpMVCacheSim: end-to-end hierarchy behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import SimConfig, SpMVCacheSim
+from repro.core import stream_misses
+from repro.machine import scaled_machine
+from repro.matrices import banded, random_uniform
+from repro.spmv import SectorPolicy, listing1_policy, no_sector_cache
+
+MACHINE = scaled_machine(16)
+
+
+def class2_matrix():
+    return banded(3_000, 60, 40, seed=1)
+
+
+def test_streaming_refills_close_to_line_counts():
+    matrix = class2_matrix()
+    sim = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=1))
+    events = sim.baseline_events()
+    streams = stream_misses(matrix, MACHINE.line_size)
+    # the streamed matrix data must be fetched about once per iteration
+    assert events.l2_refill >= streams.matrix_data
+    assert events.l2_refill <= 1.3 * streams.total
+
+
+def test_sector_cache_reduces_misses_for_class2():
+    matrix = class2_matrix()
+    sim = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=1))
+    base = sim.baseline_events()
+    part = sim.events(listing1_policy(5))
+    assert part.l2_misses < base.l2_misses
+
+
+def test_prefetcher_converts_demand_to_prefetch_fills():
+    matrix = class2_matrix()
+    with_pf = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=1))
+    without = SpMVCacheSim(
+        matrix,
+        MACHINE,
+        SimConfig(num_threads=1, l1_prefetch_distance=0, l2_prefetch_distance=0),
+    )
+    ev_pf = with_pf.baseline_events()
+    ev_no = without.baseline_events()
+    assert ev_pf.l2_refill_prefetch > 0
+    assert ev_no.l2_refill_prefetch == 0
+    assert ev_pf.l2_refill_demand < ev_no.l2_refill_demand
+
+
+def test_small_sector_causes_premature_eviction_in_parallel():
+    # the Section 4.3 pathology: 2 ways + aggressive prefetch + 12 threads
+    matrix = random_uniform(18_000, 9, seed=2)
+    sim = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=48))
+    two = sim.events(listing1_policy(2))
+    five = sim.events(listing1_policy(5))
+    assert two.l2_refill_demand > five.l2_refill_demand
+
+
+def test_reducing_prefetch_distance_heals_two_way_sector():
+    # the paper's confirmation experiment (Section 4.3)
+    matrix = random_uniform(18_000, 9, seed=2)
+    aggressive = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=48))
+    short = SpMVCacheSim(
+        matrix, MACHINE, SimConfig(num_threads=48, l2_prefetch_distance=1)
+    )
+    assert (
+        short.events(listing1_policy(2)).l2_refill_demand
+        < aggressive.events(listing1_policy(2)).l2_refill_demand
+    )
+
+
+def test_l2_stream_is_l1_filtered():
+    matrix = class2_matrix()
+    sim = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=1))
+    events = sim.baseline_events()
+    # far more references hit L1 than reach L2
+    assert events.l1_refill < len(sim.demand_trace)
+    stream, _ = sim._l2_level(0)
+    assert len(stream) < len(sim._l1_stream)
+
+
+def test_events_validate_policy_compatibility():
+    matrix = banded(300, 10, 8, seed=0)
+    sim = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=1))
+    with pytest.raises(ValueError):
+        sim.events(SectorPolicy(sector1_arrays=frozenset({"x"}), l2_sector1_ways=2))
+    with pytest.raises(ValueError):
+        sim.events(listing1_policy(16))
+    with pytest.raises(ValueError):
+        SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=49))
+
+
+def test_sweep_covers_grid():
+    matrix = banded(300, 10, 8, seed=0)
+    sim = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=4))
+    grid = sim.sweep((2, 5), (0, 1))
+    assert set(grid) == {(2, 0), (5, 0), (2, 1), (5, 1)}
+
+
+def test_writebacks_only_from_dirty_lines():
+    matrix = class2_matrix()
+    sim = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=1))
+    events = sim.baseline_events()
+    streams = stream_misses(matrix, MACHINE.line_size)
+    assert events.l2_writeback <= streams.y * 1.2
+
+
+def test_deterministic_across_instances():
+    matrix = banded(500, 20, 10, seed=5)
+    a = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=8)).baseline_events()
+    b = SpMVCacheSim(matrix, MACHINE, SimConfig(num_threads=8)).baseline_events()
+    assert a == b

@@ -1,0 +1,79 @@
+"""Software x-prefetch injection."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.software_prefetch import inject_x_software_prefetch
+from repro.core import ARRAY_ID, MemoryLayout, spmv_trace
+from repro.matrices import random_uniform
+from repro.parallel import interleave
+from repro.spmv import static_schedule
+
+
+def build_trace(num_threads=1, n=400, npr=4, seed=0):
+    matrix = random_uniform(n, npr, seed=seed)
+    layout = MemoryLayout.for_matrix(matrix, 256)
+    traces = spmv_trace(matrix, layout, static_schedule(matrix, num_threads))
+    return interleave(traces, "mcs")
+
+
+def test_zero_lookahead_is_identity():
+    trace = build_trace()
+    assert inject_x_software_prefetch(trace, 0) is trace
+    with pytest.raises(ValueError):
+        inject_x_software_prefetch(trace, -1)
+
+
+def test_injections_are_x_prefetches_only():
+    trace = build_trace()
+    augmented = inject_x_software_prefetch(trace, 8)
+    injected = augmented.is_prefetch & ~np.isin(
+        np.arange(len(augmented)), np.arange(len(trace))
+    )
+    pf = augmented.select(augmented.is_prefetch)
+    assert np.all(pf.arrays == ARRAY_ID["x"])
+    assert len(augmented) > len(trace)
+
+
+def test_demand_sequence_preserved():
+    trace = build_trace(num_threads=3)
+    augmented = inject_x_software_prefetch(trace, 4)
+    demand = augmented.select(~augmented.is_prefetch)
+    np.testing.assert_array_equal(demand.lines, trace.lines)
+    np.testing.assert_array_equal(demand.threads, trace.threads)
+
+
+def test_every_steady_x_line_is_prefetched_before_use():
+    trace = build_trace(num_threads=2)
+    d = 4
+    augmented = inject_x_software_prefetch(trace, d)
+    for t in range(2):
+        sel = (augmented.arrays == ARRAY_ID["x"]) & (augmented.threads == t)
+        lines = augmented.lines[sel]
+        is_pf = augmented.is_prefetch[sel]
+        # the k-th demand x ref (k >= d... well, all of them thanks to the
+        # preamble) must have been named by an earlier prefetch
+        first_pf: dict[int, int] = {}
+        demand_positions = []
+        for pos, (line, pf) in enumerate(zip(lines.tolist(), is_pf.tolist())):
+            if pf:
+                first_pf.setdefault((pos, line)[1], pos)
+            else:
+                demand_positions.append((pos, line))
+        # all but at most the first demand ref are covered
+        uncovered = [
+            (pos, line)
+            for pos, line in demand_positions[1:]
+            if line not in first_pf or first_pf[line] > pos
+        ]
+        assert not uncovered
+
+
+def test_prefetch_count_matches_lookahead_structure():
+    trace = build_trace(num_threads=1, n=100, npr=2)
+    d = 3
+    augmented = inject_x_software_prefetch(trace, d)
+    x_demand = int((trace.arrays == ARRAY_ID["x"]).sum())
+    injected = len(augmented) - len(trace)
+    # steady: one per x ref beyond the last d, plus d-1 preamble slots
+    assert injected == (x_demand - d) + (d - 1)

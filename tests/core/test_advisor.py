@@ -1,0 +1,71 @@
+"""Sector-policy advisor behaviour by matrix class."""
+
+import pytest
+
+from repro.core import MatrixClass
+from repro.core.advisor import SectorAdvisor
+from repro.machine import scaled_machine
+from repro.matrices import banded, random_uniform
+
+MACHINE = scaled_machine(16)
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return SectorAdvisor(MACHINE)
+
+
+def test_class1_recommends_disabled(advisor):
+    rec = advisor.recommend(banded(500, 5, 4, seed=0))
+    assert rec.matrix_class is MatrixClass.CLASS1
+    assert not rec.worthwhile
+    assert not rec.best.policy.l2_enabled
+    assert "disabled" in rec.summary()
+
+
+def test_class2_recommends_listing1(advisor):
+    rec = advisor.recommend(banded(26_000, 2_500, 11, seed=3))
+    assert rec.matrix_class is MatrixClass.CLASS2
+    assert rec.worthwhile
+    assert rec.best.policy.sector_of("values") == 1
+    assert rec.best.policy.sector_of("x") == 0
+    assert rec.predicted_speedup >= 1.0
+
+
+def test_class3_considers_isolate_x(advisor):
+    rec = advisor.recommend(random_uniform(140_000, 3, seed=1))
+    assert rec.matrix_class in (MatrixClass.CLASS3A, MatrixClass.CLASS3B)
+    policies = {c.policy.describe() for c in rec.candidates}
+    assert any("rowptr" in p for p in policies), "isolate-x variant missing"
+
+
+def test_advisor_respects_minimum_way_floor(advisor):
+    rec = advisor.recommend(banded(26_000, 2_500, 11, seed=3))
+    for choice in rec.candidates:
+        if choice.policy.l2_enabled:
+            assert choice.policy.l2_sector1_ways >= advisor.min_ways
+
+
+def test_advisor_candidates_include_baseline(advisor):
+    rec = advisor.recommend(banded(2_000, 100, 20, seed=1))
+    assert rec.baseline in rec.candidates
+    assert rec.baseline.policy.describe() == "sector cache disabled"
+
+
+def test_min_ways_zero_allows_small_sectors():
+    advisor = SectorAdvisor(MACHINE, min_sector1_ways_with_prefetch=2)
+    rec = advisor.recommend(banded(26_000, 2_500, 11, seed=3))
+    ways = {c.policy.l2_sector1_ways for c in rec.candidates if c.policy.l2_enabled}
+    assert 2 in ways
+
+
+def test_empty_way_options_rejected():
+    with pytest.raises(ValueError):
+        SectorAdvisor(MACHINE, way_options=())
+
+
+def test_recommendation_is_the_fastest_candidate(advisor):
+    rec = advisor.recommend(banded(26_000, 2_500, 11, seed=3))
+    assert rec.best.predicted_seconds == min(
+        c.predicted_seconds for c in rec.candidates
+    )

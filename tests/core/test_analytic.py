@@ -1,0 +1,57 @@
+"""Closed-form streaming-miss counts and method-B scale factors."""
+
+import pytest
+
+from repro.core import method_b_scale_factors, stream_misses
+from repro.matrices import banded
+from repro.spmv import CSRMatrix
+import numpy as np
+
+
+def test_stream_misses_match_paper_formulas():
+    m = banded(1_000, 20, 10, seed=0)
+    s = stream_misses(m, 256)
+    K, M = m.nnz, m.num_rows
+    assert s.values == -(-8 * K // 256)
+    assert s.colidx == -(-4 * K // 256)
+    assert s.rowptr == -(-8 * (M + 1) // 256)
+    assert s.y == -(-8 * M // 256)
+    assert s.matrix_data == s.values + s.colidx
+    assert s.vectors == s.rowptr + s.y
+    assert s.total == s.matrix_data + s.vectors
+
+
+def test_stream_misses_ceiling_behaviour():
+    # one nonzero still occupies one full line of each matrix array
+    m = CSRMatrix.from_coo(1, 1, np.array([0]), np.array([0]))
+    s = stream_misses(m, 256)
+    assert s.values == 1 and s.colidx == 1 and s.rowptr == 1 and s.y == 1
+
+
+def test_stream_misses_rejects_bad_line_size():
+    m = banded(10, 2, 2, seed=0)
+    with pytest.raises(ValueError):
+        stream_misses(m, 0)
+
+
+def test_scale_factors_formulas():
+    m = banded(1_000, 20, 10, seed=0)
+    s1, s2 = method_b_scale_factors(m)
+    ratio = m.num_rows / m.nnz
+    assert s1 == pytest.approx((16 * ratio + 8) / 8)
+    assert s2 == pytest.approx((16 * ratio + 20) / 8)
+    assert s2 > s1 > 1.0
+
+
+def test_scale_factors_many_nonzeros_per_row_approach_limits():
+    # K >> M: s1 -> 1 (x effectively alone in its partition), s2 -> 2.5
+    m = banded(100, 90, 180, seed=0)
+    s1, s2 = method_b_scale_factors(m)
+    assert s1 == pytest.approx(1.0, abs=0.1)
+    assert s2 == pytest.approx(2.5, abs=0.1)
+
+
+def test_scale_factors_empty_matrix_rejected():
+    m = CSRMatrix(2, 2, np.zeros(3, dtype=np.int64), np.empty(0), np.empty(0))
+    with pytest.raises(ValueError):
+        method_b_scale_factors(m)

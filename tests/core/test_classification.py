@@ -1,0 +1,81 @@
+"""Matrix classification by working-set size (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MatrixClass, classify, reusable_bytes, working_set_bytes
+from repro.machine import scaled_machine
+from repro.matrices import banded, random_uniform
+from repro.spmv import CSRMatrix
+
+
+MACHINE = scaled_machine(16)  # 512 KiB segments, 5-way partition0 = 352 KiB
+
+
+def test_tiny_matrix_is_class1():
+    m = banded(500, 10, 8, seed=0)
+    assert classify(m, MACHINE, 5) is MatrixClass.CLASS1
+
+
+def test_streaming_matrix_is_class2():
+    # small vectors, lots of matrix data: doesn't fit, but x+y+rowptr do
+    m = banded(2_000, 50, 60, seed=0)
+    assert working_set_bytes(m) > MACHINE.l2.capacity_bytes
+    assert classify(m, MACHINE, 5) is MatrixClass.CLASS2
+
+
+def test_large_x_is_class3a():
+    # reusable data exceeds partition 0, x alone fits
+    n0_bytes = MACHINE.l2.partition_lines(5)[0] * MACHINE.line_size
+    n = int(n0_bytes / 8 * 0.9)  # x at 90 % of partition 0
+    m = random_uniform(n, 5, seed=1)
+    assert reusable_bytes(m) > n0_bytes
+    assert classify(m, MACHINE, 5) is MatrixClass.CLASS3A
+
+
+def test_huge_x_is_class3b():
+    n0_bytes = MACHINE.l2.partition_lines(5)[0] * MACHINE.line_size
+    n = int(n0_bytes / 8 * 3)
+    m = random_uniform(n, 4, seed=1)
+    assert classify(m, MACHINE, 5) is MatrixClass.CLASS3B
+
+
+def test_parallel_classification_divides_row_arrays():
+    # y/rowptr split across CMGs can move a matrix from 3a back to 2
+    n0_bytes = MACHINE.l2.partition_lines(5)[0] * MACHINE.line_size
+    # sequential reusable = 24n (x+y+rowptr); parallel = 12n (x + rest/4)
+    n = int(n0_bytes / 24 * 1.3)
+    m = random_uniform(n, 10, seed=2)
+    sequential = classify(m, MACHINE, 5, num_cmgs=1)
+    parallel = classify(m, MACHINE, 5, num_cmgs=4)
+    assert sequential is MatrixClass.CLASS3A
+    assert parallel in (MatrixClass.CLASS1, MatrixClass.CLASS2)
+
+
+def test_more_sector1_ways_shrink_partition0():
+    # a matrix whose reusable data fits a 2-way-split partition but not a
+    # 7-way split
+    n0_2 = MACHINE.l2.partition_lines(2)[0] * MACHINE.line_size
+    n0_7 = MACHINE.l2.partition_lines(7)[0] * MACHINE.line_size
+    n = int((n0_2 + n0_7) / 2 / 24)
+    m = random_uniform(n, 40, seed=3)
+    assert classify(m, MACHINE, 2) is MatrixClass.CLASS2
+    assert classify(m, MACHINE, 7) in (MatrixClass.CLASS3A, MatrixClass.CLASS3B)
+
+
+def test_working_set_and_reusable_bytes_formulas():
+    m = banded(1_000, 10, 10, seed=0)
+    assert reusable_bytes(m, 1) == m.x_bytes + m.y_bytes + m.rowptr_bytes
+    assert working_set_bytes(m, 1) == pytest.approx(m.total_bytes, abs=8)
+    assert reusable_bytes(m, 4) < reusable_bytes(m, 1)
+
+
+def test_invalid_cmg_count_rejected():
+    m = banded(100, 5, 4, seed=0)
+    with pytest.raises(ValueError):
+        reusable_bytes(m, 0)
+
+
+def test_class_enum_labels_match_paper():
+    assert str(MatrixClass.CLASS3A) == "class (3a)"
+    assert MatrixClass.CLASS2.value == "2"

@@ -1,0 +1,62 @@
+"""MemoryLayout: cache-line assignment (paper Fig. 1c)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MemoryLayout
+from repro.spmv import CSRMatrix
+
+
+def figure1_matrix() -> CSRMatrix:
+    rows = np.array([0, 0, 1, 2, 2, 3, 3])
+    cols = np.array([1, 2, 0, 2, 3, 1, 3])
+    return CSRMatrix.from_coo(4, 4, rows, cols)
+
+
+def test_figure1c_line_assignment():
+    # the worked example: 16-byte lines, arrays x, y, a, colidx, rowptr
+    layout = MemoryLayout.for_matrix(figure1_matrix(), 16)
+    assert layout.lines_of("x", np.arange(4)).tolist() == [0, 0, 1, 1]
+    assert layout.lines_of("y", np.arange(4)).tolist() == [2, 2, 3, 3]
+    assert layout.lines_of("values", np.arange(7)).tolist() == [4, 4, 5, 5, 6, 6, 7]
+    assert layout.lines_of("colidx", np.arange(7)).tolist() == [8, 8, 8, 8, 9, 9, 9]
+    assert layout.lines_of("rowptr", np.arange(5)).tolist() == [10, 10, 11, 11, 12]
+    assert layout.total_lines == 13
+
+
+def test_arrays_never_share_lines():
+    layout = MemoryLayout.for_matrix(figure1_matrix(), 16)
+    seen = set()
+    for array, count in [("x", 4), ("y", 4), ("values", 7), ("colidx", 7), ("rowptr", 5)]:
+        lines = set(layout.lines_of(array, np.arange(count)).tolist())
+        assert not lines & seen
+        seen |= lines
+
+
+def test_element_out_of_range_rejected():
+    layout = MemoryLayout.for_matrix(figure1_matrix(), 16)
+    with pytest.raises(ValueError):
+        layout.lines_of("x", np.array([4]))
+    with pytest.raises(ValueError):
+        layout.lines_of("x", np.array([-1]))
+
+
+def test_array_of_line_inverts_lines_of():
+    layout = MemoryLayout.for_matrix(figure1_matrix(), 16)
+    assert layout.array_of_line(0) == "x"
+    assert layout.array_of_line(4) == "values"
+    assert layout.array_of_line(12) == "rowptr"
+    with pytest.raises(ValueError):
+        layout.array_of_line(13)
+
+
+def test_a64fx_line_size():
+    m = figure1_matrix()
+    layout = MemoryLayout.for_matrix(m, 256)
+    # everything tiny: one line per array
+    assert layout.total_lines == 5
+
+
+def test_bad_line_size_rejected():
+    with pytest.raises(ValueError):
+        MemoryLayout.for_matrix(figure1_matrix(), 0)

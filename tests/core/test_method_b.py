@@ -1,0 +1,76 @@
+"""Method B: colidx-only approximation vs. method A and its analytics."""
+
+import pytest
+
+from repro.core import MethodA, MethodB, stream_misses
+from repro.machine import scaled_machine
+from repro.matrices import banded, random_uniform
+from repro.spmv import CSRMatrix, listing1_policy, no_sector_cache
+import numpy as np
+
+MACHINE = scaled_machine(16)
+
+
+def test_class2_prediction_is_pure_stream_count():
+    # vectors fit partition 0: method B predicts exactly the matrix stream
+    matrix = banded(3_000, 60, 40, seed=1)
+    model = MethodB(matrix, MACHINE, num_threads=1)
+    pred = model.predict(listing1_policy(5))
+    streams = stream_misses(matrix, MACHINE.line_size)
+    assert pred.per_array["values"] == streams.values
+    assert pred.per_array["colidx"] == streams.colidx
+    assert "rowptr" not in pred.per_array
+    assert pred.per_array.get("x", 0) == 0
+
+
+def test_unpartitioned_class_not1_adds_vector_streams():
+    matrix = banded(3_000, 60, 40, seed=1)
+    model = MethodB(matrix, MACHINE, num_threads=1)
+    pred = model.predict(no_sector_cache())
+    streams = stream_misses(matrix, MACHINE.line_size)
+    assert pred.l2_misses >= streams.total
+
+
+def test_class1_unpartitioned_predicts_zero():
+    matrix = banded(300, 10, 8, seed=0)
+    model = MethodB(matrix, MACHINE, num_threads=1)
+    assert model.predict(no_sector_cache()).l2_misses == 0
+
+
+def test_b_close_to_a_for_regular_matrices():
+    # mu_K >= 8, CV_K ~ 0: the regime where the paper finds B accurate
+    matrix = banded(4_000, 100, 30, seed=2)
+    policy = listing1_policy(5)
+    a = MethodA(matrix, MACHINE, num_threads=1).predict(policy).l2_misses
+    b = MethodB(matrix, MACHINE, num_threads=1).predict(policy).l2_misses
+    assert a > 0
+    assert abs(a - b) / a < 0.15
+
+
+def test_b_single_pass_covers_all_way_splits():
+    matrix = random_uniform(20_000, 8, seed=3)
+    model = MethodB(matrix, MACHINE, num_threads=1)
+    predictions = [model.predict(listing1_policy(w)).l2_misses for w in range(2, 8)]
+    # larger sector 1 shrinks partition 0: x misses must not decrease
+    assert all(b >= a for a, b in zip(predictions, predictions[1:]))
+
+
+def test_empty_matrix_rejected():
+    empty = CSRMatrix(2, 2, np.zeros(3, dtype=np.int64), np.empty(0), np.empty(0))
+    with pytest.raises(ValueError):
+        MethodB(empty, MACHINE)
+
+
+def test_parallel_b_uses_all_cmgs():
+    matrix = random_uniform(20_000, 8, seed=4)
+    model = MethodB(matrix, MACHINE, num_threads=48)
+    assert model.num_cmgs_used == 4
+    assert model.predict(listing1_policy(5)).l2_misses > 0
+
+
+def test_l1_prediction_counts_all_streams():
+    matrix = random_uniform(5_000, 6, seed=5)
+    model = MethodB(matrix, MACHINE, num_threads=1)
+    pred = model.predict_l1(no_sector_cache())
+    streams = stream_misses(matrix, MACHINE.line_size)
+    assert pred.l2_misses >= streams.total

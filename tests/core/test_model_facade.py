@@ -1,0 +1,64 @@
+"""CacheMissModel facade and ModelComparison."""
+
+import pytest
+
+from repro.cachesim import CacheEvents
+from repro.core import CacheMissModel, MatrixClass
+from repro.core.model import ModelComparison
+from repro.machine import scaled_machine
+from repro.matrices import banded
+from repro.spmv import listing1_policy, no_sector_cache
+
+MACHINE = scaled_machine(16)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CacheMissModel(banded(3_000, 60, 40, seed=1), MACHINE, num_threads=1)
+
+
+def test_methods_built_lazily(model):
+    fresh = CacheMissModel(banded(300, 10, 8, seed=0), MACHINE)
+    assert fresh._method_a is None and fresh._method_b is None
+    fresh.predict(no_sector_cache(), "A")
+    assert fresh._method_a is not None and fresh._method_b is None
+
+
+def test_predict_dispatches_methods(model):
+    policy = listing1_policy(5)
+    a = model.predict(policy, "A")
+    b = model.predict(policy, "B")
+    assert a.method == "A" and b.method == "B"
+    with pytest.raises(ValueError):
+        model.predict(policy, "C")
+    with pytest.raises(ValueError):
+        model.predict_l1(policy, "X")
+
+
+def test_compare_reports_ape(model):
+    policy = listing1_policy(5)
+    predicted = model.predict(policy, "A").l2_misses
+    events = CacheEvents(l2_refill=predicted)
+    cmp = model.compare(policy, events, "A")
+    assert cmp.absolute_percentage_error == 0.0
+    off = model.compare(policy, CacheEvents(l2_refill=2 * predicted), "A")
+    assert off.absolute_percentage_error == pytest.approx(50.0)
+
+
+def test_comparison_zero_measured_edge_cases():
+    assert ModelComparison(0, 0).absolute_percentage_error == 0.0
+    assert ModelComparison(5, 0).absolute_percentage_error == float("inf")
+
+
+def test_matrix_class_uses_thread_count():
+    matrix = banded(26_000, 600, 12, seed=7)
+    seq = CacheMissModel(matrix, MACHINE, num_threads=1).matrix_class(5)
+    par = CacheMissModel(matrix, MACHINE, num_threads=48).matrix_class(5)
+    # parallel splits y/rowptr over CMGs: never a worse class than sequential
+    order = ["1", "2", "3a", "3b"]
+    assert order.index(par.value) <= order.index(seq.value)
+
+
+def test_prediction_l1_exceeds_l2(model):
+    policy = no_sector_cache()
+    assert model.predict_l1(policy, "A").l2_misses >= model.predict(policy, "A").l2_misses

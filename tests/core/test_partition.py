@@ -1,0 +1,61 @@
+"""Eq. 2 partitioned-cache accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import PartitionSpec, eq2_misses, unpartitioned_misses
+from repro.machine import scaled_machine
+from repro.reuse import COLD, reuse_distances
+
+
+def test_partition_spec_from_ways():
+    machine = scaled_machine(16)
+    spec = PartitionSpec.from_ways(machine.l2, 5)
+    assert spec.n1 == 5 * machine.l2.num_sets
+    assert spec.total == machine.l2.capacity_lines
+    with pytest.raises(ValueError):
+        PartitionSpec(-1, 4)
+
+
+def test_eq2_counts_per_sector_capacity():
+    rd = np.array([0, 10, 0, 10])
+    sectors = np.array([0, 0, 1, 1])
+    spec = PartitionSpec(n0=20, n1=5)
+    # sector 0: rd 0 and 10 both < 20 -> hits; sector 1: rd 10 >= 5 -> miss
+    assert eq2_misses(rd, sectors, spec) == 1
+
+
+def test_eq2_window_restricts_counting():
+    rd = np.array([COLD, COLD])
+    sectors = np.array([0, 1])
+    spec = PartitionSpec(4, 4)
+    window = np.array([True, False])
+    assert eq2_misses(rd, sectors, spec, window) == 1
+
+
+def test_eq2_alignment_validation():
+    with pytest.raises(ValueError):
+        eq2_misses(np.array([1, 2]), np.array([0]), PartitionSpec(1, 1))
+
+
+def test_disabling_partitioning_is_the_special_case():
+    # Eq. 2 with everything in one partition == unpartitioned counting
+    rng = np.random.default_rng(0)
+    trace = rng.integers(0, 30, 500)
+    rd = reuse_distances(trace)
+    sectors = np.zeros(500, dtype=np.int8)
+    spec = PartitionSpec(n0=16, n1=0)
+    assert eq2_misses(rd, sectors, spec) == unpartitioned_misses(rd, 16)
+
+
+def test_sum_property_partitions_cover_trace():
+    # every reference is counted against exactly one partition
+    rng = np.random.default_rng(1)
+    trace = rng.integers(0, 50, 800)
+    sectors = rng.integers(0, 2, 800).astype(np.int8)
+    rd = reuse_distances(trace, sectors.astype(np.int64))
+    spec = PartitionSpec(n0=10, n1=10)
+    total = eq2_misses(rd, sectors, spec)
+    miss0 = unpartitioned_misses(rd[sectors == 0], 10)
+    miss1 = unpartitioned_misses(rd[sectors == 1], 10)
+    assert total == miss0 + miss1

@@ -1,0 +1,116 @@
+"""SpMV trace generation (paper Fig. 1b) and trace utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import ARRAY_ID, MemoryLayout, repeat_trace, spmv_trace, x_only_trace
+from repro.core.trace import spmv_thread_trace
+from repro.spmv import CSRMatrix, listing1_policy, static_schedule
+
+
+def figure1_matrix() -> CSRMatrix:
+    rows = np.array([0, 0, 1, 2, 2, 3, 3])
+    cols = np.array([1, 2, 0, 2, 3, 1, 3])
+    return CSRMatrix.from_coo(4, 4, rows, cols)
+
+
+def test_figure1_access_pattern():
+    m = figure1_matrix()
+    layout = MemoryLayout.for_matrix(m, 16)
+    trace = spmv_trace(m, layout)[0]
+    expected = [
+        10, 4, 8, 0, 4, 8, 1, 2,  # row 0: rowptr, (a, col, x)*2, y
+        10, 5, 8, 0, 2,           # row 1
+        11, 5, 8, 1, 6, 9, 1, 3,  # row 2
+        11, 6, 9, 0, 7, 9, 1, 3,  # row 3
+        12,                       # final rowptr bound
+    ]
+    assert trace.lines.tolist() == expected
+
+
+def test_trace_length_formula():
+    m = figure1_matrix()
+    trace = spmv_trace(m)[0]
+    assert len(trace) == 2 * m.num_rows + 3 * m.nnz + 1
+
+
+def test_trace_array_tags():
+    m = figure1_matrix()
+    trace = spmv_trace(m)[0]
+    counts = {
+        name: int(np.count_nonzero(trace.arrays == aid))
+        for name, aid in ARRAY_ID.items()
+    }
+    assert counts == {
+        "x": m.nnz,
+        "values": m.nnz,
+        "colidx": m.nnz,
+        "y": m.num_rows,
+        "rowptr": m.num_rows + 1,
+    }
+
+
+def test_threaded_traces_cover_all_rows():
+    m = figure1_matrix()
+    sched = static_schedule(m, 2)
+    traces = spmv_trace(m, schedule=sched)
+    assert all(np.all(t.threads == i) for i, t in enumerate(traces))
+    total = sum(len(t) for t in traces)
+    # each thread also reads its final row bound
+    assert total == 2 * m.num_rows + 3 * m.nnz + 2
+
+
+def test_empty_thread_range():
+    m = figure1_matrix()
+    layout = MemoryLayout.for_matrix(m, 16)
+    trace = spmv_thread_trace(m, layout, 0, 2, 2)
+    assert len(trace) == 0
+
+
+def test_invalid_row_range_rejected():
+    m = figure1_matrix()
+    layout = MemoryLayout.for_matrix(m, 16)
+    with pytest.raises(ValueError):
+        spmv_thread_trace(m, layout, 0, 3, 2)
+    with pytest.raises(ValueError):
+        spmv_thread_trace(m, layout, 0, 0, 5)
+
+
+def test_sectors_follow_policy():
+    m = figure1_matrix()
+    trace = spmv_trace(m)[0]
+    sectors = trace.sectors(listing1_policy(2))
+    matrix_refs = trace.array_mask("values", "colidx")
+    assert np.all(sectors[matrix_refs] == 1)
+    assert np.all(sectors[~matrix_refs] == 0)
+
+
+def test_x_only_trace_matches_colidx_lines():
+    m = figure1_matrix()
+    layout = MemoryLayout.for_matrix(m, 16)
+    xo = x_only_trace(m, layout)[0]
+    assert len(xo) == m.nnz
+    expected = layout.lines_of("x", m.colidx)
+    np.testing.assert_array_equal(xo.lines, expected)
+
+
+def test_repeat_trace_numbers_iterations():
+    m = figure1_matrix()
+    trace = spmv_trace(m)[0]
+    doubled = repeat_trace(trace, 3)
+    assert len(doubled) == 3 * len(trace)
+    assert doubled.iteration.tolist() == [0] * len(trace) + [1] * len(trace) + [2] * len(trace)
+    np.testing.assert_array_equal(doubled.lines[: len(trace)], trace.lines)
+    with pytest.raises(ValueError):
+        repeat_trace(trace, 0)
+
+
+def test_select_and_reorder_preserve_alignment():
+    m = figure1_matrix()
+    trace = spmv_trace(m)[0]
+    mask = trace.array_mask("x")
+    sub = trace.select(mask)
+    assert np.all(sub.arrays == ARRAY_ID["x"])
+    rev = trace.reorder(np.arange(len(trace))[::-1])
+    assert rev.lines[0] == trace.lines[-1]
+    assert rev.arrays[0] == trace.arrays[-1]

@@ -1,0 +1,48 @@
+"""Section 4.4 bandwidth analysis."""
+
+import pytest
+
+from repro.experiments import ExperimentSetup, run_collection
+from repro.experiments.bandwidth import (
+    bandwidth_utilisation,
+    render_section44,
+    section44_summary,
+    top_by_bandwidth,
+    top_by_speedup,
+)
+from repro.matrices import collection
+
+SETUP = ExperimentSetup(num_threads=8, l2_way_options=(0, 5), l1_way_options=(0,))
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_collection(collection("tiny")[:5], SETUP, cache_dir=None)
+
+
+def test_bandwidth_non_negative(records):
+    machine = SETUP.machine()
+    for r in records:
+        assert bandwidth_utilisation(r, machine) >= 0.0
+
+
+def test_top_lists_are_sorted(records):
+    machine = SETUP.machine()
+    bw = top_by_bandwidth(records, machine, count=3)
+    assert all(a.bandwidth_gbs >= b.bandwidth_gbs for a, b in zip(bw, bw[1:]))
+    sp = top_by_speedup(records, machine, count=3)
+    assert all(a.speedup >= b.speedup for a, b in zip(sp, sp[1:]))
+
+
+def test_summary_fields(records):
+    machine = SETUP.machine()
+    summary = section44_summary(records, machine, count=3)
+    assert summary["top_bandwidth_max_gbs"] >= summary["top_bandwidth_min_gbs"]
+    assert 0 <= summary["overlap_count"] <= 3
+
+
+def test_render_contains_both_sets(records):
+    machine = SETUP.machine()
+    text = render_section44(records, machine, count=2)
+    assert "top by bandwidth" in text
+    assert "top by speedup" in text

@@ -1,0 +1,51 @@
+"""The experiments CLI (tiny scale, no caching)."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+def test_runner_figure_drivers(capsys, tmp_path):
+    code = main(
+        [
+            "--exp", "figure4",
+            "--collection", "tiny",
+            "--limit", "3",
+            "--cache", str(tmp_path / "cache"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "per-class summary" in out
+
+
+def test_runner_table2_sequential(capsys, tmp_path):
+    code = main(
+        [
+            "--exp", "table2",
+            "--collection", "tiny",
+            "--limit", "3",
+            "--cache", str(tmp_path / "cache"),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+
+
+def test_runner_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["--exp", "bogus"])
+
+
+def test_runner_cache_reuse(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    main(["--exp", "figure5", "--collection", "tiny", "--limit", "2", "--cache", cache])
+    capsys.readouterr()
+    # second invocation must reuse the cache (no re-simulation crash)
+    code = main(
+        ["--exp", "figure5", "--collection", "tiny", "--limit", "2", "--cache", cache]
+    )
+    assert code == 0
+    assert "correlation" in capsys.readouterr().out

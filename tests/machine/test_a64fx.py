@@ -1,0 +1,78 @@
+"""A64FX machine model: geometry, scaling, partitions."""
+
+import pytest
+
+from repro.machine import A64FX, CacheGeometry, full_machine, scaled_machine
+
+
+def test_full_machine_matches_published_geometry():
+    m = full_machine()
+    assert m.num_cores == 48
+    assert m.num_cmgs == 4
+    assert m.cores_per_cmg == 12
+    assert m.line_size == 256
+    assert m.l1.capacity_bytes == 64 * 1024
+    assert m.l1.ways == 4
+    assert m.l2.capacity_bytes == 8 * 1024 * 1024
+    assert m.l2.ways == 16
+    assert m.l2_total_bytes == 32 * 1024 * 1024
+    assert m.mem_bandwidth == pytest.approx(800e9)
+
+
+def test_scaled_machine_preserves_ways_and_line_size():
+    m = scaled_machine(16)
+    assert m.l2.capacity_bytes == 512 * 1024
+    assert m.l1.capacity_bytes == 8 * 1024  # L1 scales by factor/2
+    assert m.l2.ways == 16 and m.l1.ways == 4
+    assert m.line_size == 256
+    assert m.scale == 16
+
+
+def test_scaled_machine_factor_one_is_full():
+    assert scaled_machine(1) == full_machine()
+
+
+def test_partition_lines_sum_to_capacity():
+    geom = full_machine().l2
+    for ways in range(0, 16):
+        n0, n1 = geom.partition_lines(ways)
+        assert n0 + n1 == geom.capacity_lines
+        assert n1 == ways * geom.num_sets
+    with pytest.raises(ValueError):
+        geom.partition_lines(17)
+    with pytest.raises(ValueError):
+        geom.partition_lines(-1)
+
+
+def test_cmg_of_thread_compact_binding():
+    m = full_machine()
+    assert m.cmg_of_thread(0) == 0
+    assert m.cmg_of_thread(11) == 0
+    assert m.cmg_of_thread(12) == 1
+    assert m.cmg_of_thread(47) == 3
+    with pytest.raises(ValueError):
+        m.cmg_of_thread(48)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheGeometry(line_size=100, num_sets=4, ways=4)  # not a power of two
+    with pytest.raises(ValueError):
+        CacheGeometry(line_size=256, num_sets=0, ways=4)
+    with pytest.raises(ValueError):
+        CacheGeometry(line_size=256, num_sets=4, ways=0)
+
+
+def test_scaling_validation():
+    geom = CacheGeometry(line_size=256, num_sets=64, ways=4)
+    with pytest.raises(ValueError):
+        geom.scaled(0)
+    with pytest.raises(ValueError):
+        geom.scaled(128)  # not divisible
+
+
+def test_machine_invariants():
+    with pytest.raises(ValueError):
+        A64FX(num_cores=50)  # not divisible by CMGs
+    with pytest.raises(ValueError):
+        A64FX(l1=CacheGeometry(128, 64, 4))  # line size mismatch

@@ -1,0 +1,99 @@
+"""ECM-style performance model: calibration anchors and monotonicity."""
+
+import pytest
+
+from repro.cachesim import CacheEvents
+from repro.machine import full_machine, scaled_machine
+from repro.machine.perfmodel import PerformanceModel
+from repro.matrices import banded
+
+
+def events(l1=0, refill=0, demand=0, prefetch=0, wb=0):
+    return CacheEvents(
+        l1_refill=l1,
+        l2_refill=refill,
+        l2_refill_demand=demand,
+        l2_refill_prefetch=prefetch,
+        l2_writeback=wb,
+    )
+
+
+def test_compute_bound_ceiling_matches_observed_peak():
+    # perfect locality: only compute limits (the per-core SpMV ceiling)
+    machine = full_machine()
+    model = PerformanceModel(machine)
+    matrix = banded(10_000, 50, 50, seed=0)
+    est = model.estimate(matrix, events(l1=10), num_threads=48)
+    assert est.gflops == pytest.approx(48 * model.core_spmv_flops / 1e9, rel=0.01)
+    assert est.bottleneck == "compute"
+
+
+def test_stream_bound_tracks_bandwidth():
+    # matrix-data streaming only: 12 bytes/nnz -> ~2/12 flops per byte
+    machine = full_machine()
+    model = PerformanceModel(machine)
+    matrix = banded(10_000, 50, 50, seed=0)
+    lines = (matrix.values_bytes + matrix.colidx_bytes) // 256
+    est = model.estimate(matrix, events(refill=lines), num_threads=48)
+    expected = 2 * matrix.nnz / ((lines * 256) / 800e9) / 1e9
+    assert est.gflops == pytest.approx(expected, rel=0.1)
+
+
+def test_demand_latency_slows_execution():
+    machine = full_machine()
+    model = PerformanceModel(machine)
+    matrix = banded(10_000, 50, 50, seed=0)
+    fast = model.estimate(matrix, events(refill=1000), num_threads=48)
+    slow = model.estimate(
+        matrix, events(refill=1000, demand=1000), num_threads=48
+    )
+    assert slow.seconds > fast.seconds
+    assert slow.gflops < fast.gflops
+
+
+def test_speedup_from_demand_miss_reduction():
+    machine = full_machine()
+    model = PerformanceModel(machine)
+    matrix = banded(100_000, 500, 30, seed=0)
+    lines = matrix.matrix_bytes // 256
+    base = events(refill=lines + 20_000, demand=20_000)
+    better = events(refill=lines, demand=2_000)
+    speedup = model.speedup(matrix, base, better, num_threads=48)
+    assert 1.0 < speedup < 2.0
+
+
+def test_fewer_threads_take_longer():
+    machine = full_machine()
+    model = PerformanceModel(machine)
+    matrix = banded(10_000, 50, 50, seed=0)
+    t48 = model.estimate(matrix, events(refill=100), 48).seconds
+    t1 = model.estimate(matrix, events(refill=100), 1).seconds
+    assert t1 > t48
+
+
+def test_bandwidth_report_uses_traffic_and_time():
+    machine = full_machine()
+    model = PerformanceModel(machine)
+    matrix = banded(10_000, 50, 50, seed=0)
+    est = model.estimate(matrix, events(refill=10_000, wb=1_000), 48)
+    assert est.bandwidth_gbs == pytest.approx(
+        11_000 * 256 / est.seconds / 1e9, rel=1e-9
+    )
+
+
+def test_scaled_machine_keeps_full_size_constants():
+    # the scaled machine projects with full-machine bandwidths
+    model_full = PerformanceModel(full_machine())
+    model_scaled = PerformanceModel(scaled_machine(16))
+    matrix = banded(10_000, 50, 50, seed=0)
+    ev = events(refill=5_000, demand=500)
+    a = model_full.estimate(matrix, ev, 48).seconds
+    b = model_scaled.estimate(matrix, ev, 48).seconds
+    assert a == pytest.approx(b)
+
+
+def test_invalid_thread_count_rejected():
+    model = PerformanceModel(full_machine())
+    matrix = banded(100, 5, 4, seed=0)
+    with pytest.raises(ValueError):
+        model.estimate(matrix, events(), 0)

@@ -1,0 +1,142 @@
+"""Matrix generators: structural guarantees per family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrices import (
+    banded,
+    block_diagonal,
+    diagonal_plus_random,
+    matrix_stats,
+    power_law,
+    random_uniform,
+    rmat,
+    stencil_2d,
+    stencil_3d,
+)
+
+
+def test_banded_respects_bandwidth():
+    m = banded(200, 7, 5, seed=1)
+    stats = matrix_stats(m)
+    assert stats.bandwidth <= 7
+    assert m.num_rows == m.num_cols == 200
+    assert np.all(m.row_lengths >= 1)
+
+
+def test_banded_deterministic_per_seed():
+    a = banded(100, 5, 4, seed=3)
+    b = banded(100, 5, 4, seed=3)
+    np.testing.assert_array_equal(a.colidx, b.colidx)
+    c = banded(100, 5, 4, seed=4)
+    assert not np.array_equal(a.colidx, c.colidx)
+
+
+def test_block_diagonal_full_blocks():
+    m = block_diagonal(64, 8, fill=1.0)
+    assert m.nnz == 64 * 8  # 8 dense 8x8 blocks
+    # entries never leave their block
+    rows, cols, _ = m.to_coo()
+    assert np.all(rows // 8 == cols // 8)
+
+
+def test_block_diagonal_partial_fill_keeps_diagonal():
+    m = block_diagonal(64, 8, fill=0.3, seed=0)
+    dense = m.to_dense()
+    assert np.all(np.diag(dense) != 0)
+    assert m.nnz < 64 * 8
+
+
+def test_stencil_2d_interior_row_length():
+    m = stencil_2d(10, 10, points=5)
+    assert m.num_rows == 100
+    # interior vertices have all 5 neighbours
+    assert int(m.row_lengths.max()) == 5
+    assert int(m.row_lengths.min()) == 3  # corners
+    # symmetric structure
+    np.testing.assert_array_equal(m.to_dense(), m.to_dense().T)
+
+
+def test_stencil_3d_27_point():
+    m = stencil_3d(5, 5, 5, points=27)
+    assert m.num_rows == 125
+    assert int(m.row_lengths.max()) == 27
+    assert int(m.row_lengths.min()) == 8  # corners
+
+
+def test_stencil_validation():
+    with pytest.raises(ValueError):
+        stencil_2d(4, 4, points=7)
+    with pytest.raises(ValueError):
+        stencil_3d(4, 4, 4, points=5)
+    with pytest.raises(ValueError):
+        stencil_2d(0, 4)
+
+
+def test_random_uniform_row_lengths_before_dedup():
+    m = random_uniform(500, 6, seed=2)
+    assert m.num_rows == 500
+    assert m.nnz <= 500 * 6
+    assert m.nnz >= 500 * 3  # few duplicates for sparse fill
+
+
+def test_random_uniform_rectangular():
+    m = random_uniform(100, 4, seed=0, num_cols=300)
+    assert m.shape == (100, 300)
+
+
+def test_power_law_has_high_row_variation():
+    m = power_law(2_000, 6.0, exponent=1.8, seed=3)
+    stats = matrix_stats(m)
+    uniform = matrix_stats(random_uniform(2_000, 6, seed=3))
+    assert stats.cv_nnz_per_row > 2 * uniform.cv_nnz_per_row
+
+
+def test_rmat_shape_and_coverage():
+    m = rmat(8, edge_factor=4, seed=1)
+    assert m.num_rows == 256
+    assert np.all(m.row_lengths >= 1)  # diagonal guarantees non-empty rows
+    assert m.nnz <= 256 * 4 + 256
+
+
+def test_rmat_validation():
+    with pytest.raises(ValueError):
+        rmat(0)
+    with pytest.raises(ValueError):
+        rmat(5, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+
+def test_diagonal_plus_random_mixes_components():
+    m = diagonal_plus_random(1_000, 4, 2, bandwidth=10, seed=5)
+    rows, cols, _ = m.to_coo()
+    dist = np.abs(rows - cols)
+    assert (dist <= 10).sum() > 0.5 * m.nnz  # band part dominates
+    assert dist.max() > 100  # random part reaches far
+
+
+def test_generator_argument_validation():
+    with pytest.raises(ValueError):
+        banded(0, 1, 1)
+    with pytest.raises(ValueError):
+        block_diagonal(10, 4, fill=0.0)
+    with pytest.raises(ValueError):
+        power_law(10, 2.0, exponent=1.0)
+    with pytest.raises(ValueError):
+        diagonal_plus_random(10, 0, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(16, 300), npr=st.integers(1, 8), seed=st.integers(0, 100))
+def test_all_generators_produce_valid_csr(n, npr, seed):
+    for m in (
+        banded(n, max(1, n // 20), npr, seed=seed),
+        random_uniform(n, npr, seed=seed),
+        power_law(n, float(npr), seed=seed),
+        diagonal_plus_random(n, npr, 1, seed=seed),
+    ):
+        assert m.rowptr[-1] == m.nnz
+        assert np.all(np.diff(m.rowptr) >= 0)
+        if m.nnz:
+            assert 0 <= m.colidx.min() and m.colidx.max() < m.num_cols

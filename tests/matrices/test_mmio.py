@@ -1,0 +1,81 @@
+"""Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import banded, read_matrix_market, write_matrix_market
+from repro.spmv import CSRMatrix
+
+
+def test_roundtrip(tmp_path):
+    m = banded(60, 4, 5, seed=2)
+    path = tmp_path / "band.mtx"
+    write_matrix_market(m, path)
+    back = read_matrix_market(path)
+    np.testing.assert_allclose(back.to_dense(), m.to_dense())
+    assert back.name == "band"
+
+
+def test_read_pattern_field(tmp_path):
+    path = tmp_path / "p.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n1 1\n2 2\n"
+    )
+    m = read_matrix_market(path)
+    np.testing.assert_allclose(m.to_dense(), np.eye(2))
+
+
+def test_read_symmetric_expands_lower_triangle(tmp_path):
+    path = tmp_path / "s.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "% a comment line\n"
+        "3 3 2\n2 1 5.0\n3 3 1.0\n"
+    )
+    m = read_matrix_market(path)
+    dense = m.to_dense()
+    assert dense[1, 0] == 5.0 and dense[0, 1] == 5.0
+    assert dense[2, 2] == 1.0
+    assert m.nnz == 3
+
+
+def test_reject_malformed_header(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix array real general\n1 1\n1.0\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+    path.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+    path.write_text("%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_reject_wrong_entry_count(tmp_path):
+    path = tmp_path / "short.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n"
+    )
+    with pytest.raises(ValueError):
+        read_matrix_market(path)
+
+
+def test_empty_matrix_roundtrip(tmp_path):
+    m = CSRMatrix(3, 3, np.zeros(4, dtype=np.int64), np.empty(0), np.empty(0))
+    path = tmp_path / "empty.mtx"
+    write_matrix_market(m, path)
+    back = read_matrix_market(path)
+    assert back.nnz == 0
+    assert back.shape == (3, 3)
+
+
+def test_values_survive_precision(tmp_path):
+    m = CSRMatrix.from_coo(
+        1, 2, np.array([0, 0]), np.array([0, 1]), np.array([1e-17, np.pi])
+    )
+    path = tmp_path / "prec.mtx"
+    write_matrix_market(m, path)
+    back = read_matrix_market(path)
+    np.testing.assert_allclose(back.values, m.values, rtol=1e-15)

@@ -1,0 +1,80 @@
+"""Reverse Cuthill-McKee reordering."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    banded,
+    matrix_stats,
+    random_uniform,
+    rcm_permutation,
+    rcm_reorder,
+)
+from repro.spmv import CSRMatrix
+
+
+def shuffled_band(n=300, seed=0):
+    """A band matrix hidden behind a random symmetric permutation."""
+    m = banded(n, 5, 6, seed=seed)
+    sym = CSRMatrix.from_coo(
+        n,
+        n,
+        np.concatenate([m.to_coo()[0], m.to_coo()[1]]),
+        np.concatenate([m.to_coo()[1], m.to_coo()[0]]),
+    )
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    return sym.permute(perm)
+
+
+def test_rcm_recovers_small_bandwidth():
+    shuffled = shuffled_band()
+    before = matrix_stats(shuffled).bandwidth
+    after = matrix_stats(rcm_reorder(shuffled)).bandwidth
+    assert after < before / 3
+
+
+def test_rcm_is_a_permutation():
+    m = shuffled_band(100, seed=1)
+    perm = rcm_permutation(m)
+    assert sorted(perm.tolist()) == list(range(100))
+
+
+def test_rcm_preserves_spectrum_of_pattern():
+    m = shuffled_band(80, seed=2)
+    reordered = rcm_reorder(m)
+    assert reordered.nnz == m.nnz
+    # symmetric permutation preserves eigenvalues of the dense form
+    ev_a = np.sort(np.linalg.eigvalsh(m.to_dense()))
+    ev_b = np.sort(np.linalg.eigvalsh(reordered.to_dense()))
+    np.testing.assert_allclose(ev_a, ev_b, atol=1e-8)
+
+
+def test_rcm_handles_disconnected_components():
+    # two disjoint cliques
+    rows = [0, 0, 1, 3, 3, 4]
+    cols = [1, 2, 2, 4, 5, 5]
+    m = CSRMatrix.from_coo(
+        6, 6, np.array(rows + cols), np.array(cols + rows)
+    )
+    perm = rcm_permutation(m)
+    assert sorted(perm.tolist()) == list(range(6))
+
+
+def test_rcm_handles_isolated_vertices():
+    m = CSRMatrix.from_coo(5, 5, np.array([0, 1]), np.array([1, 0]))
+    perm = rcm_permutation(m)
+    assert sorted(perm.tolist()) == list(range(5))
+
+
+def test_rcm_requires_square():
+    m = random_uniform(10, 2, seed=0, num_cols=20)
+    with pytest.raises(ValueError):
+        rcm_permutation(m)
+
+
+def test_rcm_improves_random_matrix_locality():
+    m = random_uniform(400, 3, seed=4)
+    before = matrix_stats(m).avg_column_distance
+    after = matrix_stats(rcm_reorder(m)).avg_column_distance
+    assert after < before

@@ -1,0 +1,68 @@
+"""FenwickTree and compute_prev unit tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reuse import FenwickTree, compute_prev
+
+
+def test_fenwick_prefix_sums_match_numpy():
+    rng = np.random.default_rng(0)
+    values = rng.integers(-5, 6, 64)
+    tree = FenwickTree(64)
+    for i, v in enumerate(values):
+        tree.add(i, int(v))
+    cum = np.cumsum(values)
+    for i in range(65):
+        expected = 0 if i == 0 else int(cum[i - 1])
+        assert tree.prefix_sum(i) == expected
+
+
+def test_fenwick_range_sum():
+    tree = FenwickTree(10)
+    for i in range(10):
+        tree.add(i, 1)
+    assert tree.range_sum(2, 7) == 5
+    assert tree.range_sum(0, 10) == 10
+    assert tree.range_sum(5, 5) == 0
+
+
+def test_fenwick_bounds_checking():
+    tree = FenwickTree(4)
+    with pytest.raises(IndexError):
+        tree.add(4, 1)
+    with pytest.raises(IndexError):
+        tree.add(-1, 1)
+    with pytest.raises(ValueError):
+        FenwickTree(-1)
+
+
+def test_fenwick_prefix_sum_clamps_out_of_range_counts():
+    tree = FenwickTree(3)
+    tree.add(0, 5)
+    assert tree.prefix_sum(100) == 5
+    assert tree.prefix_sum(-2) == 0
+
+
+def test_compute_prev_basic():
+    prev = compute_prev(np.array([4, 7, 4, 4, 7]))
+    assert prev.tolist() == [-1, -1, 0, 2, 1]
+
+
+def test_compute_prev_empty():
+    assert compute_prev(np.empty(0, dtype=np.int64)).shape == (0,)
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys=st.lists(st.integers(0, 8), max_size=100))
+def test_compute_prev_matches_dict_scan(keys):
+    keys = np.array(keys, dtype=np.int64)
+    expected = np.full(len(keys), -1, dtype=np.int64)
+    last: dict[int, int] = {}
+    for i, k in enumerate(keys.tolist()):
+        if k in last:
+            expected[i] = last[k]
+        last[k] = i
+    np.testing.assert_array_equal(compute_prev(keys), expected)

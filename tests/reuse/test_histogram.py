@@ -1,0 +1,90 @@
+"""ReuseProfile: capacity queries against brute-force counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reuse import COLD, ReuseProfile, miss_count, reuse_distances, scale_distances
+
+
+def test_profile_counts_cold_and_capacity_misses():
+    rd = np.array([COLD, COLD, 0, 5, 10])
+    profile = ReuseProfile.from_distances(rd)
+    assert profile.num_accesses == 5
+    assert profile.num_cold == 2
+    assert profile.misses(1) == 4  # only rd=0 hits
+    assert profile.misses(6) == 3  # rd=0 and rd=5 hit
+    assert profile.misses(100) == 2  # only cold misses remain
+    assert profile.capacity_misses(100) == 0
+    assert profile.capacity_misses(1) == 2
+
+
+def test_profile_mask_restricts_accesses():
+    rd = np.array([COLD, 3, 7])
+    profile = ReuseProfile.from_distances(rd, mask=np.array([False, True, True]))
+    assert profile.num_accesses == 2
+    assert profile.misses(5) == 1
+
+
+def test_hit_ratio_empty_profile_is_one():
+    assert ReuseProfile.from_distances(np.empty(0, dtype=np.int64)).hit_ratio(4) == 1.0
+
+
+def test_miss_curve_matches_scalar_queries():
+    rng = np.random.default_rng(1)
+    rd = reuse_distances(rng.integers(0, 30, 500))
+    profile = ReuseProfile.from_distances(rd)
+    capacities = np.array([0, 1, 2, 5, 10, 50, 1000])
+    np.testing.assert_array_equal(
+        profile.miss_curve(capacities),
+        [profile.misses(int(c)) for c in capacities],
+    )
+
+
+def test_miss_curve_rejects_negative_capacity():
+    profile = ReuseProfile.from_distances(np.array([1, 2]))
+    with pytest.raises(ValueError):
+        profile.miss_curve(np.array([-1]))
+    with pytest.raises(ValueError):
+        profile.misses(-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    trace=st.lists(st.integers(0, 20), min_size=1, max_size=200),
+    capacity=st.integers(0, 30),
+)
+def test_misses_match_direct_count(trace, capacity):
+    rd = reuse_distances(np.array(trace, dtype=np.int64))
+    profile = ReuseProfile.from_distances(rd)
+    assert profile.misses(capacity) == miss_count(rd, capacity)
+    assert profile.misses(capacity) == int(np.count_nonzero(rd >= capacity))
+
+
+def test_monotonicity_more_capacity_never_more_misses():
+    rng = np.random.default_rng(2)
+    rd = reuse_distances(rng.integers(0, 100, 2000))
+    profile = ReuseProfile.from_distances(rd)
+    curve = profile.miss_curve(np.arange(0, 120))
+    assert np.all(np.diff(curve) <= 0)
+
+
+def test_scale_distances_preserves_cold_markers():
+    rd = np.array([COLD, 4, 0])
+    scaled = scale_distances(rd, 2.5)
+    assert scaled[0] == COLD
+    assert scaled[1] == 10
+    assert scaled[2] == 0
+
+
+def test_scale_distances_rejects_negative_factor():
+    with pytest.raises(ValueError):
+        scale_distances(np.array([1]), -1.0)
+
+
+def test_histogram_bins_finite_distances_only():
+    rd = np.array([COLD, 1, 2, 2, 9])
+    profile = ReuseProfile.from_distances(rd)
+    counts = profile.histogram(np.array([0, 2, 10]))
+    assert counts.tolist() == [1, 3]

@@ -1,0 +1,97 @@
+"""CSC format, kernels and trace generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.csc_trace import csc_layout, csc_trace
+from repro.core.layout import ARRAY_ID
+from repro.spmv import CSRMatrix, spmv
+from repro.spmv.csc import CSCMatrix
+
+
+def random_csr(n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+    return CSRMatrix.from_dense(dense)
+
+
+def test_csr_csc_roundtrip():
+    m = random_csr(30, 0.25, 0)
+    csc = CSCMatrix.from_csr(m)
+    np.testing.assert_allclose(csc.to_csr().to_dense(), m.to_dense())
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 25), density=st.floats(0.05, 0.8), seed=st.integers(0, 500))
+def test_csc_spmv_matches_csr(n, density, seed):
+    m = random_csr(n, density, seed)
+    csc = CSCMatrix.from_csr(m)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal(n)
+    y0 = rng.standard_normal(n)
+    np.testing.assert_allclose(
+        csc.spmv(x, y0.copy()), spmv(m, x, y0.copy()), rtol=1e-10
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 25), density=st.floats(0.05, 0.8), seed=st.integers(0, 500))
+def test_transposed_spmv_matches_dense(n, density, seed):
+    m = random_csr(n, density, seed)
+    csc = CSCMatrix.from_csr(m)
+    rng = np.random.default_rng(seed + 2)
+    y = rng.standard_normal(n)
+    expected = m.to_dense().T @ y
+    np.testing.assert_allclose(csc.spmv_transposed(y), expected, rtol=1e-9, atol=1e-12)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CSCMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        CSCMatrix(2, 2, np.array([0, 1, 0]), np.array([0]), np.array([1.0]))
+    m = CSCMatrix.from_csr(random_csr(5, 0.5, 0))
+    with pytest.raises(ValueError):
+        m.spmv(np.ones(3))
+    with pytest.raises(ValueError):
+        m.spmv_transposed(np.ones(3))
+
+
+def test_empty_columns_handled():
+    dense = np.zeros((4, 4))
+    dense[2, 1] = 3.0
+    csc = CSCMatrix.from_csr(CSRMatrix.from_dense(dense))
+    np.testing.assert_allclose(csc.spmv(np.ones(4))[2], 3.0)
+    np.testing.assert_allclose(csc.spmv_transposed(np.ones(4))[1], 3.0)
+
+
+def test_csc_trace_is_dual_of_csr():
+    m = random_csr(20, 0.3, 3)
+    csc = CSCMatrix.from_csr(m)
+    trace = csc_trace(csc, line_size=64)[0]
+    counts = {
+        name: int((trace.arrays == aid).sum()) for name, aid in ARRAY_ID.items()
+    }
+    # per column: one colptr + one x; per nonzero: values, rowidx, y
+    assert counts["x"] == csc.num_cols
+    assert counts["y"] == csc.nnz
+    assert counts["values"] == csc.nnz
+    assert counts["colidx"] == csc.nnz
+    assert counts["rowptr"] == csc.num_cols + 1
+
+
+def test_csc_trace_parallel_covers_columns():
+    m = random_csr(40, 0.2, 4)
+    csc = CSCMatrix.from_csr(m)
+    traces = csc_trace(csc, num_threads=3)
+    total_x = sum(int((t.arrays == ARRAY_ID["x"]).sum()) for t in traces)
+    assert total_x == csc.num_cols
+
+
+def test_csc_layout_extents():
+    m = random_csr(16, 0.4, 5)
+    csc = CSCMatrix.from_csr(m)
+    layout = csc_layout(csc, 64)
+    assert layout.num_lines[ARRAY_ID["rowptr"]] == -(-8 * (csc.num_cols + 1) // 64)

@@ -1,0 +1,125 @@
+"""CSRMatrix construction, conversion and permutation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmv import CSRMatrix
+
+
+def small_matrix() -> CSRMatrix:
+    dense = np.array(
+        [
+            [0.0, 1.0, 2.0, 0.0],
+            [3.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 4.0, 5.0],
+            [0.0, 6.0, 0.0, 7.0],
+        ]
+    )
+    return CSRMatrix.from_dense(dense, name="small")
+
+
+def test_from_dense_roundtrip():
+    m = small_matrix()
+    assert m.shape == (4, 4)
+    assert m.nnz == 7
+    np.testing.assert_array_equal(m.to_dense(), small_matrix().to_dense())
+
+
+def test_from_coo_sums_duplicates():
+    m = CSRMatrix.from_coo(
+        2, 2, np.array([0, 0, 1]), np.array([1, 1, 0]), np.array([2.0, 3.0, 1.0])
+    )
+    assert m.nnz == 2
+    assert m.to_dense()[0, 1] == 5.0
+
+
+def test_from_coo_keeps_duplicates_when_asked():
+    m = CSRMatrix.from_coo(
+        2, 2, np.array([0, 0]), np.array([1, 1]), sum_duplicates=False
+    )
+    assert m.nnz == 2
+
+
+def test_byte_sizes_match_paper_element_sizes():
+    m = small_matrix()
+    assert m.values_bytes == 8 * m.nnz
+    assert m.colidx_bytes == 4 * m.nnz
+    assert m.rowptr_bytes == 8 * (m.num_rows + 1)
+    assert m.x_bytes == 8 * m.num_cols
+    assert m.y_bytes == 8 * m.num_rows
+    assert m.total_bytes == m.matrix_bytes + m.x_bytes + m.y_bytes
+
+
+def test_row_lengths():
+    assert small_matrix().row_lengths.tolist() == [2, 1, 2, 2]
+
+
+def test_validation_rejects_malformed_inputs():
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        CSRMatrix(1, 1, np.array([0, 2]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        CSRMatrix(1, 1, np.array([1, 1]), np.empty(0), np.empty(0))
+    with pytest.raises(ValueError):
+        CSRMatrix(1, 1, np.array([0, 1]), np.array([5]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        CSRMatrix(2, 2, np.array([0, 2, 1]), np.array([0, 1]), np.array([1.0, 1.0]))
+
+
+def test_from_coo_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        CSRMatrix.from_coo(2, 2, np.array([2]), np.array([0]))
+    with pytest.raises(ValueError):
+        CSRMatrix.from_coo(2, 2, np.array([0]), np.array([-1]))
+
+
+def test_transpose_matches_dense_transpose():
+    m = small_matrix()
+    np.testing.assert_array_equal(m.transpose().to_dense(), m.to_dense().T)
+
+
+def test_permute_matches_dense_permutation():
+    m = small_matrix()
+    perm = np.array([2, 0, 3, 1])
+    dense = m.to_dense()[perm][:, perm]
+    np.testing.assert_array_equal(m.permute(perm).to_dense(), dense)
+
+
+def test_permute_rejects_bad_lengths():
+    m = small_matrix()
+    with pytest.raises(ValueError):
+        m.permute(np.array([0, 1]))
+    with pytest.raises(ValueError):
+        m.permute(np.arange(4), np.array([0]))
+
+
+def test_sort_indices_orders_columns():
+    m = CSRMatrix.from_coo(
+        1, 4, np.array([0, 0, 0]), np.array([3, 0, 2]), sum_duplicates=False
+    )
+    assert m.sort_indices().colidx.tolist() == [0, 2, 3]
+
+
+def test_empty_matrix():
+    m = CSRMatrix(0, 0, np.zeros(1, dtype=np.int64), np.empty(0), np.empty(0))
+    assert m.nnz == 0
+    # rowptr always stores one sentinel element, everything else is empty
+    assert m.total_bytes == m.rowptr_bytes == 8
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(1, 12),
+    seed=st.integers(0, 1000),
+)
+def test_coo_dense_roundtrip_property(n, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.3) * rng.random((n, n))
+    m = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(m.to_dense(), dense)
+    rows, cols, vals = m.to_coo()
+    m2 = CSRMatrix.from_coo(n, n, rows, cols, vals)
+    np.testing.assert_allclose(m2.to_dense(), dense)

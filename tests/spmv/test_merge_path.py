@@ -1,0 +1,72 @@
+"""Merge-path search and scheduling (Merrill & Garland baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmv import CSRMatrix, merge_path_search, merge_schedule
+
+
+def skewed(n=32):
+    rows = [0] * n + list(range(n))
+    cols = list(range(n)) + [0] * n
+    return CSRMatrix.from_coo(n, n, np.array(rows), np.array(cols))
+
+
+def test_path_endpoints():
+    m = skewed()
+    end = merge_path_search(m.num_rows + m.nnz, m.rowptr[1:], m.nnz)
+    assert end.row == m.num_rows
+    assert end.nonzero == m.nnz
+    start = merge_path_search(0, m.rowptr[1:], m.nnz)
+    assert start.row == 0 and start.nonzero == 0
+
+
+def test_coordinates_on_diagonal():
+    m = skewed()
+    for d in range(0, m.num_rows + m.nnz, 7):
+        coord = merge_path_search(d, m.rowptr[1:], m.nnz)
+        assert coord.row + coord.nonzero == d
+
+
+def test_schedule_is_contiguous_and_covering():
+    m = skewed()
+    spans = merge_schedule(m, 5)
+    assert spans[0][0].row == 0 and spans[0][0].nonzero == 0
+    assert spans[-1][1].row == m.num_rows
+    assert spans[-1][1].nonzero == m.nnz
+    for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+        assert (e0.row, e0.nonzero) == (s1.row, s1.nonzero)
+
+
+def test_schedule_balances_merge_items():
+    m = skewed(64)
+    spans = merge_schedule(m, 8)
+    items = [
+        (e.row + e.nonzero) - (s.row + s.nonzero) for s, e in spans
+    ]
+    assert max(items) - min(items) <= 1
+
+
+def test_invalid_thread_count():
+    with pytest.raises(ValueError):
+        merge_schedule(skewed(), 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 40), seed=st.integers(0, 100), threads=st.integers(1, 9))
+def test_merge_path_monotone_property(n, seed, threads):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(0, 8, n)
+    rowptr = np.concatenate(([0], np.cumsum(lengths)))
+    cols = rng.integers(0, n, int(rowptr[-1]))
+    m = CSRMatrix(n, n, rowptr, cols, np.ones(int(rowptr[-1])))
+    spans = merge_schedule(m, threads)
+    prev = (0, 0)
+    for start, end in spans:
+        assert (start.row, start.nonzero) == prev
+        assert end.row >= start.row
+        assert end.nonzero >= start.nonzero
+        prev = (end.row, end.nonzero)
+    assert prev == (m.num_rows, m.nnz)

@@ -1,0 +1,92 @@
+"""Row schedules: static and nonzero-balanced."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spmv import CSRMatrix, RowSchedule, balanced_schedule, static_schedule
+
+
+def skewed_matrix(n: int = 64) -> CSRMatrix:
+    # first row holds half the nonzeros
+    rows = [0] * n + list(range(n))
+    cols = list(range(n)) + [0] * n
+    return CSRMatrix.from_coo(n, n, np.array(rows), np.array(cols))
+
+
+def test_static_schedule_covers_all_rows():
+    m = skewed_matrix()
+    sched = static_schedule(m, 4)
+    assert sched.bounds[0] == 0 and sched.bounds[-1] == m.num_rows
+    total = sum(sched.rows_of(t)[1] - sched.rows_of(t)[0] for t in range(4))
+    assert total == m.num_rows
+
+
+def test_static_schedule_balances_rows():
+    m = skewed_matrix(100)
+    sched = static_schedule(m, 4)
+    counts = np.diff(sched.bounds)
+    assert counts.max() - counts.min() <= 1
+
+
+def test_balanced_schedule_balances_nonzeros():
+    m = skewed_matrix(64)
+    static = static_schedule(m, 8)
+    balanced = balanced_schedule(m, 8)
+    assert balanced.imbalance(m) < static.imbalance(m)
+
+
+def test_balanced_schedule_covers_all_nonzeros():
+    m = skewed_matrix()
+    sched = balanced_schedule(m, 5)
+    assert int(sched.nnz_per_thread(m).sum()) == m.nnz
+
+
+def test_thread_of_row_inverts_rows_of():
+    m = skewed_matrix(50)
+    sched = static_schedule(m, 7)
+    for t in range(7):
+        r0, r1 = sched.rows_of(t)
+        for r in (r0, r1 - 1):
+            if r0 < r1:
+                assert sched.thread_of_row(r) == t
+
+
+def test_more_threads_than_rows():
+    m = CSRMatrix.from_dense(np.eye(3))
+    sched = static_schedule(m, 8)
+    assert sched.bounds[-1] == 3
+    assert int(sched.nnz_per_thread(m).sum()) == 3
+
+
+def test_schedule_validation():
+    m = skewed_matrix()
+    with pytest.raises(ValueError):
+        static_schedule(m, 0)
+    with pytest.raises(ValueError):
+        balanced_schedule(m, -1)
+    with pytest.raises(ValueError):
+        RowSchedule(2, np.array([0, 5, 3]))
+    with pytest.raises(ValueError):
+        RowSchedule(2, np.array([1, 2, 3]))
+    sched = static_schedule(m, 2)
+    with pytest.raises(ValueError):
+        sched.rows_of(2)
+    with pytest.raises(ValueError):
+        sched.thread_of_row(m.num_rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 200), threads=st.integers(1, 16), seed=st.integers(0, 99))
+def test_schedules_partition_rows(n, threads, seed):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(0, 10, n)
+    rowptr = np.concatenate(([0], np.cumsum(lengths)))
+    cols = rng.integers(0, n, int(rowptr[-1]))
+    m = CSRMatrix(n, n, rowptr, cols, np.ones(int(rowptr[-1])))
+    for sched in (static_schedule(m, threads), balanced_schedule(m, threads)):
+        assert sched.bounds[0] == 0
+        assert sched.bounds[-1] == n
+        assert np.all(np.diff(sched.bounds) >= 0)
+        assert int(sched.nnz_per_thread(m).sum()) == m.nnz

@@ -1,0 +1,59 @@
+"""Sector-policy semantics (Listing 1 directives)."""
+
+import pytest
+
+from repro.machine import scaled_machine
+from repro.spmv import (
+    SectorPolicy,
+    isolate_x_policy,
+    listing1_policy,
+    no_sector_cache,
+)
+
+
+def test_listing1_assigns_matrix_data_to_sector1():
+    policy = listing1_policy(5)
+    assert policy.sector_of("values") == 1
+    assert policy.sector_of("colidx") == 1
+    for array in ("x", "y", "rowptr"):
+        assert policy.sector_of(array) == 0
+
+
+def test_no_sector_cache_disables_both_levels():
+    policy = no_sector_cache()
+    assert not policy.l1_enabled and not policy.l2_enabled
+    assert policy.describe() == "sector cache disabled"
+
+
+def test_isolate_x_keeps_only_x_in_sector0():
+    policy = isolate_x_policy(5)
+    assert policy.sector_of("x") == 0
+    for array in ("values", "colidx", "rowptr", "y"):
+        assert policy.sector_of(array) == 1
+
+
+def test_describe_mirrors_fcc_pragma():
+    text = listing1_policy(5, 1).describe()
+    assert "L2=5" in text and "L1=1" in text
+    assert "colidx" in text and "values" in text
+
+
+def test_validation_against_machine_way_counts():
+    machine = scaled_machine(16)
+    listing1_policy(5).validate(machine)
+    with pytest.raises(ValueError):
+        listing1_policy(16).validate(machine)  # no way left for sector 0
+    with pytest.raises(ValueError):
+        listing1_policy(2, 4).validate(machine)  # L1 has only 4 ways
+
+
+def test_unknown_array_rejected():
+    with pytest.raises(ValueError):
+        SectorPolicy(sector1_arrays=frozenset({"bogus"}))
+    with pytest.raises(ValueError):
+        listing1_policy(2).sector_of("bogus")
+
+
+def test_negative_ways_rejected():
+    with pytest.raises(ValueError):
+        SectorPolicy(l2_sector1_ways=-1)

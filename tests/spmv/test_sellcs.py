@@ -1,0 +1,121 @@
+"""SELL-C-sigma format: packing, kernel, and trace generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sellcs_trace import sellcs_layout, sellcs_trace
+from repro.core.layout import ARRAY_ID
+from repro.matrices import power_law, random_uniform
+from repro.spmv import CSRMatrix, spmv
+from repro.spmv.sellcs import SellCSigmaMatrix
+
+
+def random_csr(n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+    return CSRMatrix.from_dense(dense)
+
+
+def test_conversion_preserves_product():
+    m = random_csr(50, 0.2, 0)
+    sell = SellCSigmaMatrix.from_csr(m, chunk_size=8, sigma=16)
+    x = np.random.default_rng(1).standard_normal(50)
+    np.testing.assert_allclose(sell.spmv(x), spmv(m, x), rtol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    density=st.floats(0.05, 0.8),
+    chunk=st.sampled_from([2, 4, 8]),
+    sigma=st.sampled_from([1, 4, 64]),
+    seed=st.integers(0, 500),
+)
+def test_spmv_matches_csr_property(n, density, chunk, sigma, seed):
+    m = random_csr(n, density, seed)
+    sell = SellCSigmaMatrix.from_csr(m, chunk_size=chunk, sigma=sigma)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal(n)
+    y0 = rng.standard_normal(n)
+    np.testing.assert_allclose(
+        sell.spmv(x, y0.copy()), spmv(m, x, y0.copy()), rtol=1e-10
+    )
+
+
+def test_sigma_sorting_reduces_padding():
+    m = power_law(2_000, 6.0, exponent=1.7, seed=1)
+    unsorted = SellCSigmaMatrix.from_csr(m, chunk_size=8, sigma=1)
+    sorted_ = SellCSigmaMatrix.from_csr(m, chunk_size=8, sigma=512)
+    assert sorted_.padding_ratio < unsorted.padding_ratio
+    assert sorted_.padding_ratio >= 1.0
+
+
+def test_uniform_rows_need_no_padding():
+    m = random_uniform(64, 4, seed=0)
+    # uniform rows may still vary slightly after dedup; use a regular case
+    dense = np.tril(np.ones((16, 16)))[:, :4]
+    m = CSRMatrix.from_dense(np.ones((16, 4)))
+    sell = SellCSigmaMatrix.from_csr(m, chunk_size=4, sigma=1)
+    assert sell.padding_ratio == pytest.approx(1.0)
+
+
+def test_row_perm_is_permutation_within_windows():
+    m = power_law(100, 4.0, seed=2)
+    sell = SellCSigmaMatrix.from_csr(m, chunk_size=8, sigma=20)
+    assert sorted(sell.row_perm.tolist()) == list(range(100))
+    for start in range(0, 100, 20):
+        window = sell.row_perm[start : start + 20]
+        assert set(window.tolist()) == set(range(start, min(start + 20, 100)))
+
+
+def test_validation():
+    m = random_csr(10, 0.3, 0)
+    with pytest.raises(ValueError):
+        SellCSigmaMatrix.from_csr(m, chunk_size=0)
+    with pytest.raises(ValueError):
+        SellCSigmaMatrix.from_csr(m, chunk_size=4, sigma=0)
+    sell = SellCSigmaMatrix.from_csr(m)
+    with pytest.raises(ValueError):
+        sell.spmv(np.ones(3))
+
+
+def test_trace_covers_all_slots():
+    m = random_csr(40, 0.2, 3)
+    sell = SellCSigmaMatrix.from_csr(m, chunk_size=4, sigma=8)
+    trace = sellcs_trace(sell, line_size=64)[0]
+    values_refs = int((trace.arrays == ARRAY_ID["values"]).sum())
+    assert values_refs == sell.nnz_stored  # padding is loaded too
+    y_refs = int((trace.arrays == ARRAY_ID["y"]).sum())
+    assert y_refs == sell.num_rows
+
+
+def test_trace_chunk_order_is_column_major():
+    dense = np.ones((4, 3))
+    m = CSRMatrix.from_dense(dense)
+    sell = SellCSigmaMatrix.from_csr(m, chunk_size=4, sigma=1)
+    layout = sellcs_layout(sell, 64)
+    trace = sellcs_trace(sell, layout)[0]
+    # first ref is the chunk pointer, then triples per slot
+    assert trace.arrays[0] == ARRAY_ID["rowptr"]
+    triple = trace.arrays[1:4]
+    assert triple.tolist() == [
+        ARRAY_ID["values"], ARRAY_ID["colidx"], ARRAY_ID["x"]
+    ]
+
+
+def test_parallel_traces_partition_chunks():
+    m = random_csr(64, 0.2, 4)
+    sell = SellCSigmaMatrix.from_csr(m, chunk_size=8, sigma=8)
+    traces = sellcs_trace(sell, num_threads=3)
+    total_y = sum(int((t.arrays == ARRAY_ID["y"]).sum()) for t in traces)
+    assert total_y == sell.num_rows
+    assert all(np.all(t.threads == i) for i, t in enumerate(traces))
+
+
+def test_memory_bytes_accounts_padding():
+    m = power_law(500, 5.0, seed=5)
+    sell = SellCSigmaMatrix.from_csr(m, chunk_size=8, sigma=1)
+    csr_bytes = m.values_bytes + m.colidx_bytes
+    assert sell.memory_bytes() > csr_bytes  # padding + permutation overhead
