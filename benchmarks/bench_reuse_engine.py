@@ -2,17 +2,27 @@
 
 Compares the vectorized CDQ stack processing (the production path) against
 the Fenwick-tree sweep and the Kim et al. grouped stack on identical
-traces, reporting references per second.
+traces, reporting references per second.  ``bench_model_sweep`` covers the
+layer above: matrices/second of a 16-configuration model sweep, serial vs.
+``--jobs 4``, plus the warm per-policy query vs. the full-mask reference.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from repro.core import MethodA
+from repro.experiments import ExperimentSetup, run_collection, run_collection_parallel
+from repro.machine import scaled_machine
+from repro.matrices import random_uniform
+from repro.matrices.collection import collection
 from repro.reuse import (
     reuse_distances,
     reuse_distances_fenwick,
     reuse_distances_kim,
 )
+from repro.spmv import listing1_policy
 
 
 def _trace(n=200_000, lines=20_000, groups=8, seed=0):
@@ -51,3 +61,60 @@ def test_cdq_scales_near_linearithmic(benchmark, n):
         lambda: reuse_distances(trace, groups),
         rounds=2, iterations=1, warmup_rounds=0,
     )
+
+
+# -- bench_model_sweep: the 16-configuration model evaluation ------------
+
+#: 16 sector configurations: 6 L2 way splits alone + 5 of them crossed
+#: with 2 L1 splits (the Figure 2/3 sweep shape).
+SWEEP_SETUP = ExperimentSetup(
+    scale=16,
+    num_threads=48,
+    l2_way_options=(0, 2, 3, 4, 5, 6),
+    l1_way_options=(0, 1, 2),
+)
+SWEEP_MATRICES = 6
+
+
+def _sweep_specs():
+    return collection("tiny", machine=SWEEP_SETUP.machine())[:SWEEP_MATRICES]
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_bench_model_sweep(benchmark, jobs):
+    """Matrices/second of the 16-policy sweep, serial vs. ``--jobs 4``."""
+    specs = _sweep_specs()
+
+    def run():
+        if jobs == 1:
+            return run_collection(specs, SWEEP_SETUP, cache_dir=None)
+        result = run_collection_parallel(
+            specs, SWEEP_SETUP, cache_dir=None, jobs=jobs
+        )
+        assert not result.failures
+        return result.records
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert len(records) == len(specs)
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["configurations"] = 16
+    benchmark.extra_info["matrices_per_second"] = len(specs) / elapsed
+
+
+def test_bench_predict_query_vs_full_mask(benchmark):
+    """Warm per-policy ``predict()`` vs. the pre-change full-mask sweep."""
+    matrix = random_uniform(20_000, 8, seed=1)
+    model = MethodA(matrix, scaled_machine(16), num_threads=48)
+    policy = listing1_policy(5)
+    model.predict(policy)  # pay the stack pass + profile build once
+    reps = 20
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        reference = model._predict_masked(policy)
+    mask_seconds = (time.perf_counter() - t0) / reps
+    result = benchmark(lambda: model.predict(policy))
+    assert result.l2_misses == reference.l2_misses
+    query_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["mask_path_seconds"] = mask_seconds
+    benchmark.extra_info["query_speedup"] = mask_seconds / query_seconds

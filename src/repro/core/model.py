@@ -10,6 +10,7 @@ it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..cachesim.events import CacheEvents
 from ..machine.a64fx import A64FX
@@ -102,6 +103,23 @@ class CacheMissModel:
         if method == "B":
             return self.method_b.predict_l1(policy)
         raise ValueError(f"method must be 'A' or 'B', got {method!r}")
+
+    def sweep(
+        self, policies: Sequence[SectorPolicy], method: str = "A"
+    ) -> list[MissPrediction]:
+        """Predicted L2 misses for many policies off the shared stack passes.
+
+        The first query of each grouping pays the stack pass; every further
+        policy is an O(log n) profile lookup, so sweeping the paper's ~16
+        sector configurations costs barely more than predicting one.
+        """
+        return [self.predict(policy, method) for policy in policies]
+
+    def sweep_l1(
+        self, policies: Sequence[SectorPolicy], method: str = "A"
+    ) -> list[MissPrediction]:
+        """Predicted L1 misses for many policies off the shared stack passes."""
+        return [self.predict_l1(policy, method) for policy in policies]
 
     def compare(
         self, policy: SectorPolicy, events: CacheEvents, method: str = "A"

@@ -68,11 +68,11 @@ class MemoryTrace:
             )
         if self.iteration is None:
             object.__setattr__(
-                self, "iteration", np.zeros(self.lines.shape[0], dtype=np.int8)
+                self, "iteration", np.zeros(self.lines.shape[0], dtype=np.int32)
             )
         else:
             object.__setattr__(
-                self, "iteration", np.ascontiguousarray(self.iteration, dtype=np.int8)
+                self, "iteration", np.ascontiguousarray(self.iteration, dtype=np.int32)
             )
         n = self.lines.shape[0]
         for name in ("arrays", "threads", "is_prefetch", "iteration"):

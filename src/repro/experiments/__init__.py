@@ -5,8 +5,10 @@ from .common import (
     MatrixRecord,
     collection_records,
     measure_matrix,
+    record_fingerprint,
     run_collection,
 )
+from .pool import SweepFailure, SweepResult, run_collection_parallel
 from .figure2 import best_l2_ways, figure2_series, render_figure2
 from .figure3 import figure3_series, headline_numbers, render_figure3
 from .figure4 import class_summary, figure4_points, render_figure4
@@ -38,6 +40,10 @@ __all__ = [
     "l1_accuracy",
     "measure_matrix",
     "method_overhead",
+    "record_fingerprint",
+    "run_collection_parallel",
+    "SweepFailure",
+    "SweepResult",
     "render_accuracy_table",
     "render_figure2",
     "render_figure3",

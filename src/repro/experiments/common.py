@@ -16,6 +16,11 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
 from ..cachesim.events import CacheEvents
 from ..cachesim.hierarchy import SimConfig, SpMVCacheSim
 from ..core.classification import classify
@@ -58,7 +63,7 @@ class ExperimentSetup:
 
     def cache_key(self, matrix_name: str) -> str:
         payload = json.dumps(
-            ["v5", matrix_name, self.scale, self.num_threads, self.iterations,
+            ["v6", matrix_name, self.scale, self.num_threads, self.iterations,
              self.l1_prefetch_distance, self.l2_prefetch_distance,
              list(self.l2_way_options), list(self.l1_way_options)],
             sort_keys=True,
@@ -104,6 +109,11 @@ class MatrixRecord:
     #: wall-clock seconds spent in methods A and B (Section 4.5.1)
     model_a_seconds: float = 0.0
     model_b_seconds: float = 0.0
+    #: per-phase wall-clock seconds (classify/simulate/model_a/model_b/total)
+    timings: dict[str, float] = field(default_factory=dict)
+    #: peak RSS of the measuring process when the record was produced, in
+    #: bytes (0 when unavailable); in a pooled sweep this is the worker's peak
+    peak_rss_bytes: int = 0
 
     def events(self, l2w: int, l1w: int = 0) -> CacheEvents:
         raw = self.measured[_config_key(l2w, l1w)]
@@ -156,8 +166,10 @@ def measure_matrix(
         working_set_bytes=matrix.total_bytes,
         threads=setup.num_threads,
     )
+    started = time.perf_counter()
     for l2w in setup.l2_way_options:
         record.classes[str(l2w)] = classify(matrix, machine, l2w, num_cmgs).value
+    t_classify = time.perf_counter()
 
     sim = SpMVCacheSim(matrix, machine, setup.sim_config())
     for l1w in setup.l1_way_options:
@@ -175,22 +187,97 @@ def measure_matrix(
             }
             est = perf_model.estimate(matrix, events, setup.num_threads)
             record.perf[key] = {"seconds": est.seconds, "gflops": est.gflops}
+    t_sim = time.perf_counter()
 
     model = CacheMissModel(
         matrix, machine, num_threads=setup.num_threads, iterations=setup.iterations
     )
+    sweep_policies = [_policy(setup, l2w, 0) for l2w in setup.l2_way_options]
     t0 = time.perf_counter()
-    for l2w in setup.l2_way_options:
-        record.model_a[str(l2w)] = model.predict(_policy(setup, l2w, 0), "A").l2_misses
+    for l2w, pred in zip(setup.l2_way_options, model.sweep(sweep_policies, "A")):
+        record.model_a[str(l2w)] = pred.l2_misses
     record.model_a_l1 = model.predict_l1(no_sector_cache(), "A").l2_misses
     t1 = time.perf_counter()
-    for l2w in setup.l2_way_options:
-        record.model_b[str(l2w)] = model.predict(_policy(setup, l2w, 0), "B").l2_misses
+    for l2w, pred in zip(setup.l2_way_options, model.sweep(sweep_policies, "B")):
+        record.model_b[str(l2w)] = pred.l2_misses
     record.model_b_l1 = model.predict_l1(no_sector_cache(), "B").l2_misses
     t2 = time.perf_counter()
     record.model_a_seconds = t1 - t0
     record.model_b_seconds = t2 - t1
+    record.timings = {
+        "classify": t_classify - started,
+        "simulate": t_sim - t_classify,
+        "model_a": t1 - t0,
+        "model_b": t2 - t1,
+        "total": t2 - started,
+    }
+    record.peak_rss_bytes = peak_rss_bytes()
     return record
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 if unknown)."""
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    import sys
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+
+
+#: Record fields that vary run-to-run (timing, memory) and must be ignored
+#: when checking that two sweeps produced identical results.
+VOLATILE_FIELDS: tuple[str, ...] = (
+    "model_a_seconds",
+    "model_b_seconds",
+    "timings",
+    "peak_rss_bytes",
+)
+
+
+def record_fingerprint(record: MatrixRecord) -> str:
+    """Canonical digest of a record's deterministic content.
+
+    Serial, parallel and cached sweeps of the same inputs must agree on
+    this digest; the instrumentation fields of :data:`VOLATILE_FIELDS` are
+    excluded because wall time and RSS are not reproducible.
+    """
+    payload = asdict(record)
+    for name in VOLATILE_FIELDS:
+        payload.pop(name, None)
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def cache_entry_path(
+    cache_path: Path, setup: ExperimentSetup, matrix_name: str
+) -> Path:
+    """On-disk location of one matrix's cached measurement bundle."""
+    return cache_path / f"{setup.cache_key(matrix_name)}.json"
+
+
+def load_cached_record(
+    cache_path: Path | None, setup: ExperimentSetup, matrix_name: str
+) -> MatrixRecord | None:
+    """The cached record for a matrix, or None on a cache miss."""
+    if cache_path is None:
+        return None
+    entry = cache_entry_path(cache_path, setup, matrix_name)
+    if not entry.exists():
+        return None
+    return MatrixRecord(**json.loads(entry.read_text()))
+
+
+def store_record(
+    cache_path: Path | None, setup: ExperimentSetup, record: MatrixRecord
+) -> None:
+    """Persist a record; serial and parallel sweeps share this writer."""
+    if cache_path is None:
+        return
+    entry = cache_entry_path(cache_path, setup, record.name)
+    entry.write_text(json.dumps(asdict(record)))
 
 
 def run_collection(
@@ -198,16 +285,30 @@ def run_collection(
     setup: ExperimentSetup,
     cache_dir: str | Path | None = ".repro_cache",
     verbose: bool = False,
+    jobs: int = 1,
+    timeout: float | None = None,
 ) -> list[MatrixRecord]:
-    """Measurement bundles for a list of matrix specs, with disk caching."""
+    """Measurement bundles for a list of matrix specs, with disk caching.
+
+    ``jobs > 1`` dispatches cache misses to the process-pool sweep engine
+    (:mod:`repro.experiments.pool`): results, ordering and cache records
+    are identical to the serial path, and individual matrix failures are
+    recorded instead of aborting the sweep.
+    """
+    if jobs > 1:
+        from .pool import run_collection_parallel
+
+        return run_collection_parallel(
+            specs, setup, cache_dir, jobs=jobs, timeout=timeout, verbose=verbose
+        ).records
     records = []
     cache_path = Path(cache_dir) if cache_dir else None
     if cache_path:
         cache_path.mkdir(parents=True, exist_ok=True)
     for i, spec in enumerate(specs):
-        entry = cache_path / f"{setup.cache_key(spec.name)}.json" if cache_path else None
-        if entry and entry.exists():
-            records.append(MatrixRecord(**json.loads(entry.read_text())))
+        cached = load_cached_record(cache_path, setup, spec.name)
+        if cached is not None:
+            records.append(cached)
             continue
         matrix = spec.materialize()
         started = time.perf_counter()
@@ -217,8 +318,7 @@ def run_collection(
                 f"[{i + 1}/{len(specs)}] {spec.name}: nnz={matrix.nnz} "
                 f"({time.perf_counter() - started:.1f}s)"
             )
-        if entry:
-            entry.write_text(json.dumps(asdict(record)))
+        store_record(cache_path, setup, record)
         records.append(record)
     return records
 
@@ -229,10 +329,14 @@ def collection_records(
     cache_dir: str | Path | None = ".repro_cache",
     limit: int | None = None,
     verbose: bool = False,
+    jobs: int = 1,
+    timeout: float | None = None,
 ) -> list[MatrixRecord]:
     """Records for the named synthetic collection (the usual entry point)."""
     setup = setup or ExperimentSetup()
     specs = collection(size, machine=setup.machine())
     if limit is not None:
         specs = specs[:limit]
-    return run_collection(specs, setup, cache_dir, verbose=verbose)
+    return run_collection(
+        specs, setup, cache_dir, verbose=verbose, jobs=jobs, timeout=timeout
+    )

@@ -1,0 +1,262 @@
+"""Process-pool sweep engine for multi-matrix model evaluations.
+
+The paper's headline experiments sweep 490 matrices x ~16 sector
+configurations; the serial :func:`repro.experiments.common.run_collection`
+walks them on one core.  This module fans the per-matrix work out over a
+``ProcessPoolExecutor`` while keeping three guarantees:
+
+* **Determinism** — results, their ordering, and the on-disk cache records
+  are identical to the serial path (instrumentation fields excepted; see
+  :data:`repro.experiments.common.VOLATILE_FIELDS`).  Workers only compute;
+  the parent writes cache entries in spec order with the same serializer
+  the serial path uses.
+* **Fault isolation** — a worker exception is caught *inside* the worker
+  and returned as a structured :class:`SweepFailure`; a per-matrix timeout
+  is enforced by the parent.  Either way the sweep continues, and the
+  failure is persisted next to the cache records as
+  ``<cache_key>.failure.json``.
+* **Work stealing** — matrices are submitted as small chunks, so idle
+  workers pick up remaining chunks regardless of how unevenly sized the
+  matrices are.
+
+``MatrixSpec.build`` closures are not picklable, so the pool uses the
+``fork`` start method and publishes the work list through module globals:
+workers inherit the specs at fork time and only integer indices cross the
+process boundary.  Platforms without ``fork`` fall back to an in-process
+sweep with the same fault isolation and result shape.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..matrices.collection import MatrixSpec
+from .common import (
+    ExperimentSetup,
+    MatrixRecord,
+    load_cached_record,
+    measure_matrix,
+    store_record,
+)
+
+# Work published to forked workers (MatrixSpec closures cannot be pickled;
+# only chunk index lists are sent over the pipe).
+_WORK_SPECS: list[MatrixSpec] = []
+_WORK_SETUP: ExperimentSetup | None = None
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """Structured record of one matrix whose measurement failed.
+
+    Serialized as ``<cache_key>.failure.json`` in the cache directory so a
+    resumed sweep can report (and retry) exactly what went wrong.
+    """
+
+    name: str
+    index: int
+    error_type: str
+    message: str
+    traceback: str = ""
+    elapsed_seconds: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a pooled sweep: ordered records plus isolated failures."""
+
+    records: list[MatrixRecord]
+    failures: list[SweepFailure] = field(default_factory=list)
+    from_cache: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def failed_names(self) -> list[str]:
+        return [f.name for f in self.failures]
+
+
+def _measure_chunk(indices: list[int]) -> list[dict]:
+    """Worker body: measure a chunk of specs with per-matrix isolation."""
+    payloads: list[dict] = []
+    for index in indices:
+        spec = _WORK_SPECS[index]
+        started = time.perf_counter()
+        try:
+            matrix = spec.materialize()
+            record = measure_matrix(matrix, _WORK_SETUP)
+            payloads.append({"index": index, "record": asdict(record)})
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            payloads.append(
+                {
+                    "index": index,
+                    "failure": {
+                        "name": spec.name,
+                        "index": index,
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                        "elapsed_seconds": time.perf_counter() - started,
+                    },
+                }
+            )
+    return payloads
+
+
+def _chunk(pending: list[int], jobs: int, chunksize: int | None) -> list[list[int]]:
+    """Contiguous chunks sized for work stealing (several per worker)."""
+    if chunksize is None:
+        chunksize = max(1, min(8, len(pending) // (jobs * 4) or 1))
+    return [pending[i : i + chunksize] for i in range(0, len(pending), chunksize)]
+
+
+def run_collection_parallel(
+    specs: list[MatrixSpec],
+    setup: ExperimentSetup,
+    cache_dir: str | Path | None = ".repro_cache",
+    jobs: int = 2,
+    timeout: float | None = None,
+    verbose: bool = False,
+    chunksize: int | None = None,
+) -> SweepResult:
+    """Sweep a collection over a process pool with per-matrix isolation.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` still goes through the pooled result
+        assembly (useful for failure isolation without parallelism) but
+        runs in-process.
+    timeout:
+        Per-matrix wall-clock budget in seconds, enforced by the parent
+        while collecting a chunk (budget = ``timeout * len(chunk)``).  A
+        timed-out chunk is recorded as failures and the sweep continues;
+        the stuck worker is abandoned to finish in the background.
+    chunksize:
+        Matrices per submitted task; defaults to a size giving each worker
+        ~4 chunks so stragglers are stolen.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be positive")
+    started = time.perf_counter()
+    cache_path = Path(cache_dir) if cache_dir else None
+    if cache_path:
+        cache_path.mkdir(parents=True, exist_ok=True)
+
+    slots: list[MatrixRecord | None] = [None] * len(specs)
+    failures: list[SweepFailure] = []
+    pending: list[int] = []
+    from_cache = 0
+    for i, spec in enumerate(specs):
+        cached = load_cached_record(cache_path, setup, spec.name)
+        if cached is not None:
+            slots[i] = cached
+            from_cache += 1
+        else:
+            pending.append(i)
+
+    if pending:
+        use_pool = jobs > 1 and "fork" in mp.get_all_start_methods()
+        global _WORK_SPECS, _WORK_SETUP
+        _WORK_SPECS, _WORK_SETUP = list(specs), setup
+        try:
+            if use_pool:
+                _run_pooled(pending, jobs, timeout, chunksize, slots, failures, specs)
+            else:
+                for payload in _measure_chunk(pending):
+                    _absorb(payload, slots, failures)
+        finally:
+            _WORK_SPECS, _WORK_SETUP = [], None
+
+    # deterministic persistence: cache entries and failure records are
+    # written by the parent, in spec order, with the serial serializer
+    pending_set = set(pending)
+    for i, spec in enumerate(specs):
+        if i in pending_set and slots[i] is not None:
+            store_record(cache_path, setup, slots[i])
+    failures.sort(key=lambda f: f.index)
+    if cache_path:
+        for failure in failures:
+            entry = cache_path / f"{setup.cache_key(failure.name)}.failure.json"
+            entry.write_text(failure.to_json())
+    if verbose:
+        for failure in failures:
+            print(
+                f"[failed] {failure.name}: {failure.error_type}: {failure.message}"
+            )
+
+    records = [record for record in slots if record is not None]
+    return SweepResult(
+        records=records,
+        failures=failures,
+        from_cache=from_cache,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_pooled(
+    pending: list[int],
+    jobs: int,
+    timeout: float | None,
+    chunksize: int | None,
+    slots: list[MatrixRecord | None],
+    failures: list[SweepFailure],
+    specs: list[MatrixSpec],
+) -> None:
+    chunks = _chunk(pending, jobs, chunksize)
+    ctx = mp.get_context("fork")
+    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+    try:
+        futures = [(chunk, pool.submit(_measure_chunk, chunk)) for chunk in chunks]
+        for chunk, future in futures:
+            budget = timeout * len(chunk) if timeout is not None else None
+            try:
+                payloads = future.result(timeout=budget)
+            except FutureTimeout:
+                future.cancel()
+                for index in chunk:
+                    failures.append(
+                        SweepFailure(
+                            name=specs[index].name,
+                            index=index,
+                            error_type="TimeoutError",
+                            message=f"exceeded {timeout:.3g}s per-matrix budget",
+                        )
+                    )
+                continue
+            except Exception as exc:  # pool breakage (worker died hard)
+                for index in chunk:
+                    failures.append(
+                        SweepFailure(
+                            name=specs[index].name,
+                            index=index,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                        )
+                    )
+                continue
+            for payload in payloads:
+                _absorb(payload, slots, failures)
+    finally:
+        # don't block the sweep on abandoned (timed-out) workers
+        pool.shutdown(wait=timeout is None, cancel_futures=True)
+
+
+def _absorb(
+    payload: dict,
+    slots: list[MatrixRecord | None],
+    failures: list[SweepFailure],
+) -> None:
+    if "record" in payload:
+        slots[payload["index"]] = MatrixRecord(**payload["record"])
+    else:
+        failures.append(SweepFailure(**payload["failure"]))

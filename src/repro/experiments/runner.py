@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments --exp table1
     python -m repro.experiments --exp figure2 --collection small
     python -m repro.experiments --exp all --collection full --cache .repro_cache
+    python -m repro.experiments --exp figure3 --collection full --jobs 8
 """
 
 from __future__ import annotations
@@ -35,8 +36,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--limit", type=int, default=None, help="cap the matrix count")
     parser.add_argument("--cache", default=".repro_cache", help="'' disables caching")
     parser.add_argument("--scale", type=int, default=16, help="machine scale factor")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the matrix sweep (1 = serial)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-matrix wall-clock budget in seconds (parallel sweeps only)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be positive")
 
     cache = args.cache or None
     wanted = EXPERIMENTS if args.exp == "all" else (args.exp,)
@@ -49,8 +60,16 @@ def main(argv: list[str] | None = None) -> int:
     needs_parallel = {"table3", "figure2", "figure3", "figure4", "figure5", "overhead"}
     if needs_parallel & set(wanted):
         records = collection_records(
-            args.collection, parallel_setup, cache, limit=args.limit, verbose=args.verbose
+            args.collection, parallel_setup, cache, limit=args.limit,
+            verbose=args.verbose, jobs=args.jobs, timeout=args.timeout,
         )
+        if not records:
+            print(
+                "error: no matrices measured (every matrix failed or timed out); "
+                "see the <cache_key>.failure.json records in the cache directory",
+                file=sys.stderr,
+            )
+            return 1
         machine = parallel_setup.machine()
         if "figure2" in wanted:
             print(render_figure2(figure2_series(records)))
@@ -83,7 +102,8 @@ def main(argv: list[str] | None = None) -> int:
     if "table2" in wanted:
         sequential = ExperimentSetup(scale=args.scale, num_threads=1)
         records = collection_records(
-            args.collection, sequential, cache, limit=args.limit, verbose=args.verbose
+            args.collection, sequential, cache, limit=args.limit,
+            verbose=args.verbose, jobs=args.jobs, timeout=args.timeout,
         )
         machine = sequential.machine()
         rows = accuracy_rows(records, machine, parallel=False)

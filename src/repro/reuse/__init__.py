@@ -2,7 +2,7 @@
 
 from .cdq import hit_mask, miss_count, reuse_distances
 from .fenwick import FenwickTree, compute_prev, reuse_distances_fenwick
-from .histogram import ReuseProfile, scale_distances
+from .histogram import ReuseProfile, partition_profiles, scale_distances
 from .kim import reuse_distances_kim
 from .naive import COLD, reuse_distances_naive
 from .sampling import SampledProfile, sample_reuse_distances
@@ -20,5 +20,6 @@ __all__ = [
     "reuse_distances_kim",
     "reuse_distances_naive",
     "sample_reuse_distances",
+    "partition_profiles",
     "scale_distances",
 ]

@@ -42,35 +42,53 @@ from .fenwick import compute_prev
 from .naive import COLD
 
 def _dominance_counts(prev: np.ndarray) -> np.ndarray:
-    """For each i, count ``#{ j < i : prev[j] <= prev[i] }`` (CDQ bottom-up)."""
+    """For each i, count ``#{ j < i : prev[j] <= prev[i] }`` (CDQ bottom-up).
+
+    Blocks are truncated to the true trace length: the trailing partial
+    block of each level is processed exactly instead of padding the input
+    to the next power of two (which overshoots working memory by up to 2x
+    on the hot 4M+9nnz traces).  One scratch buffer holds the sorted left
+    halves and is reused across all levels.
+    """
     n = prev.shape[0]
     if n == 0:
         return np.zeros(0, dtype=np.int64)
-    size = 1 << int(n - 1).bit_length() if n > 1 else 1
-    # pad with a value exceeding every real prev so padded points sort last
-    # within their block and never match a real query (side="right" of n-1)
-    pad = np.int64(n)
-    offset = np.int64(n + 2)  # values span [-1, n]: disjoint per-block ranges
-    if size * offset >= np.iinfo(np.int64).max // 2:
+    offset = np.int64(n + 2)  # values span [-1, n-1]: disjoint per-block ranges
+    if (n // 2 + 1) * offset >= np.iinfo(np.int64).max // 2:
         raise ValueError(f"trace of length {n} too large for int64 block keys")
-    points = np.full(size, pad, dtype=np.int64)
-    points[:n] = prev
-    ans = np.zeros(size, dtype=np.int64)
+    ans = np.zeros(n, dtype=np.int64)
+    top = 1 << int(n - 1).bit_length() if n > 1 else 1
+    # scratch for the sorted+offset left halves: complete pairs use at most
+    # n/2 entries, and the top-level tail block can use up to top/2
+    scratch = np.empty(max(top // 2, 1), dtype=np.int64)
     b = 1
-    while b < size:
-        pairs = points.reshape(-1, 2 * b)
-        left = np.sort(pairs[:, :b], axis=1)
-        right = pairs[:, b:]
-        npairs = pairs.shape[0]
-        offsets = np.arange(npairs, dtype=np.int64)[:, None] * offset
-        flat_keys = (left + offsets).ravel()
-        flat_queries = (right + offsets).ravel()
-        counts = np.searchsorted(flat_keys, flat_queries, side="right")
-        counts -= np.repeat(np.arange(npairs, dtype=np.int64) * b, b)
-        ans_view = ans.reshape(-1, 2 * b)
-        ans_view[:, b:] += counts.reshape(npairs, b)
-        b *= 2
-    return ans[:n]
+    while b < top:
+        step = 2 * b
+        m = n // step  # complete (left, right) sibling pairs
+        if m:
+            pairs = prev[: m * step].reshape(m, step)
+            left = scratch[: m * b].reshape(m, b)
+            np.copyto(left, pairs[:, :b])
+            left.sort(axis=1)
+            offsets = np.arange(m, dtype=np.int64)[:, None] * offset
+            left += offsets
+            flat_queries = (pairs[:, b:] + offsets).ravel()
+            counts = np.searchsorted(left.ravel(), flat_queries, side="right")
+            counts -= np.repeat(np.arange(m, dtype=np.int64) * b, b)
+            ans[: m * step].reshape(m, step)[:, b:] += counts.reshape(m, b)
+        tail = m * step
+        # trailing pair with a full left block and a partial right block;
+        # a remainder of <= b elements is a lone left block (queried at a
+        # higher level) and contributes nothing here
+        if n - tail > b:
+            tail_left = scratch[:b]
+            np.copyto(tail_left, prev[tail : tail + b])
+            tail_left.sort()
+            ans[tail + b : n] += np.searchsorted(
+                tail_left, prev[tail + b : n], side="right"
+            )
+        b = step
+    return ans
 
 
 def reuse_distances(trace: np.ndarray, groups: np.ndarray | None = None) -> np.ndarray:

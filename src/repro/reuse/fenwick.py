@@ -93,6 +93,9 @@ def reuse_distances_fenwick(
         # make each group's accesses contiguous so windows stay in-group
         order = np.argsort(groups, kind="stable")
         span = int(trace.max()) + 1 if n else 1
+        gmax = int(groups.max())
+        if gmax and gmax > (2**62) // span:
+            raise ValueError("group/line key space too large to combine")
         keys = groups[order] * span + trace[order]
     prev = compute_prev(keys)
     tree = FenwickTree(n)

@@ -79,6 +79,38 @@ class ReuseProfile:
         return counts
 
 
+def partition_profiles(
+    rd: np.ndarray,
+    labels: np.ndarray,
+    num_labels: int,
+    mask: np.ndarray | None = None,
+) -> tuple[ReuseProfile, ...]:
+    """One :class:`ReuseProfile` per label value in ``[0, num_labels)``.
+
+    Buckets the reuse distances by an integer label (array id, sector,
+    thread — any per-access attribute) in a single stable sort, optionally
+    restricted to ``mask`` first.  This is how the model materializes its
+    per-(grouping, array) profiles after a stack pass: every later policy
+    query is then an O(log n) ``searchsorted`` against these buckets.
+    """
+    rd = np.asarray(rd, dtype=np.int64)
+    labels = np.asarray(labels)
+    if labels.shape != rd.shape:
+        raise ValueError("labels must align with the distances")
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        rd = rd[mask]
+        labels = labels[mask]
+    order = np.argsort(labels, kind="stable")
+    labels_sorted = labels[order]
+    rd_sorted = rd[order]
+    bounds = np.searchsorted(labels_sorted, np.arange(num_labels + 1))
+    return tuple(
+        ReuseProfile.from_distances(rd_sorted[bounds[i] : bounds[i + 1]])
+        for i in range(num_labels)
+    )
+
+
 def scale_distances(rd: np.ndarray, factor: float) -> np.ndarray:
     """Scale finite reuse distances by ``factor``, preserving COLD markers.
 

@@ -105,6 +105,18 @@ def test_repeat_trace_numbers_iterations():
         repeat_trace(trace, 0)
 
 
+def test_repeat_trace_iteration_survives_many_iterations():
+    # regression: iteration was int8 and silently overflowed past 127
+    m = figure1_matrix()
+    trace = spmv_trace(m)[0]
+    many = repeat_trace(trace, 300)
+    assert many.iteration.dtype == np.int32
+    assert int(many.iteration.min()) == 0
+    assert int(many.iteration.max()) == 299
+    # the steady-state window selector stays well-defined
+    assert int(np.count_nonzero(many.iteration == 299)) == len(trace)
+
+
 def test_select_and_reorder_preserve_alignment():
     m = figure1_matrix()
     trace = spmv_trace(m)[0]

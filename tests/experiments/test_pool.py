@@ -1,0 +1,132 @@
+"""The parallel sweep engine vs. the serial collection runner."""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSetup,
+    record_fingerprint,
+    run_collection,
+    run_collection_parallel,
+)
+from repro.experiments.common import VOLATILE_FIELDS, cache_entry_path
+from repro.matrices.collection import MatrixSpec, collection
+
+SETUP = ExperimentSetup(scale=16, num_threads=8, l2_way_options=(0, 5), l1_way_options=(0,))
+
+
+def _specs(count=3):
+    return collection("tiny", machine=SETUP.machine())[:count]
+
+
+def _raise_injected():
+    raise RuntimeError("injected worker failure")
+
+
+def _sleep_forever():
+    time.sleep(4.0)
+    raise AssertionError("timeout should have fired first")
+
+
+def _bad_spec(name="injected_bad"):
+    return MatrixSpec(name=name, family="banded", target_class="1", build=_raise_injected)
+
+
+def test_parallel_matches_serial_bit_for_bit(tmp_path):
+    specs = _specs()
+    serial = run_collection(specs, SETUP, tmp_path / "serial")
+    result = run_collection_parallel(specs, SETUP, tmp_path / "pooled", jobs=2)
+    assert not result.failures
+    assert [r.name for r in result.records] == [r.name for r in serial]
+    assert [record_fingerprint(r) for r in result.records] == [
+        record_fingerprint(r) for r in serial
+    ]
+    # cache records are identical too, instrumentation fields aside
+    for spec in specs:
+        a = json.loads(cache_entry_path(tmp_path / "serial", SETUP, spec.name).read_text())
+        b = json.loads(cache_entry_path(tmp_path / "pooled", SETUP, spec.name).read_text())
+        for volatile in VOLATILE_FIELDS:
+            a.pop(volatile, None)
+            b.pop(volatile, None)
+        assert a == b
+
+
+def test_run_collection_jobs_flag_dispatches_to_pool(tmp_path):
+    specs = _specs(2)
+    serial = run_collection(specs, SETUP, tmp_path / "serial")
+    pooled = run_collection(specs, SETUP, tmp_path / "pooled", jobs=2)
+    assert [record_fingerprint(r) for r in pooled] == [
+        record_fingerprint(r) for r in serial
+    ]
+
+
+def test_worker_failure_is_isolated_and_recorded(tmp_path):
+    specs = _specs(2)
+    specs.insert(1, _bad_spec())
+    result = run_collection_parallel(specs, SETUP, tmp_path, jobs=2)
+    assert [r.name for r in result.records] == [specs[0].name, specs[2].name]
+    assert len(result.failures) == 1
+    failure = result.failures[0]
+    assert failure.name == "injected_bad"
+    assert failure.index == 1
+    assert failure.error_type == "RuntimeError"
+    assert "injected worker failure" in failure.message
+    assert "RuntimeError" in failure.traceback
+    # the structured failure record is persisted next to the cache entries
+    entry = Path(tmp_path) / f"{SETUP.cache_key('injected_bad')}.failure.json"
+    payload = json.loads(entry.read_text())
+    assert payload["error_type"] == "RuntimeError"
+    assert payload["index"] == 1
+
+
+def test_in_process_fallback_isolates_failures(tmp_path):
+    # jobs=1 exercises the no-pool path with the same result shape
+    specs = [_bad_spec()] + _specs(1)
+    result = run_collection_parallel(specs, SETUP, tmp_path, jobs=1)
+    assert len(result.records) == 1
+    assert result.failed_names == ["injected_bad"]
+
+
+def test_cached_records_short_circuit_the_pool(tmp_path):
+    specs = _specs(2)
+    first = run_collection_parallel(specs, SETUP, tmp_path, jobs=2)
+    assert first.from_cache == 0
+    second = run_collection_parallel(specs, SETUP, tmp_path, jobs=2)
+    assert second.from_cache == len(specs)
+    assert [record_fingerprint(r) for r in first.records] == [
+        record_fingerprint(r) for r in second.records
+    ]
+
+
+def test_per_matrix_timeout_records_failure_and_continues(tmp_path):
+    specs = _specs(1)
+    stuck = MatrixSpec(
+        name="injected_stuck", family="banded", target_class="1", build=_sleep_forever
+    )
+    specs = [stuck] + specs
+    result = run_collection_parallel(
+        specs, SETUP, tmp_path, jobs=2, timeout=1.5, chunksize=1
+    )
+    assert result.failed_names == ["injected_stuck"]
+    assert result.failures[0].error_type == "TimeoutError"
+    assert [r.name for r in result.records] == [specs[1].name]
+
+
+def test_records_carry_timing_and_rss_instrumentation(tmp_path):
+    records = run_collection(_specs(1), SETUP, tmp_path)
+    record = records[0]
+    assert set(record.timings) == {"classify", "simulate", "model_a", "model_b", "total"}
+    assert record.timings["total"] > 0
+    assert record.peak_rss_bytes > 0
+    # instrumentation round-trips through the cache
+    cached = run_collection(_specs(1), SETUP, tmp_path)[0]
+    assert cached.timings == record.timings
+    assert cached.peak_rss_bytes == record.peak_rss_bytes
+
+
+def test_rejects_nonpositive_jobs(tmp_path):
+    with pytest.raises(ValueError):
+        run_collection_parallel(_specs(1), SETUP, tmp_path, jobs=0)

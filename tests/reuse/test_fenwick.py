@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.reuse import FenwickTree, compute_prev
+from repro.reuse import FenwickTree, compute_prev, reuse_distances_fenwick
 
 
 def test_fenwick_prefix_sums_match_numpy():
@@ -44,6 +44,22 @@ def test_fenwick_prefix_sum_clamps_out_of_range_counts():
     tree.add(0, 5)
     assert tree.prefix_sum(100) == 5
     assert tree.prefix_sum(-2) == 0
+
+
+def test_fenwick_rejects_overflowing_group_line_keys():
+    # groups[order] * span + trace[order] must not wrap int64 (the CDQ
+    # engine already guards this; the Fenwick path needs the same guard)
+    trace = np.array([0, 2**40], dtype=np.int64)
+    groups = np.array([0, 2**30], dtype=np.int64)
+    with pytest.raises(ValueError, match="too large"):
+        reuse_distances_fenwick(trace, groups)
+
+
+def test_fenwick_accepts_large_but_safe_keys():
+    trace = np.array([0, 5, 0, 5], dtype=np.int64)
+    groups = np.array([0, 1, 0, 1], dtype=np.int64)
+    rd = reuse_distances_fenwick(trace, groups)
+    assert rd[2] == 0 and rd[3] == 0
 
 
 def test_compute_prev_basic():

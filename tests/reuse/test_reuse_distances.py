@@ -114,6 +114,21 @@ def test_cdq_matches_fenwick_on_large_random_traces(seed):
     )
 
 
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 7, 9, 17, 31, 33, 63, 65, 100, 255, 257])
+def test_cdq_exact_on_non_power_of_two_lengths(n):
+    # regression for the partial-block CDQ: every trailing-block shape must
+    # agree with the naive stack, not just power-of-two trace lengths
+    rng = np.random.default_rng(n)
+    trace = rng.integers(0, max(2, n // 3), n)
+    groups = rng.integers(0, 3, n)
+    np.testing.assert_array_equal(
+        reuse_distances(trace), reuse_distances_naive(trace)
+    )
+    np.testing.assert_array_equal(
+        reuse_distances(trace, groups), reuse_distances_naive(trace, groups)
+    )
+
+
 def test_kim_bucketed_distances_bounded_error():
     # with group_size g, the reported distance is exact to within g/2
     rng = np.random.default_rng(0)
