@@ -1,0 +1,63 @@
+"""Advisor daemon round-trip performance (warm cache vs. fresh evaluation).
+
+Runs an in-process daemon (:class:`repro.service.ServiceThread`) and
+measures the full HTTP round-trip of ``advise`` requests: the warm path
+(memory-tier hit — parse, hash, cache lookup, serialize) sets the floor
+for interactive use, the cold path adds one model evaluation in a pool
+worker, and the throughput bench drives concurrent warm clients.
+"""
+
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.matrices import banded
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+_WARM_POOL = 8  # distinct primed matrices for the throughput bench
+
+
+def _matrix(seed):
+    return banded(1_500, 60, 8, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("bench_service_cache")
+    with ServiceThread(ServiceConfig(jobs=2, cache_dir=str(cache_dir))) as (host, port):
+        client = ServiceClient(host, port, timeout=120.0)
+        for seed in range(_WARM_POOL):
+            client.advise(_matrix(seed), num_threads=8)
+        yield client
+
+
+def test_advise_warm_cache_latency(benchmark, service):
+    matrix = _matrix(0)
+    envelope = benchmark(lambda: service.advise(matrix, num_threads=8))
+    assert envelope["cached"] == "memory"
+
+
+def test_advise_cold_evaluation_latency(benchmark, service):
+    # a fresh seed each call keeps every request a genuine evaluation
+    seeds = itertools.count(1_000)
+
+    def cold():
+        return service.advise(_matrix(next(seeds)), num_threads=8)
+
+    envelope = benchmark.pedantic(cold, rounds=5, iterations=1, warmup_rounds=1)
+    assert envelope["cached"] is None
+
+
+def test_advise_warm_throughput(benchmark, service):
+    matrices = [_matrix(seed) for seed in range(_WARM_POOL)]
+
+    def burst():
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            return list(pool.map(
+                lambda m: service.advise(m, num_threads=8), matrices
+            ))
+
+    envelopes = benchmark(burst)
+    assert all(e["cached"] == "memory" for e in envelopes)
+    benchmark.extra_info["requests_per_round"] = _WARM_POOL

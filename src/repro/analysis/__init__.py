@@ -3,7 +3,7 @@
 from .boxstats import BoxStats, box_stats, render_box_table
 from .curves import MissRatioCurve, miss_ratio_curve, partition_efficiency
 from .mape import ErrorStats, absolute_percentage_errors, error_stats
-from .report import render_series, render_table
+from .report import canonical_json, jsonable, render_json, render_series, render_table
 
 __all__ = [
     "BoxStats",
@@ -11,10 +11,13 @@ __all__ = [
     "MissRatioCurve",
     "absolute_percentage_errors",
     "box_stats",
+    "canonical_json",
     "error_stats",
+    "jsonable",
     "miss_ratio_curve",
     "partition_efficiency",
     "render_box_table",
+    "render_json",
     "render_series",
     "render_table",
 ]

@@ -1,12 +1,17 @@
-"""Plain-text table/series rendering for experiment output.
+"""Plain-text and JSON rendering for experiment output.
 
 Every experiment driver prints the rows or series the corresponding paper
 table/figure reports, via these helpers, so outputs are diffable and
-consistently formatted.
+consistently formatted.  :func:`canonical_json` is the shared machine
+format: model objects exposing ``to_dict()`` (:class:`~repro.core.advisor.Recommendation`,
+:class:`~repro.experiments.common.MatrixRecord`, ...) serialize to the same
+bytes whether emitted by a report or by the advisor service
+(:mod:`repro.service`).
 """
 
 from __future__ import annotations
 
+import json
 from typing import Sequence
 
 
@@ -51,3 +56,40 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
+
+
+def jsonable(value: object) -> object:
+    """Recursively convert model objects to plain JSON-compatible values.
+
+    Objects with a ``to_dict()`` method serialize through it; NumPy
+    scalars (anything with ``.item()``) collapse to native Python numbers
+    so the output is independent of the producing dtype.
+    """
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return jsonable(to_dict())
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON: sorted keys, compact separators.
+
+    Two equal payloads always produce identical bytes, which is what the
+    service's response cache, its coalescing tests, and diffable reports
+    all rely on.
+    """
+    return json.dumps(jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def render_json(value: object) -> str:
+    """Human-oriented JSON report (sorted keys, indented)."""
+    return json.dumps(jsonable(value), sort_keys=True, indent=2)

@@ -40,6 +40,22 @@ class PolicyChoice:
     def pragma(self) -> str:
         return self.policy.describe()
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the service wire format)."""
+        return {
+            "policy": self.policy.to_dict(),
+            "predicted_l2_misses": int(self.predicted_l2_misses),
+            "predicted_seconds": float(self.predicted_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PolicyChoice":
+        return cls(
+            policy=SectorPolicy.from_dict(payload["policy"]),
+            predicted_l2_misses=int(payload["predicted_l2_misses"]),
+            predicted_seconds=float(payload["predicted_seconds"]),
+        )
+
 
 @dataclass(frozen=True)
 class Recommendation:
@@ -73,6 +89,33 @@ class Recommendation:
         if not self.worthwhile:
             lines.append("verdict: leave the sector cache disabled")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form.
+
+        The derived fields (``predicted_speedup``, ``worthwhile``) are
+        included for consumers that only read the verdict;
+        :meth:`from_dict` ignores them and recomputes.
+        """
+        return {
+            "best": self.best.to_dict(),
+            "baseline": self.baseline.to_dict(),
+            "candidates": [choice.to_dict() for choice in self.candidates],
+            "matrix_class": self.matrix_class.value,
+            "predicted_speedup": float(self.predicted_speedup),
+            "worthwhile": self.worthwhile,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Recommendation":
+        return cls(
+            best=PolicyChoice.from_dict(payload["best"]),
+            baseline=PolicyChoice.from_dict(payload["baseline"]),
+            candidates=tuple(
+                PolicyChoice.from_dict(choice) for choice in payload["candidates"]
+            ),
+            matrix_class=MatrixClass(payload["matrix_class"]),
+        )
 
 
 class SectorAdvisor:

@@ -4,11 +4,12 @@ from .common import (
     ExperimentSetup,
     MatrixRecord,
     collection_records,
+    failure_entry_path,
     measure_matrix,
     record_fingerprint,
     run_collection,
 )
-from .pool import SweepFailure, SweepResult, run_collection_parallel
+from .pool import SweepFailure, SweepResult, fork_executor, run_collection_parallel
 from .figure2 import best_l2_ways, figure2_series, render_figure2
 from .figure3 import figure3_series, headline_numbers, render_figure3
 from .figure4 import class_summary, figure4_points, render_figure4
@@ -32,7 +33,9 @@ __all__ = [
     "class_summary",
     "collection_records",
     "correlation",
+    "failure_entry_path",
     "figure2_series",
+    "fork_executor",
     "figure3_series",
     "figure4_points",
     "figure5_points",

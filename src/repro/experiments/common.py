@@ -51,7 +51,7 @@ class ExperimentSetup:
     l1_way_options: tuple[int, ...] = L1_WAY_OPTIONS
 
     def machine(self) -> A64FX:
-        return scaled_machine(self.scale) if self.scale > 1 else scaled_machine(1)
+        return scaled_machine(self.scale)
 
     def sim_config(self) -> SimConfig:
         return SimConfig(
@@ -145,6 +145,14 @@ class MatrixRecord:
 
     def matrix_class(self, l2w: int) -> str:
         return self.classes[str(l2w)]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (cache records and the service wire format)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MatrixRecord":
+        return cls(**payload)
 
 
 def measure_matrix(
@@ -258,6 +266,13 @@ def cache_entry_path(
     return cache_path / f"{setup.cache_key(matrix_name)}.json"
 
 
+def failure_entry_path(
+    cache_path: Path, setup: ExperimentSetup, matrix_name: str
+) -> Path:
+    """On-disk location of one matrix's persisted sweep failure."""
+    return cache_path / f"{setup.cache_key(matrix_name)}.failure.json"
+
+
 def load_cached_record(
     cache_path: Path | None, setup: ExperimentSetup, matrix_name: str
 ) -> MatrixRecord | None:
@@ -267,17 +282,22 @@ def load_cached_record(
     entry = cache_entry_path(cache_path, setup, matrix_name)
     if not entry.exists():
         return None
-    return MatrixRecord(**json.loads(entry.read_text()))
+    return MatrixRecord.from_dict(json.loads(entry.read_text()))
 
 
 def store_record(
     cache_path: Path | None, setup: ExperimentSetup, record: MatrixRecord
 ) -> None:
-    """Persist a record; serial and parallel sweeps share this writer."""
+    """Persist a record; serial and parallel sweeps share this writer.
+
+    A stale failure record for the same matrix is removed: the matrix
+    evidently measures fine now, so a later sweep must not skip it.
+    """
     if cache_path is None:
         return
     entry = cache_entry_path(cache_path, setup, record.name)
-    entry.write_text(json.dumps(asdict(record)))
+    entry.write_text(json.dumps(record.to_dict()))
+    failure_entry_path(cache_path, setup, record.name).unlink(missing_ok=True)
 
 
 def run_collection(
@@ -287,6 +307,7 @@ def run_collection(
     verbose: bool = False,
     jobs: int = 1,
     timeout: float | None = None,
+    retry_failures: bool = False,
 ) -> list[MatrixRecord]:
     """Measurement bundles for a list of matrix specs, with disk caching.
 
@@ -294,12 +315,19 @@ def run_collection(
     (:mod:`repro.experiments.pool`): results, ordering and cache records
     are identical to the serial path, and individual matrix failures are
     recorded instead of aborting the sweep.
+
+    Matrices with a persisted ``<cache_key>.failure.json`` record from a
+    previous sweep are skipped (so one pathological matrix does not re-pay
+    its timeout on every invocation) unless ``retry_failures`` is set, in
+    which case they are re-queued and the failure record is deleted on
+    success.
     """
     if jobs > 1:
         from .pool import run_collection_parallel
 
         return run_collection_parallel(
-            specs, setup, cache_dir, jobs=jobs, timeout=timeout, verbose=verbose
+            specs, setup, cache_dir, jobs=jobs, timeout=timeout, verbose=verbose,
+            retry_failures=retry_failures,
         ).records
     records = []
     cache_path = Path(cache_dir) if cache_dir else None
@@ -309,6 +337,15 @@ def run_collection(
         cached = load_cached_record(cache_path, setup, spec.name)
         if cached is not None:
             records.append(cached)
+            continue
+        if (
+            cache_path is not None
+            and not retry_failures
+            and failure_entry_path(cache_path, setup, spec.name).exists()
+        ):
+            if verbose:
+                print(f"[{i + 1}/{len(specs)}] {spec.name}: skipped (failed "
+                      "previously; rerun with --retry-failures)")
             continue
         matrix = spec.materialize()
         started = time.perf_counter()
@@ -331,6 +368,7 @@ def collection_records(
     verbose: bool = False,
     jobs: int = 1,
     timeout: float | None = None,
+    retry_failures: bool = False,
 ) -> list[MatrixRecord]:
     """Records for the named synthetic collection (the usual entry point)."""
     setup = setup or ExperimentSetup()
@@ -338,5 +376,6 @@ def collection_records(
     if limit is not None:
         specs = specs[:limit]
     return run_collection(
-        specs, setup, cache_dir, verbose=verbose, jobs=jobs, timeout=timeout
+        specs, setup, cache_dir, verbose=verbose, jobs=jobs, timeout=timeout,
+        retry_failures=retry_failures,
     )

@@ -41,10 +41,25 @@ from ..matrices.collection import MatrixSpec
 from .common import (
     ExperimentSetup,
     MatrixRecord,
+    failure_entry_path,
     load_cached_record,
     measure_matrix,
     store_record,
 )
+
+
+def fork_executor(jobs: int) -> ProcessPoolExecutor:
+    """A process pool using the ``fork`` start method where available.
+
+    Shared by the sweep engine and the advisor service
+    (:mod:`repro.service`): ``fork`` keeps worker start-up cheap and lets
+    workers inherit module state; platforms without it (Windows, some
+    macOS configurations) fall back to the default start method, which
+    only supports picklable work.
+    """
+    if "fork" in mp.get_all_start_methods():
+        return ProcessPoolExecutor(max_workers=jobs, mp_context=mp.get_context("fork"))
+    return ProcessPoolExecutor(max_workers=jobs)
 
 # Work published to forked workers (MatrixSpec closures cannot be pickled;
 # only chunk index lists are sent over the pipe).
@@ -127,6 +142,7 @@ def run_collection_parallel(
     timeout: float | None = None,
     verbose: bool = False,
     chunksize: int | None = None,
+    retry_failures: bool = False,
 ) -> SweepResult:
     """Sweep a collection over a process pool with per-matrix isolation.
 
@@ -144,6 +160,11 @@ def run_collection_parallel(
     chunksize:
         Matrices per submitted task; defaults to a size giving each worker
         ~4 chunks so stragglers are stolen.
+    retry_failures:
+        Re-queue matrices whose previous sweep left a
+        ``<cache_key>.failure.json`` record (the default is to replay the
+        recorded failure without re-paying the measurement or timeout);
+        the record is deleted when the retry succeeds.
     """
     if jobs < 1:
         raise ValueError("jobs must be positive")
@@ -161,8 +182,16 @@ def run_collection_parallel(
         if cached is not None:
             slots[i] = cached
             from_cache += 1
-        else:
-            pending.append(i)
+            continue
+        if cache_path is not None and not retry_failures:
+            entry = failure_entry_path(cache_path, setup, spec.name)
+            if entry.exists():
+                payload = json.loads(entry.read_text())
+                payload["index"] = i  # position in *this* sweep's spec list
+                failures.append(SweepFailure(**payload))
+                from_cache += 1
+                continue
+        pending.append(i)
 
     if pending:
         use_pool = jobs > 1 and "fork" in mp.get_all_start_methods()
@@ -186,8 +215,9 @@ def run_collection_parallel(
     failures.sort(key=lambda f: f.index)
     if cache_path:
         for failure in failures:
-            entry = cache_path / f"{setup.cache_key(failure.name)}.failure.json"
-            entry.write_text(failure.to_json())
+            failure_entry_path(cache_path, setup, failure.name).write_text(
+                failure.to_json()
+            )
     if verbose:
         for failure in failures:
             print(
@@ -213,8 +243,7 @@ def _run_pooled(
     specs: list[MatrixSpec],
 ) -> None:
     chunks = _chunk(pending, jobs, chunksize)
-    ctx = mp.get_context("fork")
-    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+    pool = fork_executor(jobs)
     try:
         futures = [(chunk, pool.submit(_measure_chunk, chunk)) for chunk in chunks]
         for chunk, future in futures:

@@ -44,6 +44,12 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=None,
         help="per-matrix wall-clock budget in seconds (parallel sweeps only)",
     )
+    parser.add_argument(
+        "--retry-failures", action="store_true",
+        help="re-queue matrices with a <cache_key>.failure.json record from a "
+             "previous sweep instead of skipping them (the record is deleted "
+             "on success)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -62,6 +68,7 @@ def main(argv: list[str] | None = None) -> int:
         records = collection_records(
             args.collection, parallel_setup, cache, limit=args.limit,
             verbose=args.verbose, jobs=args.jobs, timeout=args.timeout,
+            retry_failures=args.retry_failures,
         )
         if not records:
             print(
@@ -104,6 +111,7 @@ def main(argv: list[str] | None = None) -> int:
         records = collection_records(
             args.collection, sequential, cache, limit=args.limit,
             verbose=args.verbose, jobs=args.jobs, timeout=args.timeout,
+            retry_failures=args.retry_failures,
         )
         machine = sequential.machine()
         rows = accuracy_rows(records, machine, parallel=False)

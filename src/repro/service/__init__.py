@@ -1,0 +1,44 @@
+"""Locality advisor service: async daemon serving the paper's models.
+
+The paper's practical payoff — "should I enable the sector cache, and
+with how many ways?" — is a cheap per-matrix decision worth serving
+online.  This package turns the model layer into a stdlib-only
+JSON-over-HTTP daemon:
+
+* ``python -m repro.service --port 8787 --jobs 4`` starts the daemon;
+* :class:`repro.service.client.ServiceClient` is the matching client;
+* endpoints: ``/classify``, ``/predict`` (method-B miss counts per
+  policy), ``/advise`` (full :class:`~repro.core.SectorAdvisor`
+  recommendation), ``/sweep`` (full measurement bundle), ``/metrics``,
+  ``/healthz``, ``/shutdown``.
+
+Matrices are submitted inline (COO/CSR arrays) or named from the
+synthetic collection.  Results flow through a two-tier cache (in-memory
+LRU with TTL and a byte budget over the ``.repro_cache`` disk records),
+identical concurrent requests coalesce onto one model evaluation, and
+the CPU work runs on the sweep engine's process pool so the event loop
+stays responsive.
+"""
+
+from .app import LocalityService, ServiceConfig, ServiceThread, run_server
+from .cache import MemoryLRU, TieredResultCache
+from .client import ServiceClient, ServiceError, matrix_payload
+from .metrics import ServiceMetrics
+from .protocol import ENDPOINTS, RequestError, normalize_request, request_key
+
+__all__ = [
+    "ENDPOINTS",
+    "LocalityService",
+    "MemoryLRU",
+    "RequestError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceThread",
+    "TieredResultCache",
+    "matrix_payload",
+    "normalize_request",
+    "request_key",
+    "run_server",
+]

@@ -1,0 +1,58 @@
+"""``python -m repro.service`` starts the advisor daemon.
+
+Examples::
+
+    python -m repro.service --port 8787 --jobs 4
+    python -m repro.service --port 0 --cache /tmp/advisor-cache
+    python -m repro.service --cache ''          # disk tier disabled
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from .app import ServiceConfig, run_server
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.service",
+                                     description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="0 binds an ephemeral port (announced on stdout)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="model-evaluation worker processes")
+    parser.add_argument("--cache", default=".repro_cache",
+                        help="disk cache directory shared with the sweep "
+                             "engine ('' disables the disk tier)")
+    parser.add_argument("--cache-ttl", type=float, default=300.0,
+                        help="memory-tier TTL in seconds")
+    parser.add_argument("--cache-bytes", type=int, default=64 * 2**20,
+                        help="memory-tier byte budget")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="default per-request evaluation budget in seconds")
+    parser.add_argument("--test-hooks", action="store_true",
+                        help=argparse.SUPPRESS)  # fault injection for tests/CI
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be positive")
+
+    config = ServiceConfig(
+        jobs=args.jobs,
+        cache_dir=args.cache or None,
+        memory_ttl_seconds=args.cache_ttl,
+        memory_max_bytes=args.cache_bytes,
+        request_timeout=args.timeout,
+        test_hooks=args.test_hooks,
+    )
+    try:
+        asyncio.run(run_server(config, host=args.host, port=args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

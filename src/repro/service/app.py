@@ -1,0 +1,414 @@
+"""The advisor daemon: asyncio JSON-over-HTTP on the sweep engine's pool.
+
+Request lifecycle::
+
+    HTTP request -> normalize (protocol) -> request_key
+        -> two-tier cache lookup (memory LRU, then .repro_cache disk)
+        -> in-flight coalescing (duplicate keys share one future)
+        -> process-pool evaluation (bounded by --jobs, per-request
+           timeout, structured fault isolation)
+        -> cache fill + JSON response
+
+Everything CPU-bound runs in pool workers via
+:func:`repro.service.worker.evaluate`; the event loop only parses,
+hashes, and shuttles bytes, so the daemon stays responsive while a
+multi-second sweep is in flight.  A worker that raises returns a
+structured error; a worker that *dies* breaks the pool, which is
+rebuilt, counted in ``/metrics``, and surfaced as a 500 — subsequent
+requests succeed.
+
+The HTTP layer is deliberately minimal (HTTP/1.1, ``Connection:
+close``): the repo is stdlib-only, and the service's unit of work is a
+model evaluation, not a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.report import canonical_json
+from ..experiments.common import cache_entry_path
+from ..experiments.pool import fork_executor
+from .cache import TieredResultCache
+from .metrics import ServiceMetrics
+from .protocol import (
+    ENDPOINTS,
+    RequestError,
+    matrix_name,
+    normalize_request,
+    request_key,
+    setup_from_task,
+)
+from .worker import evaluate
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 504: "Gateway Timeout"}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon tunables (CLI flags map 1:1)."""
+
+    jobs: int = 2
+    cache_dir: str | None = ".repro_cache"
+    memory_ttl_seconds: float = 300.0
+    memory_max_bytes: int = 64 * 2**20
+    request_timeout: float = 120.0
+    max_body_bytes: int = 64 * 2**20
+    #: honour ``x_test_sleep`` / ``x_test_crash`` fault-injection fields
+    #: (tests and the CI smoke job only)
+    test_hooks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be positive")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+
+
+class _EvaluationError(Exception):
+    """A failed evaluation, carrying the HTTP status and structured detail."""
+
+    def __init__(self, status: int, detail: dict) -> None:
+        super().__init__(detail.get("message", ""))
+        self.status = status
+        self.detail = detail
+
+
+#: Worker-side exception types that indicate a bad request, not a bad server.
+_CLIENT_ERRORS = frozenset({"ValueError", "TypeError", "KeyError"})
+
+
+class LocalityService:
+    """Transport-agnostic request handling: cache, coalescing, pool."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.cache = TieredResultCache(
+            config.cache_dir,
+            max_bytes=config.memory_max_bytes,
+            ttl_seconds=config.memory_ttl_seconds,
+        )
+        self.metrics = ServiceMetrics(jobs=config.jobs)
+        self._executor = fork_executor(config.jobs)
+        self._slots = asyncio.Semaphore(config.jobs)
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.shutdown_event = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def handle_request(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, bool]:
+        """Route one request; returns (status, payload, shutdown?)."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {"ok": True, "status": "healthy"}, False
+            if path == "/metrics":
+                return 200, self.metrics.snapshot(self.cache.stats()), False
+            return 404, _error_payload(path, "NotFound", f"no such path {path!r}"), False
+        if method != "POST":
+            return 405, _error_payload(path, "MethodNotAllowed",
+                                       f"{method} not supported"), False
+        if path == "/shutdown":
+            return 200, {"ok": True, "status": "shutting down"}, True
+        endpoint = path.lstrip("/")
+        if endpoint not in ENDPOINTS:
+            return 404, _error_payload(endpoint, "NotFound",
+                                       f"no such endpoint {endpoint!r}"), False
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, _error_payload(endpoint, "BadJSON", str(exc)), False
+        status, response = await self._handle_model(endpoint, payload)
+        return status, response, False
+
+    # ------------------------------------------------------------------
+    # model endpoints
+    # ------------------------------------------------------------------
+    async def _handle_model(self, endpoint: str, payload: object) -> tuple[int, dict]:
+        started = time.perf_counter()
+        try:
+            task = normalize_request(endpoint, payload)
+            if not self.config.test_hooks:
+                task.pop("x_test_sleep", None)
+                task.pop("x_test_crash", None)
+            key = request_key(task)
+        except RequestError as exc:
+            self.metrics.observe_request(endpoint, "error",
+                                         time.perf_counter() - started)
+            return exc.status, _error_payload(endpoint, "RequestError", str(exc))
+
+        try:
+            result, cached = await self._resolve(endpoint, task, key)
+        except _EvaluationError as exc:
+            self.metrics.observe_request(endpoint, "error",
+                                         time.perf_counter() - started)
+            detail = dict(exc.detail)
+            detail.setdefault("type", "EvaluationError")
+            return exc.status, {"ok": False, "endpoint": endpoint, "key": key,
+                                "error": detail}
+        self.metrics.observe_request(endpoint, "ok", time.perf_counter() - started)
+        if cached in ("memory", "disk"):
+            self.metrics.cache_served[endpoint][cached] += 1
+        return 200, {"ok": True, "endpoint": endpoint, "key": key,
+                     "cached": cached, "result": result}
+
+    async def _resolve(
+        self, endpoint: str, task: dict, key: str
+    ) -> tuple[dict, str | None]:
+        """Resolve a key via cache, coalescing, or a fresh evaluation."""
+        disk_path, disk_format = self._disk_entry(task, key)
+        result, tier = self.cache.get(key, disk_path)
+        if result is not None:
+            if tier == "disk":
+                self.cache.promote(key, canonical_json(result).encode())
+            return result, tier
+
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.metrics.coalesced[endpoint] += 1
+            return await asyncio.shield(pending), "coalesced"
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            result = await self._evaluate(endpoint, task)
+            future.set_result(result)
+        except _EvaluationError as exc:
+            future.set_exception(exc)
+            future.exception()  # mark retrieved even with no waiters
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        self.cache.put(
+            key,
+            canonical_json(result).encode(),
+            disk_path,
+            # sweep records keep the store_record byte format so batch
+            # sweeps and the daemon share one disk cache
+            disk_text=json.dumps(result) if disk_format == "record" else None,
+        )
+        return result, None
+
+    def _disk_entry(self, task: dict, key: str) -> tuple[Path | None, str | None]:
+        if self.cache.cache_dir is None:
+            return None, None
+        if task["endpoint"] == "sweep":
+            setup = setup_from_task(task)
+            return (
+                cache_entry_path(self.cache.cache_dir, setup, matrix_name(task)),
+                "record",
+            )
+        return self.cache.cache_dir / f"{key}.{task['endpoint']}.json", "canonical"
+
+    async def _evaluate(self, endpoint: str, task: dict) -> dict:
+        """One pool evaluation with queueing, timeout and fault isolation."""
+        timeout = task.get("timeout", self.config.request_timeout)
+        self.metrics.enqueue()
+        try:
+            await self._slots.acquire()
+        finally:
+            self.metrics.dequeue()
+        try:
+            self.metrics.worker_started()
+            self.metrics.evaluations[endpoint] += 1
+            loop = asyncio.get_running_loop()
+            try:
+                payload = await asyncio.wait_for(
+                    loop.run_in_executor(self._executor, evaluate, task), timeout
+                )
+            except asyncio.TimeoutError:
+                # the worker cannot be interrupted; it is abandoned to
+                # finish in the background (same policy as the sweep engine)
+                self.metrics.timeouts += 1
+                raise _EvaluationError(504, {
+                    "type": "TimeoutError",
+                    "message": f"evaluation exceeded the {timeout:.3g}s budget",
+                }) from None
+            except BrokenExecutor:
+                self.metrics.worker_restarts += 1
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = fork_executor(self.config.jobs)
+                raise _EvaluationError(500, {
+                    "type": "WorkerCrashed",
+                    "message": "worker process died; pool restarted",
+                }) from None
+        finally:
+            self.metrics.worker_finished()
+            self._slots.release()
+        if "error" in payload:
+            detail = payload["error"]
+            status = 400 if detail.get("type") in _CLIENT_ERRORS else 500
+            raise _EvaluationError(status, detail)
+        return payload["result"]
+
+    # ------------------------------------------------------------------
+    # HTTP glue
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        shutdown = False
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin1").split()
+            if len(parts) < 2:
+                await _respond(writer, 400,
+                               _error_payload("", "BadRequest", "malformed request line"))
+                return
+            method, target = parts[0].upper(), parts[1]
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length") or 0)
+            if length > self.config.max_body_bytes:
+                await _respond(writer, 413,
+                               _error_payload(target, "PayloadTooLarge",
+                                              f"body exceeds {self.config.max_body_bytes} bytes"))
+                return
+            body = await reader.readexactly(length) if length else b""
+            status, payload, shutdown = await self.handle_request(method, target, body)
+            await _respond(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+            if shutdown:
+                self.shutdown_event.set()
+
+    def close(self) -> None:
+        # wait=True: letting idle workers exit here avoids a noisy atexit
+        # race in concurrent.futures; abandoned (timed-out) workers are the
+        # exception and at worst delay shutdown by their remaining runtime
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _error_payload(endpoint: str, error_type: str, message: str) -> dict:
+    return {"ok": False, "endpoint": endpoint,
+            "error": {"type": error_type, "message": message}}
+
+
+async def _respond(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
+    data = json.dumps(payload).encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(data)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin1")
+    writer.write(head + data)
+    await writer.drain()
+
+
+async def run_server(
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    ready=None,
+    announce: bool = True,
+) -> None:
+    """Run the daemon until ``/shutdown`` or SIGINT/SIGTERM.
+
+    ``port=0`` binds an ephemeral port; the chosen one is announced on
+    stdout as ``repro-service listening on http://HOST:PORT`` so wrappers
+    (benchmarks, the CI smoke job) can parse it.  ``ready``, if given, is
+    called with ``(service, host, actual_port, loop)`` once the socket is
+    bound — :class:`ServiceThread` uses it.
+    """
+    config = config or ServiceConfig()
+    service = LocalityService(config)
+    server = await asyncio.start_server(service.handle_connection, host, port)
+    actual_port = server.sockets[0].getsockname()[1]
+    if announce:
+        print(f"repro-service listening on http://{host}:{actual_port}", flush=True)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(sig, service.shutdown_event.set)
+    if ready is not None:
+        ready(service, host, actual_port, loop)
+    try:
+        async with server:
+            await service.shutdown_event.wait()
+    finally:
+        service.close()
+
+
+class ServiceThread:
+    """An in-process daemon on a background thread (tests, benches, tours).
+
+    >>> with ServiceThread(ServiceConfig(jobs=1, cache_dir=None)) as (host, port):
+    ...     ServiceClient(host, port).health()
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._host = host
+        self._port = port
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.service: LocalityService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.address: tuple[str, int] | None = None
+
+    def _on_ready(self, service, host, port, loop) -> None:
+        self.service = service
+        self.address = (host, port)
+        self._loop = loop
+        self._ready.set()
+
+    def start(self) -> tuple[str, int]:
+        if self._thread is not None:
+            raise RuntimeError("service thread already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(
+                run_server(self.config, self._host, self._port,
+                           ready=self._on_ready, announce=False)
+            ),
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread failed to start")
+        return self.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self.service is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.service.shutdown_event.set)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

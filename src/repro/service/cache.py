@@ -1,0 +1,167 @@
+"""Two-tier result cache of the advisor service.
+
+Tier 1 is an in-memory LRU holding canonical-JSON result payloads under a
+TTL and a byte budget.  Tier 2 is the on-disk cache directory the sweep
+engine already uses (``.repro_cache``): ``sweep`` results are stored in
+the exact record format of
+:func:`repro.experiments.common.store_record` — keyed by the PR-1
+``ExperimentSetup.cache_key`` — so daemon and batch sweeps share work,
+while the cheaper endpoints persist their canonical payloads as
+``<request_key>.<endpoint>.json`` next to them.
+
+A disk hit is promoted into the memory tier, so a warm key costs one
+dictionary lookup.  All counters needed by ``/metrics`` (hits and misses
+per tier, evictions, expirations, resident bytes) are kept here.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+
+@dataclass
+class _Entry:
+    payload: bytes
+    expires_at: float
+
+
+class MemoryLRU:
+    """Byte-budgeted LRU over canonical JSON payloads with per-entry TTL."""
+
+    def __init__(
+        self,
+        max_bytes: int = 64 * 2**20,
+        ttl_seconds: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> bytes | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if self._clock() >= entry.expires_at:
+            self._drop(key)
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        if key in self._entries:
+            self._drop(key)
+        if len(payload) > self.max_bytes:
+            return  # a single oversized result would evict everything else
+        self._entries[key] = _Entry(payload, self._clock() + self.ttl_seconds)
+        self.current_bytes += len(payload)
+        while self.current_bytes > self.max_bytes and self._entries:
+            oldest = next(iter(self._entries))
+            self._drop(oldest)
+            self.evictions += 1
+
+    def _drop(self, key: str) -> None:
+        entry = self._entries.pop(key)
+        self.current_bytes -= len(entry.payload)
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "ttl_seconds": self.ttl_seconds,
+        }
+
+
+class TieredResultCache:
+    """Memory LRU layered over the sweep engine's disk records."""
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None,
+        max_bytes: int = 64 * 2**20,
+        ttl_seconds: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.memory = MemoryLRU(max_bytes=max_bytes, ttl_seconds=ttl_seconds, clock=clock)
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+    def get(self, key: str, disk_path: Path | None) -> tuple[dict | None, str | None]:
+        """Look a key up; returns ``(result, tier)`` with tier in
+        {"memory", "disk", None}."""
+        payload = self.memory.get(key)
+        if payload is not None:
+            return json.loads(payload), "memory"
+        if disk_path is None or self.cache_dir is None:
+            return None, None
+        if not disk_path.exists():
+            self.disk_misses += 1
+            return None, None
+        text = disk_path.read_text()
+        self.disk_hits += 1
+        result = json.loads(text)
+        return result, "disk"
+
+    def put(
+        self,
+        key: str,
+        canonical_payload: bytes,
+        disk_path: Path | None,
+        disk_text: str | None = None,
+    ) -> None:
+        """Store a result in both tiers.
+
+        ``disk_text`` overrides the bytes written to disk — the daemon
+        passes the sweep-record serialization there so the file stays
+        byte-compatible with :func:`~repro.experiments.common.store_record`.
+        """
+        self.memory.put(key, canonical_payload)
+        if disk_path is not None and self.cache_dir is not None:
+            disk_path.write_text(
+                disk_text if disk_text is not None
+                else canonical_payload.decode()
+            )
+
+    def promote(self, key: str, canonical_payload: bytes) -> None:
+        """Copy a disk hit into the memory tier."""
+        self.memory.put(key, canonical_payload)
+
+    def stats(self) -> dict:
+        return {
+            "memory": self.memory.stats(),
+            "disk": {
+                "hits": self.disk_hits,
+                "misses": self.disk_misses,
+                "enabled": self.cache_dir is not None,
+            },
+        }

@@ -1,0 +1,145 @@
+"""Synchronous client for the advisor daemon (stdlib ``http.client``).
+
+>>> client = ServiceClient("127.0.0.1", 8787)
+>>> envelope = client.advise(matrix=my_csr_matrix, num_threads=48)
+>>> rec = Recommendation.from_dict(envelope["result"])
+
+Every model call returns the response *envelope*::
+
+    {"ok": true, "endpoint": "advise", "key": "...",
+     "cached": null | "memory" | "disk" | "coalesced", "result": {...}}
+
+so callers can see which tier served them.  Failures raise
+:class:`ServiceError` with the HTTP status and the server's structured
+error object.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+from ..spmv.csr import CSRMatrix
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, error: dict) -> None:
+        super().__init__(f"[{status}] {error.get('type')}: {error.get('message')}")
+        self.status = status
+        self.error = error
+
+
+def matrix_payload(matrix: CSRMatrix) -> dict:
+    """The inline-CSR request form of a :class:`CSRMatrix`."""
+    return {
+        "csr": {
+            "num_rows": matrix.num_rows,
+            "num_cols": matrix.num_cols,
+            "rowptr": matrix.rowptr.tolist(),
+            "colidx": matrix.colidx.tolist(),
+            "values": matrix.values.tolist(),
+        }
+    }
+
+
+def _matrix_field(
+    matrix: CSRMatrix | dict | None, name: str | None, collection: str | None
+) -> dict:
+    if matrix is not None and name is not None:
+        raise ValueError("pass either matrix= or name=, not both")
+    if isinstance(matrix, CSRMatrix):
+        return matrix_payload(matrix)
+    if isinstance(matrix, dict):
+        return matrix
+    if name is not None:
+        field = {"name": name}
+        if collection is not None:
+            field["collection"] = collection
+        return field
+    raise ValueError("a matrix= (CSRMatrix or payload dict) or name= is required")
+
+
+class ServiceClient:
+    """One daemon address; one HTTP request per call (Connection: close)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            envelope = json.loads(response.read().decode())
+            if response.status >= 400:
+                raise ServiceError(response.status, envelope.get("error", {}))
+            return envelope
+        finally:
+            conn.close()
+
+    def _model(self, endpoint: str, matrix, name, collection, setup: dict,
+               extra: dict) -> dict:
+        payload: dict = {"matrix": _matrix_field(matrix, name, collection)}
+        if setup:
+            payload["setup"] = setup
+        payload.update({k: v for k, v in extra.items() if v is not None})
+        return self.request("POST", f"/{endpoint}", payload)
+
+    # -- endpoints -----------------------------------------------------
+    def classify(self, matrix=None, *, name=None, collection=None,
+                 way_options=None, timeout=None, **setup) -> dict:
+        return self._model("classify", matrix, name, collection, setup,
+                           {"way_options": way_options, "timeout": timeout})
+
+    def predict(self, matrix=None, *, name=None, collection=None,
+                policies=None, timeout=None, **setup) -> dict:
+        return self._model("predict", matrix, name, collection, setup,
+                           {"policies": policies, "timeout": timeout})
+
+    def advise(self, matrix=None, *, name=None, collection=None,
+               way_options=None, consider_isolate_x=None,
+               min_sector1_ways_with_prefetch=None, timeout=None, **setup) -> dict:
+        return self._model("advise", matrix, name, collection, setup, {
+            "way_options": way_options,
+            "consider_isolate_x": consider_isolate_x,
+            "min_sector1_ways_with_prefetch": min_sector1_ways_with_prefetch,
+            "timeout": timeout,
+        })
+
+    def sweep(self, matrix=None, *, name=None, collection=None,
+              timeout=None, **setup) -> dict:
+        return self._model("sweep", matrix, name, collection, setup,
+                           {"timeout": timeout})
+
+    # -- operations ----------------------------------------------------
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def shutdown(self) -> dict:
+        return self.request("POST", "/shutdown")
+
+    def wait_ready(self, deadline_seconds: float = 30.0,
+                   poll_seconds: float = 0.1) -> None:
+        """Block until ``/healthz`` answers (daemon start-up races)."""
+        deadline = time.monotonic() + deadline_seconds
+        while True:
+            try:
+                self.health()
+                return
+            except (OSError, socket.timeout, http.client.HTTPException):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_seconds)

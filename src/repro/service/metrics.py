@@ -1,0 +1,114 @@
+"""Observability surface of the advisor service.
+
+Everything ``/metrics`` reports lives here: request counts per endpoint
+and status, model-evaluation counts (the coalescing tests key off these
+— N concurrent identical requests must increment an evaluation counter
+exactly once), coalesced and cache-served request counts, cumulative
+latency histograms, queue depth, and worker utilization.  The snapshot
+is a plain JSON object so any scraper can consume it; bucket boundaries
+follow the usual Prometheus-style ``le`` convention.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, defaultdict
+from typing import Callable
+
+#: Histogram bucket upper bounds in seconds (+Inf is implicit).
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+class LatencyHistogram:
+    """Cumulative histogram of observed seconds."""
+
+    def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last slot: +Inf
+        self.total = 0
+        self.sum_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.total += 1
+        self.sum_seconds += seconds
+        for i, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        cumulative = 0
+        out: dict = {"count": self.total, "sum_seconds": self.sum_seconds,
+                     "buckets": {}}
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            out["buckets"][str(bound)] = cumulative
+        out["buckets"]["+Inf"] = self.total
+        return out
+
+
+class ServiceMetrics:
+    """Counters and gauges behind ``/metrics``."""
+
+    def __init__(self, jobs: int, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self.started = clock()
+        self.jobs = jobs
+        #: endpoint -> {"ok": n, "error": n, ...} terminal statuses
+        self.requests: dict[str, Counter] = defaultdict(Counter)
+        #: endpoint -> model evaluations actually performed
+        self.evaluations: Counter = Counter()
+        #: endpoint -> requests that piggybacked on an in-flight evaluation
+        self.coalesced: Counter = Counter()
+        #: endpoint -> requests served from a cache tier
+        self.cache_served: dict[str, Counter] = defaultdict(Counter)
+        self.latency: dict[str, LatencyHistogram] = defaultdict(LatencyHistogram)
+        self.queue_depth = 0
+        self.queue_peak = 0
+        self.workers_busy = 0
+        self.workers_peak = 0
+        self.worker_restarts = 0
+        self.timeouts = 0
+
+    # -- gauges --------------------------------------------------------
+    def enqueue(self) -> None:
+        self.queue_depth += 1
+        self.queue_peak = max(self.queue_peak, self.queue_depth)
+
+    def dequeue(self) -> None:
+        self.queue_depth -= 1
+
+    def worker_started(self) -> None:
+        self.workers_busy += 1
+        self.workers_peak = max(self.workers_peak, self.workers_busy)
+
+    def worker_finished(self) -> None:
+        self.workers_busy -= 1
+
+    # -- terminal accounting -------------------------------------------
+    def observe_request(self, endpoint: str, status: str, seconds: float) -> None:
+        self.requests[endpoint][status] += 1
+        self.latency[endpoint].observe(seconds)
+
+    def snapshot(self, cache_stats: dict) -> dict:
+        return {
+            "uptime_seconds": self._clock() - self.started,
+            "requests": {ep: dict(c) for ep, c in sorted(self.requests.items())},
+            "evaluations": dict(self.evaluations),
+            "coalesced": dict(self.coalesced),
+            "cache_served": {ep: dict(c) for ep, c in sorted(self.cache_served.items())},
+            "latency_seconds": {
+                ep: hist.snapshot() for ep, hist in sorted(self.latency.items())
+            },
+            "cache": cache_stats,
+            "queue": {"depth": self.queue_depth, "peak": self.queue_peak},
+            "workers": {
+                "jobs": self.jobs,
+                "busy": self.workers_busy,
+                "peak_busy": self.workers_peak,
+                "restarts": self.worker_restarts,
+                "timeouts": self.timeouts,
+            },
+        }

@@ -1,0 +1,307 @@
+"""Wire format of the advisor service.
+
+A request is one JSON object.  The matrix is either *named* from the
+synthetic collection::
+
+    {"matrix": {"name": "banded_001", "collection": "tiny"}}
+
+or submitted *inline* as CSR or COO arrays::
+
+    {"matrix": {"csr": {"num_rows": 4, "num_cols": 4,
+                        "rowptr": [0, 1, 2, 3, 4], "colidx": [0, 1, 2, 3]}}}
+    {"matrix": {"coo": {"num_rows": 4, "num_cols": 4,
+                        "rows": [0, 1], "cols": [1, 2]}}}
+
+(``values`` is optional and defaults to ones — the model only reads the
+pattern).  An optional ``"setup"`` object carries the
+:class:`~repro.experiments.common.ExperimentSetup` fields (scale, thread
+count, iterations, prefetch distances, way options); endpoint-specific
+knobs ride at the top level.
+
+:func:`normalize_request` validates a payload and rewrites it into a
+*canonical task*: a plain-JSON dict with every default filled in, so that
+two requests asking for the same computation normalize to identical
+bytes.  :func:`request_key` hashes that canonical form — it is the key of
+the result cache and of in-flight coalescing.  The builder functions at
+the bottom (:func:`setup_from_task`, :func:`matrix_from_task`) run inside
+pool workers to reconstruct model inputs from a task.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+import numpy as np
+
+from ..analysis.report import canonical_json
+from ..experiments.common import ExperimentSetup
+from ..matrices.collection import _SIZES, collection
+from ..spmv.csr import CSRMatrix
+from ..spmv.sector_policy import SectorPolicy
+
+#: The model-serving endpoints (metrics/health/shutdown are transport-level).
+ENDPOINTS = ("classify", "predict", "advise", "sweep")
+
+#: Advisor defaults mirroring :class:`repro.core.SectorAdvisor`.
+ADVISE_WAY_OPTIONS = (2, 3, 4, 5, 6)
+
+_SETUP_FIELDS = (
+    "scale",
+    "num_threads",
+    "iterations",
+    "l1_prefetch_distance",
+    "l2_prefetch_distance",
+    "l2_way_options",
+    "l1_way_options",
+)
+
+
+class RequestError(Exception):
+    """A malformed or unserviceable request, carrying the HTTP status."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _require(condition: bool, message: str, status: int = 400) -> None:
+    if not condition:
+        raise RequestError(message, status=status)
+
+
+def _int_list(values: object, label: str) -> list[int]:
+    _require(isinstance(values, (list, tuple)), f"{label} must be a list")
+    try:
+        return [int(v) for v in values]
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"{label} must contain integers: {exc}") from None
+
+
+def _float_list(values: object, label: str) -> list[float]:
+    _require(isinstance(values, (list, tuple)), f"{label} must be a list")
+    try:
+        return [float(v) for v in values]
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"{label} must contain numbers: {exc}") from None
+
+
+@lru_cache(maxsize=8)
+def _collection_names(size: str, scale: int) -> frozenset[str]:
+    from ..machine.a64fx import scaled_machine
+
+    return frozenset(
+        spec.name for spec in collection(size, machine=scaled_machine(scale))
+    )
+
+
+def _normalize_matrix(payload: object, scale: int) -> dict:
+    _require(isinstance(payload, dict), "request must carry a 'matrix' object")
+    if "name" in payload:
+        size = payload.get("collection", "small")
+        _require(
+            size in _SIZES,
+            f"unknown collection {size!r} (expected one of {sorted(_SIZES)})",
+        )
+        name = payload["name"]
+        _require(isinstance(name, str) and bool(name), "matrix name must be a string")
+        _require(
+            name in _collection_names(size, scale),
+            f"matrix {name!r} not in the {size!r} collection",
+            status=404,
+        )
+        return {"kind": "named", "collection": size, "name": name}
+    if "csr" in payload:
+        csr = payload["csr"]
+        _require(isinstance(csr, dict), "'csr' must be an object")
+        task = {
+            "kind": "csr",
+            "num_rows": int(csr.get("num_rows", -1)),
+            "num_cols": int(csr.get("num_cols", -1)),
+            "rowptr": _int_list(csr.get("rowptr"), "csr.rowptr"),
+            "colidx": _int_list(csr.get("colidx"), "csr.colidx"),
+        }
+        if csr.get("values") is not None:
+            task["values"] = _float_list(csr["values"], "csr.values")
+        _require(task["num_rows"] >= 0 and task["num_cols"] >= 0,
+                 "csr.num_rows/num_cols must be non-negative integers")
+        return task
+    if "coo" in payload:
+        coo = payload["coo"]
+        _require(isinstance(coo, dict), "'coo' must be an object")
+        task = {
+            "kind": "coo",
+            "num_rows": int(coo.get("num_rows", -1)),
+            "num_cols": int(coo.get("num_cols", -1)),
+            "rows": _int_list(coo.get("rows"), "coo.rows"),
+            "cols": _int_list(coo.get("cols"), "coo.cols"),
+        }
+        if coo.get("values") is not None:
+            task["values"] = _float_list(coo["values"], "coo.values")
+        _require(task["num_rows"] >= 0 and task["num_cols"] >= 0,
+                 "coo.num_rows/num_cols must be non-negative integers")
+        _require(len(task["rows"]) == len(task["cols"]),
+                 "coo.rows and coo.cols must have the same length")
+        return task
+    raise RequestError("matrix must carry 'name', 'csr' or 'coo'")
+
+
+def _normalize_setup(payload: object) -> dict:
+    defaults = ExperimentSetup()
+    if payload is None:
+        payload = {}
+    _require(isinstance(payload, dict), "'setup' must be an object")
+    unknown = set(payload) - set(_SETUP_FIELDS)
+    _require(not unknown, f"unknown setup fields: {sorted(unknown)}")
+    setup: dict = {}
+    for name in ("scale", "num_threads", "iterations",
+                 "l1_prefetch_distance", "l2_prefetch_distance"):
+        value = payload.get(name, getattr(defaults, name))
+        try:
+            setup[name] = int(value)
+        except (TypeError, ValueError):
+            raise RequestError(f"setup.{name} must be an integer") from None
+        _require(setup[name] >= (1 if name in ("scale", "num_threads", "iterations") else 0),
+                 f"setup.{name} out of range")
+    for name in ("l2_way_options", "l1_way_options"):
+        setup[name] = _int_list(
+            payload.get(name, getattr(defaults, name)), f"setup.{name}"
+        )
+        _require(bool(setup[name]), f"setup.{name} must not be empty")
+    return setup
+
+
+def normalize_request(endpoint: str, payload: object) -> dict:
+    """Validate a request payload into its canonical task form.
+
+    Raises :class:`RequestError` (with an HTTP status) on anything
+    malformed.  The returned dict contains only plain JSON values and all
+    defaults filled in; equal computations yield byte-equal tasks.
+    """
+    _require(endpoint in ENDPOINTS, f"unknown endpoint {endpoint!r}", status=404)
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    setup = _normalize_setup(payload.get("setup"))
+    task: dict = {
+        "endpoint": endpoint,
+        "matrix": _normalize_matrix(payload.get("matrix"), setup["scale"]),
+        "setup": setup,
+    }
+
+    if endpoint == "classify":
+        task["way_options"] = _int_list(
+            payload.get("way_options", setup["l2_way_options"]), "way_options"
+        )
+    elif endpoint == "predict":
+        policies = payload.get(
+            "policies",
+            [{"l2_sector1_ways": w} for w in setup["l2_way_options"]],
+        )
+        _require(isinstance(policies, (list, tuple)) and policies,
+                 "'policies' must be a non-empty list")
+        normalized = []
+        for entry in policies:
+            _require(isinstance(entry, dict), "each policy must be an object")
+            try:
+                normalized.append(SectorPolicy.from_dict(entry).to_dict())
+            except ValueError as exc:
+                raise RequestError(f"bad policy: {exc}") from None
+        task["policies"] = normalized
+    elif endpoint == "advise":
+        task["way_options"] = _int_list(
+            payload.get("way_options", ADVISE_WAY_OPTIONS), "way_options"
+        )
+        _require(bool(task["way_options"]), "way_options must not be empty")
+        task["consider_isolate_x"] = bool(payload.get("consider_isolate_x", True))
+        task["min_sector1_ways_with_prefetch"] = int(
+            payload.get("min_sector1_ways_with_prefetch", 4)
+        )
+    # sweep needs nothing beyond the setup: it measures the full grid
+
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError):
+            raise RequestError("timeout must be a number") from None
+        _require(timeout > 0, "timeout must be positive")
+        task["timeout"] = timeout
+    for hook in ("x_test_sleep", "x_test_crash"):
+        if hook in payload:
+            task[hook] = payload[hook]
+    return task
+
+
+def request_key(task: dict) -> str:
+    """Cache/coalescing key of a canonical task.
+
+    The per-request ``timeout`` is excluded: it bounds the wait, not the
+    computation, so requests differing only in patience share one result.
+    """
+    keyed = {k: v for k, v in task.items() if k != "timeout"}
+    digest = hashlib.sha256(canonical_json(["v1", keyed]).encode()).hexdigest()
+    return digest[:32]
+
+
+# ----------------------------------------------------------------------
+# worker-side builders
+# ----------------------------------------------------------------------
+
+def setup_from_task(task: dict) -> ExperimentSetup:
+    """The :class:`ExperimentSetup` a task's computation runs under."""
+    setup = task["setup"]
+    return ExperimentSetup(
+        scale=setup["scale"],
+        num_threads=setup["num_threads"],
+        iterations=setup["iterations"],
+        l1_prefetch_distance=setup["l1_prefetch_distance"],
+        l2_prefetch_distance=setup["l2_prefetch_distance"],
+        l2_way_options=tuple(setup["l2_way_options"]),
+        l1_way_options=tuple(setup["l1_way_options"]),
+    )
+
+
+def matrix_name(task: dict) -> str:
+    """Stable name of a task's matrix (content-addressed when inline).
+
+    For named matrices this is the collection name, so service ``sweep``
+    requests share on-disk records with ``python -m repro.experiments``
+    sweeps of the same setup.
+    """
+    matrix = task["matrix"]
+    if matrix["kind"] == "named":
+        return matrix["name"]
+    digest = hashlib.sha256(canonical_json(matrix).encode()).hexdigest()[:12]
+    return f"inline-{digest}"
+
+
+def matrix_from_task(task: dict) -> CSRMatrix:
+    """Materialize a task's matrix (runs inside a pool worker)."""
+    spec = task["matrix"]
+    name = matrix_name(task)
+    if spec["kind"] == "named":
+        machine = setup_from_task(task).machine()
+        for candidate in collection(spec["collection"], machine=machine):
+            if candidate.name == name:
+                return candidate.materialize()
+        raise KeyError(f"matrix {name!r} not in the {spec['collection']!r} collection")
+    if spec["kind"] == "csr":
+        values = spec.get("values")
+        rowptr = np.asarray(spec["rowptr"], dtype=np.int64)
+        nnz = int(rowptr[-1]) if rowptr.size else 0
+        return CSRMatrix(
+            spec["num_rows"],
+            spec["num_cols"],
+            rowptr,
+            np.asarray(spec["colidx"], dtype=np.int32),
+            np.ones(nnz) if values is None else np.asarray(values, dtype=np.float64),
+            name=name,
+        )
+    return CSRMatrix.from_coo(
+        spec["num_rows"],
+        spec["num_cols"],
+        np.asarray(spec["rows"], dtype=np.int64),
+        np.asarray(spec["cols"], dtype=np.int64),
+        None if spec.get("values") is None
+        else np.asarray(spec["values"], dtype=np.float64),
+        name=name,
+    )

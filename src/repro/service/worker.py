@@ -1,0 +1,99 @@
+"""Pool-worker body of the advisor service.
+
+:func:`evaluate` is the only function the daemon submits to the process
+pool.  It receives a canonical task (see :mod:`repro.service.protocol`),
+rebuilds the matrix and machine, runs the requested model, and returns a
+plain-JSON payload: ``{"result": ...}`` on success or ``{"error": ...}``
+on failure.  Exceptions are caught *inside* the worker — the same fault
+isolation the sweep engine uses — so a pathological matrix produces a
+structured error response instead of a dead worker.
+
+Every result payload round-trips through the shared ``to_dict`` wire
+format, which is what makes service responses byte-identical to direct
+:class:`~repro.core.SectorAdvisor` / :class:`~repro.core.MethodB` calls.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+
+from ..core.advisor import SectorAdvisor
+from ..core.classification import classify
+from ..core.method_b import MethodB
+from ..experiments.common import measure_matrix
+from ..spmv.sector_policy import SectorPolicy
+from .protocol import matrix_from_task, setup_from_task
+
+
+def evaluate(task: dict) -> dict:
+    """Run one canonical task; never raises (fault isolation)."""
+    started = time.perf_counter()
+    try:
+        _test_hooks(task)
+        result = _dispatch(task)
+        return {"result": result, "elapsed_seconds": time.perf_counter() - started}
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        return {
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+                "elapsed_seconds": time.perf_counter() - started,
+            }
+        }
+
+
+def _test_hooks(task: dict) -> None:
+    """Deterministic fault injection for tests (gated by the daemon)."""
+    if task.get("x_test_sleep"):
+        time.sleep(float(task["x_test_sleep"]))
+    if task.get("x_test_crash"):
+        os._exit(2)  # hard worker death: exercises BrokenProcessPool handling
+
+
+def _dispatch(task: dict) -> dict:
+    setup = setup_from_task(task)
+    machine = setup.machine()
+    matrix = matrix_from_task(task)
+    endpoint = task["endpoint"]
+
+    if endpoint == "classify":
+        num_cmgs = -(-setup.num_threads // machine.cores_per_cmg)
+        return {
+            "name": matrix.name,
+            "num_cmgs": num_cmgs,
+            "classes": {
+                str(ways): classify(matrix, machine, ways, num_cmgs).value
+                for ways in task["way_options"]
+            },
+        }
+
+    if endpoint == "predict":
+        model = MethodB(matrix, machine, num_threads=setup.num_threads,
+                        iterations=setup.iterations)
+        predictions = []
+        for entry in task["policies"]:
+            prediction = model.predict(SectorPolicy.from_dict(entry))
+            predictions.append({
+                "policy": prediction.policy.to_dict(),
+                "l2_misses": int(prediction.l2_misses),
+                "per_array": {k: int(v) for k, v in prediction.per_array.items()},
+            })
+        return {"name": matrix.name, "method": "B", "predictions": predictions}
+
+    if endpoint == "advise":
+        advisor = SectorAdvisor(
+            machine,
+            num_threads=setup.num_threads,
+            way_options=tuple(task["way_options"]),
+            consider_isolate_x=task["consider_isolate_x"],
+            min_sector1_ways_with_prefetch=task["min_sector1_ways_with_prefetch"],
+        )
+        return advisor.recommend(matrix).to_dict()
+
+    if endpoint == "sweep":
+        return measure_matrix(matrix, setup).to_dict()
+
+    raise ValueError(f"unknown endpoint {endpoint!r}")

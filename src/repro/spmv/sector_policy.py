@@ -83,6 +83,24 @@ class SectorPolicy:
         arrays = " ".join(sorted(self.sector1_arrays))
         return f"scache_isolate_way {ways}; scache_isolate_assign {arrays}"
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (sorted arrays so output is canonical)."""
+        return {
+            "sector1_arrays": sorted(self.sector1_arrays),
+            "l2_sector1_ways": self.l2_sector1_ways,
+            "l1_sector1_ways": self.l1_sector1_ways,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SectorPolicy":
+        """Inverse of :meth:`to_dict`; missing fields take the defaults."""
+        arrays = payload.get("sector1_arrays")
+        return cls(
+            sector1_arrays=MATRIX_DATA if arrays is None else frozenset(arrays),
+            l2_sector1_ways=int(payload.get("l2_sector1_ways", 0)),
+            l1_sector1_ways=int(payload.get("l1_sector1_ways", 0)),
+        )
+
 
 def no_sector_cache() -> SectorPolicy:
     """Baseline: sector cache disabled at both levels."""

@@ -8,8 +8,11 @@ from hypothesis import strategies as st
 from repro.analysis import (
     absolute_percentage_errors,
     box_stats,
+    canonical_json,
     error_stats,
+    jsonable,
     render_box_table,
+    render_json,
     render_series,
     render_table,
 )
@@ -98,3 +101,32 @@ def test_render_table_basic():
 def test_render_series():
     text = render_series("s", [(1, 2.0)], "x", "y")
     assert "s" in text and "2.00" in text
+
+
+class _Box:
+    def to_dict(self):
+        return {"b": np.int64(2), "a": [np.float64(1.5), "x"]}
+
+
+def test_jsonable_unwraps_to_dict_and_numpy_scalars():
+    value = jsonable({"box": _Box(), "n": np.int32(7)})
+    assert value == {"box": {"b": 2, "a": [1.5, "x"]}, "n": 7}
+    assert type(value["n"]) is int
+
+
+def test_jsonable_rejects_unserializable():
+    with pytest.raises(TypeError):
+        jsonable(object())
+
+
+def test_canonical_json_is_order_independent():
+    assert canonical_json({"a": 1, "b": (2, 3)}) == canonical_json({"b": [2, 3], "a": 1})
+    assert canonical_json({"a": 1}) == '{"a":1}'
+
+
+def test_render_json_is_indented_same_content():
+    import json
+
+    payload = {"z": _Box()}
+    assert json.loads(render_json(payload)) == json.loads(canonical_json(payload))
+    assert "\n" in render_json(payload)

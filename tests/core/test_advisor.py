@@ -3,9 +3,9 @@
 import pytest
 
 from repro.core import MatrixClass
-from repro.core.advisor import SectorAdvisor
+from repro.core.advisor import Recommendation, SectorAdvisor
 from repro.machine import scaled_machine
-from repro.matrices import banded, random_uniform
+from repro.matrices import banded, diagonal_plus_random, random_uniform
 
 MACHINE = scaled_machine(16)
 
@@ -32,11 +32,37 @@ def test_class2_recommends_listing1(advisor):
     assert rec.predicted_speedup >= 1.0
 
 
-def test_class3_considers_isolate_x(advisor):
+def test_class3a_recommends_sector_cache(advisor):
+    # x misses in L1 but still fits the L2 sector: protecting the matrix
+    # data pays off, without needing the isolate-x fallback
+    rec = advisor.recommend(diagonal_plus_random(38_000, 5, 2, bandwidth=500, seed=3))
+    assert rec.matrix_class is MatrixClass.CLASS3A
+    assert rec.worthwhile
+    assert rec.best.policy.l2_enabled
+    assert rec.best.policy.sector_of("x") == 0
+
+
+def test_class3b_considers_isolate_x(advisor):
     rec = advisor.recommend(random_uniform(140_000, 3, seed=1))
-    assert rec.matrix_class in (MatrixClass.CLASS3A, MatrixClass.CLASS3B)
+    assert rec.matrix_class is MatrixClass.CLASS3B
     policies = {c.policy.describe() for c in rec.candidates}
     assert any("rowptr" in p for p in policies), "isolate-x variant missing"
+
+
+@pytest.mark.parametrize("matrix_builder", [
+    lambda: banded(500, 5, 4, seed=0),                                # class 1
+    lambda: banded(26_000, 2_500, 11, seed=3),                        # class 2
+    lambda: diagonal_plus_random(38_000, 5, 2, bandwidth=500, seed=3),  # class 3a
+    lambda: random_uniform(140_000, 3, seed=1),                       # class 3b
+])
+def test_recommendation_round_trips_through_dict(advisor, matrix_builder):
+    rec = advisor.recommend(matrix_builder())
+    payload = rec.to_dict()
+    rebuilt = Recommendation.from_dict(payload)
+    assert rebuilt == rec
+    assert payload["predicted_speedup"] == rec.predicted_speedup
+    assert payload["worthwhile"] == rec.worthwhile
+    assert payload["matrix_class"] == rec.matrix_class.value
 
 
 def test_advisor_respects_minimum_way_floor(advisor):

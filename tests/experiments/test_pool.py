@@ -8,11 +8,13 @@ import pytest
 
 from repro.experiments import (
     ExperimentSetup,
+    failure_entry_path,
     record_fingerprint,
     run_collection,
     run_collection_parallel,
 )
 from repro.experiments.common import VOLATILE_FIELDS, cache_entry_path
+from repro.matrices import banded
 from repro.matrices.collection import MatrixSpec, collection
 
 SETUP = ExperimentSetup(scale=16, num_threads=8, l2_way_options=(0, 5), l1_way_options=(0,))
@@ -130,3 +132,54 @@ def test_records_carry_timing_and_rss_instrumentation(tmp_path):
 def test_rejects_nonpositive_jobs(tmp_path):
     with pytest.raises(ValueError):
         run_collection_parallel(_specs(1), SETUP, tmp_path, jobs=0)
+
+
+def _now_good_build():
+    return banded(200, 4, 3, seed=7)
+
+
+def _healed_spec():
+    # same name (-> same cache key) as _bad_spec, but the build now works
+    return MatrixSpec(
+        name="injected_bad", family="banded", target_class="1", build=_now_good_build
+    )
+
+
+def test_failure_records_skip_reruns_by_default(tmp_path):
+    run_collection_parallel([_bad_spec()], SETUP, tmp_path, jobs=2)
+    assert failure_entry_path(tmp_path, SETUP, "injected_bad").exists()
+    # even though the spec would succeed now, the persisted failure is
+    # replayed instead of re-paying the sweep
+    replay = run_collection_parallel([_healed_spec()], SETUP, tmp_path, jobs=2)
+    assert replay.failed_names == ["injected_bad"]
+    assert replay.failures[0].error_type == "RuntimeError"
+    assert replay.from_cache == 1
+    assert not replay.records
+
+
+def test_retry_failures_requeues_and_clears_record(tmp_path):
+    run_collection_parallel([_bad_spec()], SETUP, tmp_path, jobs=2)
+    entry = failure_entry_path(tmp_path, SETUP, "injected_bad")
+    assert entry.exists()
+    retried = run_collection_parallel(
+        [_healed_spec()], SETUP, tmp_path, jobs=2, retry_failures=True
+    )
+    assert not retried.failures
+    assert [r.name for r in retried.records] == ["injected_bad"]
+    # success deletes the stale failure record...
+    assert not entry.exists()
+    # ...so the next default run measures from the cache, not the record
+    again = run_collection_parallel([_healed_spec()], SETUP, tmp_path, jobs=2)
+    assert not again.failures and again.from_cache == 1
+
+
+def test_serial_runner_skips_and_retries_failures(tmp_path, capsys):
+    run_collection_parallel([_bad_spec()], SETUP, tmp_path, jobs=2)
+    skipped = run_collection([_healed_spec()], SETUP, tmp_path, verbose=True)
+    assert skipped == []
+    assert "--retry-failures" in capsys.readouterr().out
+    retried = run_collection(
+        [_healed_spec()], SETUP, tmp_path, retry_failures=True
+    )
+    assert [r.name for r in retried] == ["injected_bad"]
+    assert not failure_entry_path(tmp_path, SETUP, "injected_bad").exists()

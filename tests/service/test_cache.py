@@ -1,0 +1,117 @@
+"""Unit tests of the two-tier result cache."""
+
+import json
+
+import pytest
+
+from repro.service.cache import MemoryLRU, TieredResultCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_lru_hit_and_miss_counting():
+    cache = MemoryLRU(max_bytes=1024, ttl_seconds=10, clock=FakeClock())
+    assert cache.get("a") is None
+    cache.put("a", b"payload")
+    assert cache.get("a") == b"payload"
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_lru_ttl_expiry():
+    clock = FakeClock()
+    cache = MemoryLRU(max_bytes=1024, ttl_seconds=5, clock=clock)
+    cache.put("a", b"x")
+    clock.advance(4.9)
+    assert cache.get("a") == b"x"
+    clock.advance(0.2)
+    assert cache.get("a") is None
+    assert cache.expirations == 1
+    assert len(cache) == 0
+
+
+def test_lru_byte_budget_evicts_oldest_first():
+    cache = MemoryLRU(max_bytes=30, ttl_seconds=60, clock=FakeClock())
+    cache.put("a", b"0123456789")
+    cache.put("b", b"0123456789")
+    cache.put("c", b"0123456789")
+    assert len(cache) == 3 and cache.current_bytes == 30
+    cache.put("d", b"0123456789")  # exceeds budget -> 'a' goes
+    assert cache.get("a") is None
+    assert cache.get("d") == b"0123456789"
+    assert cache.evictions == 1
+
+
+def test_lru_recent_use_protects_from_eviction():
+    cache = MemoryLRU(max_bytes=20, ttl_seconds=60, clock=FakeClock())
+    cache.put("a", b"0123456789")
+    cache.put("b", b"0123456789")
+    assert cache.get("a") is not None  # touch: 'a' becomes most recent
+    cache.put("c", b"0123456789")  # now 'b' is the LRU victim
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+
+
+def test_lru_oversized_entry_is_not_admitted():
+    cache = MemoryLRU(max_bytes=5, ttl_seconds=60, clock=FakeClock())
+    cache.put("big", b"0123456789")
+    assert cache.get("big") is None
+    assert cache.current_bytes == 0
+
+
+def test_lru_overwrite_replaces_bytes():
+    cache = MemoryLRU(max_bytes=100, ttl_seconds=60, clock=FakeClock())
+    cache.put("a", b"0123456789")
+    cache.put("a", b"01234")
+    assert cache.current_bytes == 5
+    assert cache.get("a") == b"01234"
+
+
+def test_lru_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        MemoryLRU(max_bytes=-1)
+    with pytest.raises(ValueError):
+        MemoryLRU(ttl_seconds=0)
+
+
+def test_tiered_disk_hit_promotes_to_memory(tmp_path):
+    cache = TieredResultCache(tmp_path, max_bytes=1024, ttl_seconds=60)
+    disk_path = tmp_path / "k.advise.json"
+    payload = {"answer": 42}
+    cache.put("k", json.dumps(payload).encode(), disk_path)
+    assert disk_path.exists()
+
+    # a fresh instance has a cold memory tier but sees the disk record
+    fresh = TieredResultCache(tmp_path, max_bytes=1024, ttl_seconds=60)
+    result, tier = fresh.get("k", disk_path)
+    assert result == payload and tier == "disk"
+    fresh.promote("k", json.dumps(result).encode())
+    result, tier = fresh.get("k", disk_path)
+    assert tier == "memory"
+    stats = fresh.stats()
+    assert stats["disk"]["hits"] == 1
+    assert stats["memory"]["hits"] == 1
+
+
+def test_tiered_disk_text_override(tmp_path):
+    cache = TieredResultCache(tmp_path, max_bytes=1024, ttl_seconds=60)
+    disk_path = tmp_path / "rec.json"
+    cache.put("k", b'{"b":1,"a":2}', disk_path, disk_text='{"a": 2, "b": 1}')
+    assert disk_path.read_text() == '{"a": 2, "b": 1}'
+
+
+def test_tiered_without_disk_dir(tmp_path):
+    cache = TieredResultCache(None)
+    cache.put("k", b'{"x":1}', tmp_path / "ignored.json")
+    assert not (tmp_path / "ignored.json").exists()
+    result, tier = cache.get("k", None)
+    assert result == {"x": 1} and tier == "memory"
+    assert cache.stats()["disk"]["enabled"] is False

@@ -1,0 +1,135 @@
+"""Request normalization, canonical keys, and worker-side builders."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import banded
+from repro.matrices.collection import collection
+from repro.service.client import matrix_payload
+from repro.service.protocol import (
+    RequestError,
+    matrix_from_task,
+    matrix_name,
+    normalize_request,
+    request_key,
+    setup_from_task,
+)
+
+
+def _inline(matrix):
+    return matrix_payload(matrix)
+
+
+def test_key_is_independent_of_field_order():
+    m = _inline(banded(64, 4, 3, seed=0))
+    a = normalize_request("advise", {"matrix": m, "setup": {"num_threads": 8, "scale": 16}})
+    b = normalize_request("advise", {"setup": {"scale": 16, "num_threads": 8}, "matrix": m})
+    assert request_key(a) == request_key(b)
+
+
+def test_key_ignores_timeout_but_not_setup():
+    m = _inline(banded(64, 4, 3, seed=0))
+    base = normalize_request("advise", {"matrix": m})
+    patient = normalize_request("advise", {"matrix": m, "timeout": 5.0})
+    other = normalize_request("advise", {"matrix": m, "setup": {"num_threads": 1}})
+    assert request_key(base) == request_key(patient)
+    assert request_key(base) != request_key(other)
+
+
+def test_endpoints_key_separately():
+    m = _inline(banded(64, 4, 3, seed=0))
+    advise = normalize_request("advise", {"matrix": m})
+    classify = normalize_request("classify", {"matrix": m})
+    assert request_key(advise) != request_key(classify)
+
+
+def test_defaults_are_filled_in():
+    task = normalize_request("advise", {"matrix": _inline(banded(64, 4, 3, seed=0))})
+    assert task["setup"]["num_threads"] == 48
+    assert task["way_options"] == [2, 3, 4, 5, 6]
+    assert task["consider_isolate_x"] is True
+    setup = setup_from_task(task)
+    assert setup.scale == 16 and setup.num_threads == 48
+
+
+def test_inline_csr_round_trips():
+    matrix = banded(64, 4, 3, seed=0)
+    task = normalize_request("advise", {"matrix": _inline(matrix)})
+    rebuilt = matrix_from_task(task)
+    assert rebuilt.num_rows == matrix.num_rows
+    assert np.array_equal(rebuilt.rowptr, matrix.rowptr)
+    assert np.array_equal(rebuilt.colidx, matrix.colidx)
+    assert rebuilt.name == matrix_name(task)
+    assert rebuilt.name.startswith("inline-")
+
+
+def test_inline_coo_builds_matrix():
+    task = normalize_request("classify", {
+        "matrix": {"coo": {"num_rows": 3, "num_cols": 3,
+                           "rows": [0, 1, 2], "cols": [1, 2, 0]}},
+    })
+    rebuilt = matrix_from_task(task)
+    assert rebuilt.nnz == 3
+    assert rebuilt.num_rows == 3
+
+
+def test_named_matrix_materializes_from_collection():
+    spec = collection("tiny")[0]
+    task = normalize_request("classify", {
+        "matrix": {"name": spec.name, "collection": "tiny"},
+    })
+    assert matrix_name(task) == spec.name
+    rebuilt = matrix_from_task(task)
+    assert rebuilt.nnz == spec.materialize().nnz
+
+
+@pytest.mark.parametrize("payload, fragment", [
+    ({}, "matrix"),
+    ({"matrix": {"csr": {"num_rows": 2, "num_cols": 2}}}, "rowptr"),
+    ({"matrix": {"coo": {"num_rows": 2, "num_cols": 2,
+                         "rows": [0], "cols": [0, 1]}}}, "same length"),
+    ({"matrix": {"name": "x", "collection": "bogus"}}, "collection"),
+    ({"matrix": {"csr": {"num_rows": -1, "num_cols": 2,
+                         "rowptr": [0], "colidx": []}}}, "non-negative"),
+    ({"matrix": {"coo": {"num_rows": 2, "num_cols": 2, "rows": [0],
+                         "cols": [0]}}, "setup": {"bogus": 1}}, "unknown setup"),
+    ({"matrix": {"coo": {"num_rows": 2, "num_cols": 2, "rows": [0],
+                         "cols": [0]}}, "timeout": -1}, "timeout"),
+])
+def test_malformed_requests_rejected(payload, fragment):
+    with pytest.raises(RequestError) as err:
+        normalize_request("advise", payload)
+    assert fragment in str(err.value)
+
+
+def test_unknown_named_matrix_is_404():
+    with pytest.raises(RequestError) as err:
+        normalize_request("advise", {"matrix": {"name": "no_such", "collection": "tiny"}})
+    assert err.value.status == 404
+
+
+def test_unknown_endpoint_is_404():
+    with pytest.raises(RequestError) as err:
+        normalize_request("frobnicate", {"matrix": {"name": "x"}})
+    assert err.value.status == 404
+
+
+def test_predict_policies_are_canonicalized():
+    m = _inline(banded(64, 4, 3, seed=0))
+    a = normalize_request("predict", {
+        "matrix": m, "policies": [{"l2_sector1_ways": 5}],
+    })
+    b = normalize_request("predict", {
+        "matrix": m,
+        "policies": [{"l2_sector1_ways": 5, "l1_sector1_ways": 0,
+                      "sector1_arrays": ["colidx", "values"]}],
+    })
+    assert request_key(a) == request_key(b)
+
+
+def test_bad_policy_rejected():
+    with pytest.raises(RequestError):
+        normalize_request("predict", {
+            "matrix": _inline(banded(64, 4, 3, seed=0)),
+            "policies": [{"sector1_arrays": ["bogus_array"]}],
+        })
