@@ -5,17 +5,31 @@ the Fenwick-tree sweep and the Kim et al. grouped stack on identical
 traces, reporting references per second.  ``bench_model_sweep`` covers the
 layer above: matrices/second of a 16-configuration model sweep, serial vs.
 ``--jobs 4``, plus the warm per-policy query vs. the full-mask reference.
+``bench_periodic`` measures the single-period steady-state engine against
+the doubled-trace oracle (equality is asserted; timings and peak memory go
+to ``extra_info``).
+
+Run as a script for the JSON emitter / CI smoke mode::
+
+    PYTHONPATH=src python benchmarks/bench_reuse_engine.py --json BENCH_reuse.json
+    PYTHONPATH=src python benchmarks/bench_reuse_engine.py --check --jobs 2
 """
 
+import argparse
+import dataclasses
+import json
+import sys
 import time
+import tracemalloc
 
 import numpy as np
 import pytest
 
-from repro.core import MethodA
+from repro.core import MethodA, MethodB
 from repro.experiments import ExperimentSetup, run_collection, run_collection_parallel
+from repro.experiments.common import peak_rss_bytes, record_fingerprint
 from repro.machine import scaled_machine
-from repro.matrices import random_uniform
+from repro.matrices import banded, random_uniform
 from repro.matrices.collection import collection
 from repro.reuse import (
     reuse_distances,
@@ -23,6 +37,7 @@ from repro.reuse import (
     reuse_distances_kim,
 )
 from repro.spmv import listing1_policy
+from repro.spmv.sector_policy import no_sector_cache
 
 
 def _trace(n=200_000, lines=20_000, groups=8, seed=0):
@@ -102,6 +117,98 @@ def test_bench_model_sweep(benchmark, jobs):
     benchmark.extra_info["matrices_per_second"] = len(specs) / elapsed
 
 
+# -- bench_periodic: single-period steady state vs. the doubled trace ----
+
+#: stack-pass workloads: (name, matrix factory, method class, threads)
+PERIODIC_WORKLOADS = [
+    ("methodA_random20k", lambda: random_uniform(20_000, 8, seed=1), MethodA, 48),
+    ("methodA_banded40k", lambda: banded(40_000, 64, 6, seed=2), MethodA, 48),
+    ("methodB_random20k", lambda: random_uniform(20_000, 8, seed=3), MethodB, 48),
+]
+
+#: policies driving both the partitioned and the shared stack passes
+PERIODIC_POLICIES = (listing1_policy(5), no_sector_cache())
+
+
+def _run_stack_passes(method_cls, matrix, num_threads, periodic):
+    """One full model evaluation: construction + L2/L1 passes + cold misses."""
+    model = method_cls(
+        matrix, scaled_machine(16), num_threads=num_threads, periodic=periodic
+    )
+    out = []
+    for policy in PERIODIC_POLICIES:
+        out.append(model.predict(policy))
+        out.append(model.predict_l1(policy))
+    if method_cls is MethodA:
+        out.append(model.cold_misses())
+    return out
+
+
+def _prediction_key(result):
+    out = []
+    for entry in result:
+        if isinstance(entry, int):
+            out.append(entry)
+        else:
+            out.append((entry.l2_misses, tuple(sorted(entry.per_array.items()))))
+    return out
+
+
+def _measure_workload(name, factory, method_cls, num_threads, repeats=3):
+    """Wall time (best of ``repeats``) and tracemalloc peak of both engines."""
+    matrix = factory()
+    stats = {}
+    for label, periodic in (("oracle", False), ("periodic", True)):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = _run_stack_passes(method_cls, matrix, num_threads, periodic)
+            best = min(best, time.perf_counter() - t0)
+        tracemalloc.start()
+        _run_stack_passes(method_cls, matrix, num_threads, periodic)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        stats[label] = {
+            "seconds": best,
+            "peak_traced_bytes": int(peak),
+            "result_key": _prediction_key(result),
+        }
+    assert stats["periodic"]["result_key"] == stats["oracle"]["result_key"], (
+        f"{name}: periodic engine diverged from the doubled-trace oracle"
+    )
+    for s in stats.values():
+        del s["result_key"]
+    stats["speedup"] = stats["oracle"]["seconds"] / stats["periodic"]["seconds"]
+    stats["memory_ratio"] = (
+        stats["oracle"]["peak_traced_bytes"] / stats["periodic"]["peak_traced_bytes"]
+    )
+    return stats
+
+
+@pytest.mark.parametrize(
+    "name,factory,method_cls,num_threads",
+    PERIODIC_WORKLOADS,
+    ids=[w[0] for w in PERIODIC_WORKLOADS],
+)
+def test_bench_periodic_vs_oracle(benchmark, name, factory, method_cls, num_threads):
+    """Steady-state engine vs. doubled trace: equal results, lower cost."""
+    matrix = factory()
+    oracle = _run_stack_passes(method_cls, matrix, num_threads, periodic=False)
+    result = benchmark.pedantic(
+        lambda: _run_stack_passes(method_cls, matrix, num_threads, periodic=True),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert _prediction_key(result) == _prediction_key(oracle)
+    t0 = time.perf_counter()
+    _run_stack_passes(method_cls, matrix, num_threads, periodic=False)
+    oracle_seconds = time.perf_counter() - t0
+    benchmark.extra_info["oracle_seconds"] = oracle_seconds
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        benchmark.extra_info["speedup"] = oracle_seconds / benchmark.stats.stats.mean
+
+
 def test_bench_predict_query_vs_full_mask(benchmark):
     """Warm per-policy ``predict()`` vs. the pre-change full-mask sweep."""
     matrix = random_uniform(20_000, 8, seed=1)
@@ -118,3 +225,87 @@ def test_bench_predict_query_vs_full_mask(benchmark):
     query_seconds = benchmark.stats.stats.mean
     benchmark.extra_info["mask_path_seconds"] = mask_seconds
     benchmark.extra_info["query_speedup"] = mask_seconds / query_seconds
+
+
+# -- script mode: JSON emitter + CI smoke check --------------------------
+
+
+def _check_sweep_equivalence(jobs):
+    """Pooled periodic sweep vs. serial oracle sweep: identical records."""
+    setup = ExperimentSetup(
+        num_threads=8,
+        l2_way_options=(0, 2, 5),
+        l1_way_options=(0, 1),
+    )
+    specs = collection("tiny", machine=setup.machine())[:4]
+    serial = run_collection(
+        specs, dataclasses.replace(setup, periodic=False), cache_dir=None
+    )
+    if jobs > 1:
+        result = run_collection_parallel(specs, setup, cache_dir=None, jobs=jobs)
+        assert not result.failures, result.failures
+        pooled = result.records
+    else:
+        pooled = run_collection(specs, setup, cache_dir=None)
+    assert len(pooled) == len(serial)
+    mismatches = [
+        s.name
+        for s, p in zip(serial, pooled)
+        if record_fingerprint(s) != record_fingerprint(p)
+    ]
+    assert not mismatches, f"record fingerprints diverged for {mismatches}"
+    return len(serial)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write time + peak-memory measurements (periodic vs oracle) here",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="equality-only smoke mode: assert periodic == oracle, skip timing",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sweep check"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        matrices = _check_sweep_equivalence(args.jobs)
+        print(
+            f"OK: periodic engine matches the doubled-trace oracle on "
+            f"{matrices} matrices (jobs={args.jobs})"
+        )
+        if not args.json:
+            return 0
+
+    payload = {"workloads": {}, "peak_rss_bytes": 0}
+    for name, factory, method_cls, num_threads in PERIODIC_WORKLOADS:
+        stats = _measure_workload(
+            name, factory, method_cls, num_threads, repeats=args.repeats
+        )
+        payload["workloads"][name] = stats
+        print(
+            f"{name}: {stats['speedup']:.2f}x faster, "
+            f"{stats['memory_ratio']:.2f}x less peak trace memory "
+            f"({stats['oracle']['seconds']:.3f}s -> "
+            f"{stats['periodic']['seconds']:.3f}s)"
+        )
+    payload["peak_rss_bytes"] = peak_rss_bytes()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

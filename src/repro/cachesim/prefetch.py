@@ -31,6 +31,7 @@ def inject_prefetches(
     trace: MemoryTrace,
     distance: int = 4,
     streams: tuple[str, ...] = STREAMED_ARRAYS,
+    periodic: bool = False,
 ) -> MemoryTrace:
     """Return the trace with stream-prefetch references injected.
 
@@ -39,6 +40,13 @@ def inject_prefetches(
     stream triggers a prefetch of line ``k + distance`` of that stream's
     thread-local extent; the first touch additionally ramps lines
     ``1..distance``.  Prefetches never cross the end of the array.
+
+    ``periodic = True`` treats the trace as one period of an infinitely
+    repeated stream in steady state: the first reference of each thread's
+    stream is compared against the stream's *last* line (its predecessor in
+    the previous period) for new-line detection, and no start-up ramp is
+    injected — producing exactly the injections of iteration ``k >= 1`` of a
+    :func:`repro.core.trace.repeat_trace`-doubled trace.
     """
     if distance < 0:
         raise ValueError("distance must be non-negative")
@@ -73,6 +81,12 @@ def inject_prefetches(
         )
         first_of_thread = np.ones(sel.size, dtype=bool)
         first_of_thread[1:] = sorted_tids[1:] != sorted_tids[:-1]
+        if periodic:
+            # steady state: the predecessor of a stream's first reference is
+            # the stream's final line of the previous period
+            firsts = np.flatnonzero(first_of_thread)
+            lasts = np.append(firsts[1:] - 1, sel.size - 1)
+            new[firsts] = sorted_lines[firsts] != sorted_lines[lasts]
 
         trigger_idx = order[new]
         trigger_pos = sel[trigger_idx]
@@ -89,6 +103,9 @@ def inject_prefetches(
         inject_rank.append(np.full(int(ok.sum()), distance, dtype=np.int64))
 
         # ramp at the start of each thread's stream: lines +1 .. +distance-1
+        # (absent in steady state: the ramp ran in the first period)
+        if periodic:
+            continue
         ramp_idx = order[new & first_of_thread]
         ramp_pos = sel[ramp_idx]
         ramp_line = lines[ramp_idx]

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.trace import MemoryTrace
 from ..machine.a64fx import CacheGeometry
 from ..reuse.cdq import reuse_distances
+from ..reuse.periodic import steady_state_reuse_distances
 from ..spmv.sector_policy import SectorPolicy
 
 
@@ -46,12 +47,22 @@ class SetAssocRD:
     ``rd_split`` treats the two sectors as separate caches (partitioned
     mode); ``rd_shared`` lets all data compete for every way (sector cache
     disabled).  Both are computed on demand and cached.
+
+    When a ``first_trace`` (with matching ``first_sectors``/
+    ``first_cache_ids``) is given, ``trace`` is interpreted as the steady
+    period of the reference stream ``[first_trace, trace, trace, ...]`` and
+    in-set distances come from the single-period steady-state engine
+    (wrap-around reuse against the warm-up period) instead of a doubled
+    trace.
     """
 
     trace: MemoryTrace
     geometry: CacheGeometry
     sectors: np.ndarray
     cache_ids: np.ndarray
+    first_trace: MemoryTrace | None = None
+    first_sectors: np.ndarray | None = None
+    first_cache_ids: np.ndarray | None = None
     _cache: dict = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -62,6 +73,22 @@ class SetAssocRD:
         )
         if self.sectors.shape != (n,) or self.cache_ids.shape != (n,):
             raise ValueError("sectors and cache_ids must match the trace length")
+        if self.first_trace is not None:
+            m = len(self.first_trace)
+            object.__setattr__(
+                self,
+                "first_sectors",
+                np.ascontiguousarray(self.first_sectors, dtype=np.int8),
+            )
+            object.__setattr__(
+                self,
+                "first_cache_ids",
+                np.ascontiguousarray(self.first_cache_ids, dtype=np.int64),
+            )
+            if self.first_sectors.shape != (m,) or self.first_cache_ids.shape != (m,):
+                raise ValueError(
+                    "first_sectors and first_cache_ids must match first_trace"
+                )
         object.__setattr__(self, "_cache", {})
 
     @property
@@ -69,13 +96,40 @@ class SetAssocRD:
         """Hashed set index of each reference."""
         return set_index(self.trace.lines, self.geometry.num_sets)
 
+    def _groups(
+        self,
+        lines: np.ndarray,
+        cache_ids: np.ndarray,
+        sectors: np.ndarray,
+        partitioned: bool,
+    ) -> np.ndarray:
+        groups = cache_ids * self.geometry.num_sets + set_index(
+            lines, self.geometry.num_sets
+        )
+        if partitioned:
+            groups = groups * 2 + sectors
+        return groups
+
     def _rd(self, partitioned: bool) -> np.ndarray:
         key = "split" if partitioned else "shared"
         if key not in self._cache:
-            groups = self.cache_ids * self.geometry.num_sets + self.set_index
-            if partitioned:
-                groups = groups * 2 + self.sectors
-            self._cache[key] = reuse_distances(self.trace.lines, groups)
+            groups = self._groups(
+                self.trace.lines, self.cache_ids, self.sectors, partitioned
+            )
+            if self.first_trace is None:
+                self._cache[key] = reuse_distances(self.trace.lines, groups)
+            else:
+                self._cache[key] = steady_state_reuse_distances(
+                    self.trace.lines,
+                    groups,
+                    first_lines=self.first_trace.lines,
+                    first_groups=self._groups(
+                        self.first_trace.lines,
+                        self.first_cache_ids,
+                        self.first_sectors,
+                        partitioned,
+                    ),
+                )
         return self._cache[key]
 
     def hit_mask(self, sector1_ways: int) -> np.ndarray:
@@ -105,16 +159,32 @@ def simulate(
     policy: SectorPolicy,
     level: str = "l2",
     cache_ids: np.ndarray | None = None,
+    first_trace: MemoryTrace | None = None,
+    first_cache_ids: np.ndarray | None = None,
 ) -> SetAssocRD:
     """Prepare a trace for set-associative simulation against a cache level.
 
     ``cache_ids`` distinguishes physically distinct caches fed by the same
     trace array (private L1s keyed by thread, L2 segments keyed by CMG);
-    defaults to a single cache.
+    defaults to a single cache.  ``first_trace`` (with its own cache ids)
+    designates a warm-up period preceding infinitely many repetitions of
+    ``trace``; the returned distances are then steady state.
     """
     if cache_ids is None:
         cache_ids = np.zeros(len(trace), dtype=np.int64)
-    sectors = trace.sectors(policy)
     if level not in ("l1", "l2"):
         raise ValueError(f"level must be 'l1' or 'l2', got {level!r}")
-    return SetAssocRD(trace, geometry, sectors, cache_ids)
+    first_sectors = None
+    if first_trace is not None:
+        if first_cache_ids is None:
+            first_cache_ids = np.zeros(len(first_trace), dtype=np.int64)
+        first_sectors = first_trace.sectors(policy)
+    return SetAssocRD(
+        trace,
+        geometry,
+        trace.sectors(policy),
+        cache_ids,
+        first_trace,
+        first_sectors,
+        first_cache_ids,
+    )

@@ -10,7 +10,14 @@ from .method_b import MethodB
 from .model import CacheMissModel, ModelComparison
 from .partition import PartitionSpec, eq2_misses, unpartitioned_misses
 from .sellcs_trace import sellcs_layout, sellcs_trace
-from .trace import MemoryTrace, repeat_trace, spmv_thread_trace, spmv_trace, x_only_trace
+from .trace import (
+    MemoryTrace,
+    concat_traces,
+    repeat_trace,
+    spmv_thread_trace,
+    spmv_trace,
+    x_only_trace,
+)
 
 __all__ = [
     "ARRAY_ID",
@@ -28,6 +35,7 @@ __all__ = [
     "SectorAdvisor",
     "StreamMisses",
     "classify",
+    "concat_traces",
     "csc_layout",
     "csc_trace",
     "eq2_misses",

@@ -52,6 +52,7 @@ class CacheMissModel:
         schedule: RowSchedule | None = None,
         iterations: int = 2,
         interleave_policy: str = "mcs",
+        periodic: bool = True,
     ) -> None:
         self.matrix = matrix
         self.machine = machine
@@ -59,6 +60,7 @@ class CacheMissModel:
         self.schedule = schedule
         self.iterations = iterations
         self.interleave_policy = interleave_policy
+        self.periodic = periodic
         self._method_a: MethodA | None = None
         self._method_b: MethodB | None = None
 
@@ -72,6 +74,7 @@ class CacheMissModel:
                 schedule=self.schedule,
                 iterations=self.iterations,
                 interleave_policy=self.interleave_policy,
+                periodic=self.periodic,
             )
         return self._method_a
 
@@ -85,6 +88,7 @@ class CacheMissModel:
                 schedule=self.schedule,
                 iterations=self.iterations,
                 interleave_policy=self.interleave_policy,
+                periodic=self.periodic,
             )
         return self._method_b
 
@@ -97,7 +101,11 @@ class CacheMissModel:
         raise ValueError(f"method must be 'A' or 'B', got {method!r}")
 
     def predict_l1(self, policy: SectorPolicy, method: str = "A") -> MissPrediction:
-        """Predicted L1 misses per steady-state iteration."""
+        """Predicted L1 misses per steady-state iteration.
+
+        The returned prediction's count fields are level-agnostic: read the
+        L1 total through :attr:`MissPrediction.misses`.
+        """
         if method == "A":
             return self.method_a.predict_l1(policy)
         if method == "B":

@@ -123,6 +123,31 @@ class MemoryTrace:
             self.iteration[order],
         )
 
+    def with_iteration(self, iteration: int) -> "MemoryTrace":
+        """The same references tagged with a constant iteration index."""
+        return MemoryTrace(
+            self.lines,
+            self.arrays,
+            self.threads,
+            self.layout,
+            self.is_prefetch,
+            np.full(len(self), iteration, dtype=np.int32),
+        )
+
+
+def concat_traces(traces: list[MemoryTrace]) -> MemoryTrace:
+    """Concatenate traces back to back (program order preserved)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    return MemoryTrace(
+        np.concatenate([t.lines for t in traces]),
+        np.concatenate([t.arrays for t in traces]),
+        np.concatenate([t.threads for t in traces]),
+        traces[0].layout,
+        np.concatenate([t.is_prefetch for t in traces]),
+        np.concatenate([t.iteration for t in traces]),
+    )
+
 
 def repeat_trace(trace: MemoryTrace, iterations: int) -> MemoryTrace:
     """Concatenate ``iterations`` copies of a trace, numbering iterations.

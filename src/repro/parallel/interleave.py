@@ -11,23 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.trace import MemoryTrace
+from ..core.trace import MemoryTrace, concat_traces
 
 
 def _concat(traces: list[MemoryTrace]) -> tuple[MemoryTrace, np.ndarray]:
     """Concatenate traces; also return each reference's within-thread index."""
-    if not traces:
-        raise ValueError("need at least one trace")
-    layout = traces[0].layout
-    lines = np.concatenate([t.lines for t in traces])
-    arrays = np.concatenate([t.arrays for t in traces])
-    threads = np.concatenate([t.threads for t in traces])
-    prefetch = np.concatenate([t.is_prefetch for t in traces])
-    iteration = np.concatenate([t.iteration for t in traces])
     position = np.concatenate(
         [np.arange(len(t), dtype=np.int64) for t in traces]
     )
-    return MemoryTrace(lines, arrays, threads, layout, prefetch, iteration), position
+    return concat_traces(traces), position
 
 
 def interleave(
@@ -66,12 +58,13 @@ def interleave(
     elif policy == "random":
         rng = np.random.default_rng(seed)
         # uniform arrival time per reference, sorted within each thread so
-        # per-thread program order is preserved
+        # per-thread program order is preserved; a single lexsort assigns
+        # each thread its draws in ascending order (no per-thread pass)
         keys_f = rng.random(len(merged))
-        for t in np.unique(threads):
-            mask = threads == t
-            keys_f[mask] = np.sort(keys_f[mask])
-        order = np.argsort(keys_f, kind="stable")
+        slots = np.argsort(threads, kind="stable")
+        arrival = np.empty(len(merged))
+        arrival[slots] = keys_f[np.lexsort((keys_f, threads))]
+        order = np.argsort(arrival, kind="stable")
         return merged.reorder(order)
     elif policy == "sequential":
         keys = threads * (position.max() + 1) + position

@@ -5,6 +5,7 @@ from .fenwick import FenwickTree, compute_prev, reuse_distances_fenwick
 from .histogram import ReuseProfile, partition_profiles, scale_distances
 from .kim import reuse_distances_kim
 from .naive import COLD, reuse_distances_naive
+from .periodic import steady_state_reuse_distances
 from .sampling import SampledProfile, sample_reuse_distances
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "sample_reuse_distances",
     "partition_profiles",
     "scale_distances",
+    "steady_state_reuse_distances",
 ]

@@ -89,8 +89,12 @@ def test_method_b_profile_cache_matches_direct_computation():
     model = MethodB(matrix, MACHINE, num_threads=8)
     for scale in (1.0, model.s1, model.s2):
         for capacity in (0, 16, 256, MACHINE.l2.capacity_lines):
+            # periodic models use the whole period (window is None)
+            windowed = (
+                model._x_rd if model._window is None else model._x_rd[model._window]
+            )
             direct = ReuseProfile.from_distances(
-                scale_distances(model._x_rd[model._window], scale)
+                scale_distances(windowed, scale)
             ).misses(capacity)
             assert model.x_misses(scale, capacity) == direct
     # repeated queries hit the materialized profile, not a fresh sort
@@ -116,4 +120,9 @@ def test_profiles_cover_whole_window():
     matrix = random_uniform(800, 4, seed=5)
     model = MethodA(matrix, MACHINE, num_threads=4)
     total = sum(p.num_accesses for p in model._profiles_shared)
-    assert total == int(np.count_nonzero(model._window))
+    window_size = (
+        len(model.trace)
+        if model._window is None
+        else int(np.count_nonzero(model._window))
+    )
+    assert total == window_size

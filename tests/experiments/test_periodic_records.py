@@ -1,0 +1,32 @@
+"""Experiment records must not depend on the periodic fast path.
+
+The ``periodic`` knob is deliberately excluded from the cache key: records
+produced with the single-period engine and with the doubled-trace oracle
+must carry identical deterministic content (same fingerprint), so cached
+results remain valid across the engine switch.
+"""
+
+from repro.experiments.common import (
+    ExperimentSetup,
+    measure_matrix,
+    record_fingerprint,
+)
+from repro.matrices import banded
+
+
+def test_fingerprint_invariant_under_periodic_engine():
+    matrix = banded(40, 3, 4, seed=1)
+    base = dict(
+        num_threads=4,
+        l2_way_options=(0, 2, 5),
+        l1_way_options=(0, 1),
+    )
+    fast = measure_matrix(matrix, ExperimentSetup(**base, periodic=True))
+    oracle = measure_matrix(matrix, ExperimentSetup(**base, periodic=False))
+    assert record_fingerprint(fast) == record_fingerprint(oracle)
+
+
+def test_cache_key_ignores_periodic_knob():
+    a = ExperimentSetup(periodic=True)
+    b = ExperimentSetup(periodic=False)
+    assert a.cache_key("m") == b.cache_key("m")

@@ -104,3 +104,28 @@ def test_collate_fifo_drains_all_streams(lengths):
     assert len(items) == sum(lengths)
     for t, stream in enumerate(streams):
         np.testing.assert_array_equal(items[owners == t], stream)
+
+
+def random_policy_reference(traces, seed):
+    """The pre-vectorization random merge: per-thread sorted uniform draws."""
+    from repro.core import concat_traces
+
+    merged = concat_traces(traces)
+    threads = merged.threads.astype(np.int64)
+    rng = np.random.default_rng(seed)
+    keys = rng.random(len(merged))
+    for t in np.unique(threads):
+        mask = threads == t
+        keys[mask] = np.sort(keys[mask])
+    return merged.reorder(np.argsort(keys, kind="stable"))
+
+
+@pytest.mark.parametrize("seed", [0, 7, 123])
+@pytest.mark.parametrize("num_threads", [1, 2, 5])
+def test_vectorized_random_matches_per_thread_loop(seed, num_threads):
+    traces = make_traces(num_threads=num_threads)
+    merged = interleave(traces, "random", seed=seed)
+    reference = random_policy_reference(traces, seed)
+    np.testing.assert_array_equal(merged.lines, reference.lines)
+    np.testing.assert_array_equal(merged.threads, reference.threads)
+    np.testing.assert_array_equal(merged.arrays, reference.arrays)

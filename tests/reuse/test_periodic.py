@@ -1,0 +1,134 @@
+"""Single-period steady-state reuse engine vs. the repeated-trace oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reuse import COLD, reuse_distances, steady_state_reuse_distances
+
+
+def oracle_steady(lines, groups=None):
+    """Steady-state RDs via a physically doubled trace (the legacy path)."""
+    n = lines.shape[0]
+    doubled = np.tile(lines, 2)
+    g = None if groups is None else np.tile(groups, 2)
+    return reuse_distances(doubled, g)[n:]
+
+
+def oracle_warm(first_lines, first_groups, lines, groups):
+    """RDs of the first steady period following an explicit warm-up period."""
+    m = first_lines.shape[0]
+    cat = np.concatenate([first_lines, lines])
+    g = np.concatenate([first_groups, groups])
+    return reuse_distances(cat, g)[m:]
+
+
+traces = st.lists(st.integers(0, 12), min_size=0, max_size=60)
+group_tags = st.lists(st.integers(0, 3), min_size=0, max_size=60)
+
+
+def test_empty_trace():
+    out = steady_state_reuse_distances(np.empty(0, dtype=np.int64))
+    assert out.shape == (0,)
+
+
+def test_single_access_wraps_to_itself():
+    # one line repeated forever: steady-state distance 0, never cold
+    out = steady_state_reuse_distances(np.array([5]))
+    assert out.tolist() == [0]
+
+
+def test_scan_wraps_around():
+    # scanning N distinct lines per period: every steady access sees N-1
+    n = 50
+    out = steady_state_reuse_distances(np.arange(n))
+    assert np.all(out == n - 1)
+
+
+def test_no_cold_accesses_in_pure_periodic_mode():
+    rng = np.random.default_rng(0)
+    lines = rng.integers(0, 20, 200)
+    assert np.all(steady_state_reuse_distances(lines) < COLD)
+
+
+def test_absent_from_first_period_is_cold():
+    # warm-up touches only line 0; line 1 has no previous occurrence
+    out = steady_state_reuse_distances(
+        np.array([0, 1]),
+        first_lines=np.array([0]),
+        first_groups=np.array([0]),
+    )
+    assert out.tolist() == [0, COLD]
+
+
+def test_empty_first_period_is_all_cold_then_in_period():
+    out = steady_state_reuse_distances(
+        np.array([3, 4, 3]),
+        first_lines=np.empty(0, dtype=np.int64),
+        first_groups=np.empty(0, dtype=np.int64),
+    )
+    assert out.tolist() == [COLD, COLD, 1]
+
+
+@settings(max_examples=200, deadline=None)
+@given(traces)
+def test_matches_doubled_oracle_ungrouped(data):
+    lines = np.array(data, dtype=np.int64)
+    np.testing.assert_array_equal(
+        steady_state_reuse_distances(lines), oracle_steady(lines)
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(traces, group_tags)
+def test_matches_doubled_oracle_grouped(data, tags):
+    lines = np.array(data, dtype=np.int64)
+    rng = np.random.default_rng(lines.sum() % 97)
+    groups = rng.integers(0, 4, lines.shape[0])
+    np.testing.assert_array_equal(
+        steady_state_reuse_distances(lines, groups), oracle_steady(lines, groups)
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(traces, traces)
+def test_matches_warmup_oracle(first, period):
+    first_lines = np.array(first, dtype=np.int64)
+    lines = np.array(period, dtype=np.int64)
+    rng = np.random.default_rng((first_lines.sum() + lines.sum()) % 89)
+    first_groups = rng.integers(0, 3, first_lines.shape[0])
+    groups = rng.integers(0, 3, lines.shape[0])
+    np.testing.assert_array_equal(
+        steady_state_reuse_distances(
+            lines, groups, first_lines=first_lines, first_groups=first_groups
+        ),
+        oracle_warm(first_lines, first_groups, lines, groups),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces)
+def test_every_later_iteration_agrees(data):
+    # the steady state really is stationary: iterations 1 and 2 of a tripled
+    # trace carry identical distances, both equal to the engine's answer
+    lines = np.array(data, dtype=np.int64)
+    n = lines.shape[0]
+    tripled = reuse_distances(np.tile(lines, 3))
+    np.testing.assert_array_equal(tripled[n : 2 * n], tripled[2 * n :])
+    np.testing.assert_array_equal(steady_state_reuse_distances(lines), tripled[2 * n :])
+
+
+def test_group_locality_is_respected():
+    # same line in two groups: each group wraps independently
+    lines = np.array([9, 9, 9])
+    groups = np.array([0, 1, 0])
+    out = steady_state_reuse_distances(lines, groups)
+    np.testing.assert_array_equal(out, oracle_steady(lines, groups))
+    assert out.tolist() == [0, 0, 0]
+
+
+def test_length_mismatch_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        steady_state_reuse_distances(np.array([1, 2]), np.array([0]))
