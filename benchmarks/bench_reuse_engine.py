@@ -20,12 +20,12 @@ import dataclasses
 import json
 import sys
 import time
-import tracemalloc
 
 import numpy as np
 import pytest
 
 from repro.core import MethodA, MethodB
+from repro.obs import Tracer
 from repro.experiments import ExperimentSetup, run_collection, run_collection_parallel
 from repro.experiments.common import peak_rss_bytes, record_fingerprint
 from repro.machine import scaled_machine
@@ -155,22 +155,27 @@ def _prediction_key(result):
 
 
 def _measure_workload(name, factory, method_cls, num_threads, repeats=3):
-    """Wall time (best of ``repeats``) and tracemalloc peak of both engines."""
+    """Wall time (best of ``repeats``) and tracemalloc peak of both engines.
+
+    Both measurements ride on :class:`repro.obs.Tracer` spans — the same
+    clock and memory accounting the ``--trace`` reports use — so benchmark
+    numbers and trace reports stay comparable.
+    """
     matrix = factory()
     stats = {}
     for label, periodic in (("oracle", False), ("periodic", True)):
         best = float("inf")
+        timer = Tracer()
         for _ in range(repeats):
-            t0 = time.perf_counter()
-            result = _run_stack_passes(method_cls, matrix, num_threads, periodic)
-            best = min(best, time.perf_counter() - t0)
-        tracemalloc.start()
-        _run_stack_passes(method_cls, matrix, num_threads, periodic)
-        _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
+            with timer.span(label) as sp:
+                result = _run_stack_passes(method_cls, matrix, num_threads, periodic)
+            best = min(best, sp.seconds)
+        with Tracer(memory="tracemalloc") as mem_tracer:
+            with mem_tracer.span(label) as mem_span:
+                _run_stack_passes(method_cls, matrix, num_threads, periodic)
         stats[label] = {
             "seconds": best,
-            "peak_traced_bytes": int(peak),
+            "peak_traced_bytes": int(mem_span.mem_peak_bytes),
             "result_key": _prediction_key(result),
         }
     assert stats["periodic"]["result_key"] == stats["oracle"]["result_key"], (

@@ -28,6 +28,8 @@ import numpy as np
 
 from ..core.trace import MemoryTrace, concat_traces, repeat_trace, spmv_trace
 from ..machine.a64fx import A64FX
+from ..obs.tracer import count as obs_count
+from ..obs.tracer import span as obs_span
 from ..parallel.interleave import interleave
 from ..spmv.csr import CSRMatrix
 from ..spmv.schedule import RowSchedule, static_schedule
@@ -91,8 +93,10 @@ class SpMVCacheSim:
                 l2_sector1_ways=1,
             )
 
-        per_thread = spmv_trace(matrix, None, schedule, line_size=machine.line_size)
-        merged = interleave(per_thread, self.config.interleave_policy)
+        with obs_span("sim.trace_build", matrix=matrix.name,
+                      threads=self.config.num_threads):
+            per_thread = spmv_trace(matrix, None, schedule, line_size=machine.line_size)
+            merged = interleave(per_thread, self.config.interleave_policy)
         # iteration 0 (prefetcher ramp-up) differs from the steady period, so
         # the single-period engine only covers the default two-iteration runs
         self.periodic = self.config.periodic and self.config.iterations == 2
@@ -158,47 +162,50 @@ class SpMVCacheSim:
         cached = self._l2_rd_cache.get(l1_sector1_ways)
         if cached is not None:
             return cached
-        if self.periodic:
-            # the L2 input is warm-period L1 misses followed by steady-period
-            # L1 misses; injecting L2 prefetches over the concatenation keeps
-            # the oracle's stream-boundary semantics, and injections inherit
-            # their trigger's iteration tag, so the warm/steady split of the
-            # injected stream is the contiguous iteration==0 prefix
-            warm_miss = self._l1_warm_rd.miss_mask(l1_sector1_ways)
-            steady_miss = self._l1_rd.miss_mask(l1_sector1_ways)
-            l2_input = concat_traces(
-                [self._l1_warm.select(warm_miss), self._l1_stream.select(steady_miss)]
-            )
-            injected = inject_prefetches(l2_input, self.config.l2_prefetch_distance)
-            steady_w = injected.iteration == 1
-            warm_part = injected.select(~steady_w)
-            l2_stream = injected.select(steady_w)
-            cmgs = (l2_stream.threads // self.machine.cores_per_cmg).astype(np.int64)
-            rd = simulate(
-                l2_stream,
-                self.machine.l2,
-                self._assignment,
-                level="l2",
-                cache_ids=cmgs,
-                first_trace=warm_part,
-                first_cache_ids=(
-                    warm_part.threads // self.machine.cores_per_cmg
-                ).astype(np.int64),
-            )
-        else:
-            l1_miss = self._l1_rd.miss_mask(l1_sector1_ways)
-            l2_input = self._l1_stream.select(l1_miss)
-            l2_stream = inject_prefetches(l2_input, self.config.l2_prefetch_distance)
-            cmgs = (l2_stream.threads // self.machine.cores_per_cmg).astype(np.int64)
-            rd = simulate(
-                l2_stream, self.machine.l2, self._assignment, level="l2", cache_ids=cmgs
-            )
+        with obs_span("sim.l2_stream", l1_ways=l1_sector1_ways,
+                      periodic=self.periodic):
+            if self.periodic:
+                # the L2 input is warm-period L1 misses followed by steady-period
+                # L1 misses; injecting L2 prefetches over the concatenation keeps
+                # the oracle's stream-boundary semantics, and injections inherit
+                # their trigger's iteration tag, so the warm/steady split of the
+                # injected stream is the contiguous iteration==0 prefix
+                warm_miss = self._l1_warm_rd.miss_mask(l1_sector1_ways)
+                steady_miss = self._l1_rd.miss_mask(l1_sector1_ways)
+                l2_input = concat_traces(
+                    [self._l1_warm.select(warm_miss), self._l1_stream.select(steady_miss)]
+                )
+                injected = inject_prefetches(l2_input, self.config.l2_prefetch_distance)
+                steady_w = injected.iteration == 1
+                warm_part = injected.select(~steady_w)
+                l2_stream = injected.select(steady_w)
+                cmgs = (l2_stream.threads // self.machine.cores_per_cmg).astype(np.int64)
+                rd = simulate(
+                    l2_stream,
+                    self.machine.l2,
+                    self._assignment,
+                    level="l2",
+                    cache_ids=cmgs,
+                    first_trace=warm_part,
+                    first_cache_ids=(
+                        warm_part.threads // self.machine.cores_per_cmg
+                    ).astype(np.int64),
+                )
+            else:
+                l1_miss = self._l1_rd.miss_mask(l1_sector1_ways)
+                l2_input = self._l1_stream.select(l1_miss)
+                l2_stream = inject_prefetches(l2_input, self.config.l2_prefetch_distance)
+                cmgs = (l2_stream.threads // self.machine.cores_per_cmg).astype(np.int64)
+                rd = simulate(
+                    l2_stream, self.machine.l2, self._assignment, level="l2", cache_ids=cmgs
+                )
         self._l2_rd_cache[l1_sector1_ways] = (l2_stream, rd)
         return l2_stream, rd
 
     # ------------------------------------------------------------------
     def events(self, policy: SectorPolicy) -> CacheEvents:
         """PMU-style events of the final SpMV iteration under a policy."""
+        obs_count("sim.events_queries")
         policy.validate(self.machine)
         if policy.l2_enabled or policy.l1_enabled:
             if set(policy.sector1_arrays) != set(self.config.sector1_arrays):

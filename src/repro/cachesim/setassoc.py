@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.trace import MemoryTrace
 from ..machine.a64fx import CacheGeometry
+from ..obs.tracer import span as obs_span
 from ..reuse.cdq import reuse_distances
 from ..reuse.periodic import steady_state_reuse_distances
 from ..spmv.sector_policy import SectorPolicy
@@ -113,23 +114,25 @@ class SetAssocRD:
     def _rd(self, partitioned: bool) -> np.ndarray:
         key = "split" if partitioned else "shared"
         if key not in self._cache:
-            groups = self._groups(
-                self.trace.lines, self.cache_ids, self.sectors, partitioned
-            )
-            if self.first_trace is None:
-                self._cache[key] = reuse_distances(self.trace.lines, groups)
-            else:
-                self._cache[key] = steady_state_reuse_distances(
-                    self.trace.lines,
-                    groups,
-                    first_lines=self.first_trace.lines,
-                    first_groups=self._groups(
-                        self.first_trace.lines,
-                        self.first_cache_ids,
-                        self.first_sectors,
-                        partitioned,
-                    ),
+            with obs_span("sim.setassoc_pass", grouping=key,
+                          references=len(self.trace)):
+                groups = self._groups(
+                    self.trace.lines, self.cache_ids, self.sectors, partitioned
                 )
+                if self.first_trace is None:
+                    self._cache[key] = reuse_distances(self.trace.lines, groups)
+                else:
+                    self._cache[key] = steady_state_reuse_distances(
+                        self.trace.lines,
+                        groups,
+                        first_lines=self.first_trace.lines,
+                        first_groups=self._groups(
+                            self.first_trace.lines,
+                            self.first_cache_ids,
+                            self.first_sectors,
+                            partitioned,
+                        ),
+                    )
         return self._cache[key]
 
     def hit_mask(self, sector1_ways: int) -> np.ndarray:

@@ -32,6 +32,8 @@ from functools import cached_property
 import numpy as np
 
 from ..machine.a64fx import A64FX
+from ..obs.tracer import count as obs_count
+from ..obs.tracer import span as obs_span
 from ..parallel.interleave import interleave
 from ..reuse.cdq import reuse_distances
 from ..reuse.histogram import ReuseProfile, partition_profiles
@@ -101,18 +103,21 @@ class MethodA:
         if schedule is None:
             schedule = static_schedule(matrix, num_threads)
         self.schedule = schedule
-        per_thread = spmv_trace(matrix, None, schedule, line_size=machine.line_size)
-        merged = interleave(per_thread, interleave_policy)
-        # The SpMV trace is periodic, so steady-state distances come exactly
-        # from one period (wrap-around reuse for period-first accesses); the
-        # doubled trace survives as the oracle path for tests and benches.
-        self.periodic = periodic and iterations >= 2
-        if self.periodic:
-            self.trace: MemoryTrace = merged
-            self._window = None  # the whole period is the steady-state window
-        else:
-            self.trace = repeat_trace(merged, iterations)
-            self._window = self.trace.iteration == iterations - 1
+        with obs_span("method_a.trace_build", matrix=matrix.name,
+                      threads=num_threads):
+            per_thread = spmv_trace(matrix, None, schedule, line_size=machine.line_size)
+            with obs_span("interleave", policy=interleave_policy):
+                merged = interleave(per_thread, interleave_policy)
+            # The SpMV trace is periodic, so steady-state distances come exactly
+            # from one period (wrap-around reuse for period-first accesses); the
+            # doubled trace survives as the oracle path for tests and benches.
+            self.periodic = periodic and iterations >= 2
+            if self.periodic:
+                self.trace: MemoryTrace = merged
+                self._window = None  # the whole period is the steady-state window
+            else:
+                self.trace = repeat_trace(merged, iterations)
+                self._window = self.trace.iteration == iterations - 1
         self._sectors = self.trace.sectors(
             SectorPolicy(sector1_arrays=self.sector1_arrays, l2_sector1_ways=1)
         )
@@ -128,9 +133,11 @@ class MethodA:
 
     def _stack_pass(self, groups: np.ndarray) -> np.ndarray:
         """One grouped stack pass: steady-state (periodic) or full-trace."""
-        if self.periodic:
-            return steady_state_reuse_distances(self.trace.lines, groups)
-        return reuse_distances(self.trace.lines, groups)
+        with obs_span("method_a.stack_pass", periodic=self.periodic,
+                      references=len(self.trace)):
+            if self.periodic:
+                return steady_state_reuse_distances(self.trace.lines, groups)
+            return reuse_distances(self.trace.lines, groups)
 
     @cached_property
     def _rd_partitioned(self) -> np.ndarray:
@@ -151,7 +158,8 @@ class MethodA:
 
     # -- per-array reuse profiles of the steady-state window ------------
     def _window_profiles(self, rd: np.ndarray) -> tuple[ReuseProfile, ...]:
-        return partition_profiles(rd, self.trace.arrays, len(ARRAYS), self._window)
+        with obs_span("method_a.profile_build"):
+            return partition_profiles(rd, self.trace.arrays, len(ARRAYS), self._window)
 
     @cached_property
     def _profiles_partitioned(self) -> tuple[ReuseProfile, ...]:
@@ -190,6 +198,7 @@ class MethodA:
         capacities: tuple[int, ...],
         policy: SectorPolicy,
     ) -> MissPrediction:
+        obs_count("method_a.profile_queries")
         per_array = {
             name: profiles[aid].misses(capacities[aid])
             for aid, name in enumerate(ARRAYS)

@@ -25,6 +25,8 @@ from functools import cached_property
 import numpy as np
 
 from ..machine.a64fx import A64FX
+from ..obs.tracer import count as obs_count
+from ..obs.tracer import span as obs_span
 from ..parallel.interleave import interleave
 from ..reuse.cdq import reuse_distances
 from ..reuse.histogram import ReuseProfile, scale_distances
@@ -59,17 +61,20 @@ class MethodB:
         if schedule is None:
             schedule = static_schedule(matrix, num_threads)
         self.schedule = schedule
-        per_thread = x_only_trace(matrix, None, schedule, line_size=machine.line_size)
-        merged = interleave(per_thread, interleave_policy)
-        # steady-state distances come from a single period (wrap-around reuse
-        # for period-first accesses); the doubled trace is the test oracle
-        self.periodic = periodic and iterations >= 2
-        if self.periodic:
-            self.trace = merged
-            self._window = None  # the whole period is the steady-state window
-        else:
-            self.trace = repeat_trace(merged, iterations)
-            self._window = self.trace.iteration == iterations - 1
+        with obs_span("method_b.trace_build", matrix=matrix.name,
+                      threads=num_threads):
+            per_thread = x_only_trace(matrix, None, schedule, line_size=machine.line_size)
+            with obs_span("interleave", policy=interleave_policy):
+                merged = interleave(per_thread, interleave_policy)
+            # steady-state distances come from a single period (wrap-around reuse
+            # for period-first accesses); the doubled trace is the test oracle
+            self.periodic = periodic and iterations >= 2
+            if self.periodic:
+                self.trace = merged
+                self._window = None  # the whole period is the steady-state window
+            else:
+                self.trace = repeat_trace(merged, iterations)
+                self._window = self.trace.iteration == iterations - 1
         self._cmgs = (self.trace.threads // machine.cores_per_cmg).astype(np.int64)
         self.s1, self.s2 = method_b_scale_factors(matrix)
         self._streams = stream_misses(matrix, machine.line_size)
@@ -79,9 +84,11 @@ class MethodB:
         return int(self._cmgs.max()) + 1 if len(self.trace) else 1
 
     def _stack_pass(self, groups: np.ndarray) -> np.ndarray:
-        if self.periodic:
-            return steady_state_reuse_distances(self.trace.lines, groups)
-        return reuse_distances(self.trace.lines, groups)
+        with obs_span("method_b.stack_pass", periodic=self.periodic,
+                      references=len(self.trace)):
+            if self.periodic:
+                return steady_state_reuse_distances(self.trace.lines, groups)
+            return reuse_distances(self.trace.lines, groups)
 
     @cached_property
     def _x_rd(self) -> np.ndarray:
@@ -107,10 +114,11 @@ class MethodB:
         key = (level, float(scale))
         profile = self._profile_cache.get(key)
         if profile is None:
-            rd = self._x_rd if level == "l2" else self._x_rd_l1
-            if self._window is not None:
-                rd = rd[self._window]
-            profile = ReuseProfile.from_distances(scale_distances(rd, scale))
+            with obs_span("method_b.profile_build", level=level):
+                rd = self._x_rd if level == "l2" else self._x_rd_l1
+                if self._window is not None:
+                    rd = rd[self._window]
+                profile = ReuseProfile.from_distances(scale_distances(rd, scale))
             self._profile_cache[key] = profile
         return profile
 
@@ -120,6 +128,7 @@ class MethodB:
         ``scale=1.0`` prices the Section-3.2.2 case (3) where x owns a
         partition alone; s1/s2 price the shared-partition cases.
         """
+        obs_count("method_b.profile_queries")
         return self._x_profile("l2", scale).misses(capacity_lines)
 
     # ------------------------------------------------------------------
@@ -186,6 +195,7 @@ class MethodB:
             scale, capacity = self.s1, n0
         else:
             scale, capacity = self.s2, self.machine.l1.capacity_lines
+        obs_count("method_b.profile_queries")
         x_miss = self._x_profile("l1", scale).misses(capacity)
         streams = self._streams
         per_array = {

@@ -16,11 +16,6 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-try:
-    import resource
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    resource = None  # type: ignore[assignment]
-
 from ..cachesim.events import CacheEvents
 from ..cachesim.hierarchy import SimConfig, SpMVCacheSim
 from ..core.classification import classify
@@ -29,6 +24,8 @@ from ..machine.a64fx import A64FX, scaled_machine
 from ..machine.perfmodel import PerformanceModel
 from ..matrices.collection import MatrixSpec, collection
 from ..matrices.stats import matrix_stats
+from ..obs.tracer import Tracer, get_tracer, peak_rss_bytes
+from ..obs.tracer import span as obs_span
 from ..spmv.csr import CSRMatrix
 from ..spmv.sector_policy import SectorPolicy, no_sector_cache
 
@@ -113,11 +110,16 @@ class MatrixRecord:
     #: wall-clock seconds spent in methods A and B (Section 4.5.1)
     model_a_seconds: float = 0.0
     model_b_seconds: float = 0.0
-    #: per-phase wall-clock seconds (classify/simulate/model_a/model_b/total)
+    #: per-phase wall-clock seconds (classify/simulate/model_a/model_b/total);
+    #: all five values come from one tracer's spans, so
+    #: ``total >= classify + simulate + model_a + model_b`` always holds
     timings: dict[str, float] = field(default_factory=dict)
     #: peak RSS of the measuring process when the record was produced, in
     #: bytes (0 when unavailable); in a pooled sweep this is the worker's peak
     peak_rss_bytes: int = 0
+    #: the measurement phase during which the process peak-RSS high-water
+    #: mark grew the most ("" when RSS sampling is unavailable or flat)
+    peak_phase: str = ""
 
     def events(self, l2w: int, l1w: int = 0) -> CacheEvents:
         raw = self.measured[_config_key(l2w, l1w)]
@@ -162,7 +164,16 @@ class MatrixRecord:
 def measure_matrix(
     matrix: CSRMatrix, setup: ExperimentSetup, perf_model: PerformanceModel | None = None
 ) -> MatrixRecord:
-    """Simulate, model and estimate one matrix under a setup."""
+    """Simulate, model and estimate one matrix under a setup.
+
+    The four measurement phases run as spans of one tracer — the ambient
+    :mod:`repro.obs` tracer when tracing is on (so model/simulator spans
+    nest under the phases and end up in the run's trace), or a throwaway
+    local tracer otherwise.  The record's ``timings`` are derived from
+    those spans, which makes the phase/total accounting consistent by
+    construction: ``total`` is the enclosing span, so it always covers at
+    least the sum of the phases.
+    """
     machine = setup.machine()
     stats = matrix_stats(matrix)
     perf_model = perf_model or PerformanceModel(machine)
@@ -178,68 +189,66 @@ def measure_matrix(
         working_set_bytes=matrix.total_bytes,
         threads=setup.num_threads,
     )
-    started = time.perf_counter()
-    for l2w in setup.l2_way_options:
-        record.classes[str(l2w)] = classify(matrix, machine, l2w, num_cmgs).value
-    t_classify = time.perf_counter()
+    tracer = get_tracer()
+    if tracer is None:
+        tracer = Tracer(memory="rss")
+    with tracer.span("measure_matrix", matrix=matrix.name) as sp_total:
+        with tracer.span("classify") as sp_classify:
+            for l2w in setup.l2_way_options:
+                record.classes[str(l2w)] = classify(
+                    matrix, machine, l2w, num_cmgs
+                ).value
 
-    sim = SpMVCacheSim(matrix, machine, setup.sim_config())
-    for l1w in setup.l1_way_options:
-        for l2w in setup.l2_way_options:
-            if l1w > 0 and l2w == 0:
-                continue  # the paper never enables L1 sectors alone
-            events = sim.events(_policy(setup, l2w, l1w))
-            key = _config_key(l2w, l1w)
-            record.measured[key] = {
-                "l1_refill": events.l1_refill,
-                "l2_refill": events.l2_refill,
-                "l2_refill_demand": events.l2_refill_demand,
-                "l2_refill_prefetch": events.l2_refill_prefetch,
-                "l2_writeback": events.l2_writeback,
-            }
-            est = perf_model.estimate(matrix, events, setup.num_threads)
-            record.perf[key] = {"seconds": est.seconds, "gflops": est.gflops}
-    t_sim = time.perf_counter()
+        with tracer.span("simulate") as sp_simulate:
+            sim = SpMVCacheSim(matrix, machine, setup.sim_config())
+            for l1w in setup.l1_way_options:
+                for l2w in setup.l2_way_options:
+                    if l1w > 0 and l2w == 0:
+                        continue  # the paper never enables L1 sectors alone
+                    events = sim.events(_policy(setup, l2w, l1w))
+                    key = _config_key(l2w, l1w)
+                    record.measured[key] = {
+                        "l1_refill": events.l1_refill,
+                        "l2_refill": events.l2_refill,
+                        "l2_refill_demand": events.l2_refill_demand,
+                        "l2_refill_prefetch": events.l2_refill_prefetch,
+                        "l2_writeback": events.l2_writeback,
+                    }
+                    est = perf_model.estimate(matrix, events, setup.num_threads)
+                    record.perf[key] = {"seconds": est.seconds, "gflops": est.gflops}
 
-    model = CacheMissModel(
-        matrix,
-        machine,
-        num_threads=setup.num_threads,
-        iterations=setup.iterations,
-        periodic=setup.periodic,
-    )
-    sweep_policies = [_policy(setup, l2w, 0) for l2w in setup.l2_way_options]
-    t0 = time.perf_counter()
-    for l2w, pred in zip(setup.l2_way_options, model.sweep(sweep_policies, "A")):
-        record.model_a[str(l2w)] = pred.l2_misses
-    record.model_a_l1 = model.predict_l1(no_sector_cache(), "A").misses
-    t1 = time.perf_counter()
-    for l2w, pred in zip(setup.l2_way_options, model.sweep(sweep_policies, "B")):
-        record.model_b[str(l2w)] = pred.l2_misses
-    record.model_b_l1 = model.predict_l1(no_sector_cache(), "B").misses
-    t2 = time.perf_counter()
-    record.model_a_seconds = t1 - t0
-    record.model_b_seconds = t2 - t1
-    record.timings = {
-        "classify": t_classify - started,
-        "simulate": t_sim - t_classify,
-        "model_a": t1 - t0,
-        "model_b": t2 - t1,
-        "total": t2 - started,
+        model = CacheMissModel(
+            matrix,
+            machine,
+            num_threads=setup.num_threads,
+            iterations=setup.iterations,
+            periodic=setup.periodic,
+        )
+        sweep_policies = [_policy(setup, l2w, 0) for l2w in setup.l2_way_options]
+        with tracer.span("model_a") as sp_a:
+            for l2w, pred in zip(setup.l2_way_options, model.sweep(sweep_policies, "A")):
+                record.model_a[str(l2w)] = pred.l2_misses
+            record.model_a_l1 = model.predict_l1(no_sector_cache(), "A").misses
+        with tracer.span("model_b") as sp_b:
+            for l2w, pred in zip(setup.l2_way_options, model.sweep(sweep_policies, "B")):
+                record.model_b[str(l2w)] = pred.l2_misses
+            record.model_b_l1 = model.predict_l1(no_sector_cache(), "B").misses
+
+    record.model_a_seconds = sp_a.seconds
+    record.model_b_seconds = sp_b.seconds
+    phases = {
+        "classify": sp_classify,
+        "simulate": sp_simulate,
+        "model_a": sp_a,
+        "model_b": sp_b,
     }
+    record.timings = {name: span.seconds for name, span in phases.items()}
+    record.timings["total"] = sp_total.seconds
+    peak_deltas = {name: span.rss_delta_bytes for name, span in phases.items()}
+    if any(peak_deltas.values()):
+        record.peak_phase = max(phases, key=lambda name: peak_deltas[name])
     record.peak_rss_bytes = peak_rss_bytes()
     return record
-
-
-def peak_rss_bytes() -> int:
-    """Peak resident set size of this process in bytes (0 if unknown)."""
-    if resource is None:  # pragma: no cover - non-POSIX platforms
-        return 0
-    # ru_maxrss is KiB on Linux, bytes on macOS
-    import sys
-
-    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
 
 
 #: Record fields that vary run-to-run (timing, memory) and must be ignored
@@ -249,6 +258,7 @@ VOLATILE_FIELDS: tuple[str, ...] = (
     "model_b_seconds",
     "timings",
     "peak_rss_bytes",
+    "peak_phase",
 )
 
 
@@ -341,30 +351,32 @@ def run_collection(
     cache_path = Path(cache_dir) if cache_dir else None
     if cache_path:
         cache_path.mkdir(parents=True, exist_ok=True)
-    for i, spec in enumerate(specs):
-        cached = load_cached_record(cache_path, setup, spec.name)
-        if cached is not None:
-            records.append(cached)
-            continue
-        if (
-            cache_path is not None
-            and not retry_failures
-            and failure_entry_path(cache_path, setup, spec.name).exists()
-        ):
+    with obs_span("run_collection", matrices=len(specs), jobs=1):
+        for i, spec in enumerate(specs):
+            cached = load_cached_record(cache_path, setup, spec.name)
+            if cached is not None:
+                records.append(cached)
+                continue
+            if (
+                cache_path is not None
+                and not retry_failures
+                and failure_entry_path(cache_path, setup, spec.name).exists()
+            ):
+                if verbose:
+                    print(f"[{i + 1}/{len(specs)}] {spec.name}: skipped (failed "
+                          "previously; rerun with --retry-failures)")
+                continue
+            with obs_span("materialize", matrix=spec.name):
+                matrix = spec.materialize()
+            started = time.perf_counter()
+            record = measure_matrix(matrix, setup)
             if verbose:
-                print(f"[{i + 1}/{len(specs)}] {spec.name}: skipped (failed "
-                      "previously; rerun with --retry-failures)")
-            continue
-        matrix = spec.materialize()
-        started = time.perf_counter()
-        record = measure_matrix(matrix, setup)
-        if verbose:
-            print(
-                f"[{i + 1}/{len(specs)}] {spec.name}: nnz={matrix.nnz} "
-                f"({time.perf_counter() - started:.1f}s)"
-            )
-        store_record(cache_path, setup, record)
-        records.append(record)
+                print(
+                    f"[{i + 1}/{len(specs)}] {spec.name}: nnz={matrix.nnz} "
+                    f"({time.perf_counter() - started:.1f}s)"
+                )
+            store_record(cache_path, setup, record)
+            records.append(record)
     return records
 
 

@@ -38,6 +38,9 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..matrices.collection import MatrixSpec
+from ..obs.tracer import Tracer, get_tracer, installed
+from ..obs.tracer import span as obs_span
+from ..obs.tree import TraceTree
 from .common import (
     ExperimentSetup,
     MatrixRecord,
@@ -65,6 +68,9 @@ def fork_executor(jobs: int) -> ProcessPoolExecutor:
 # only chunk index lists are sent over the pipe).
 _WORK_SPECS: list[MatrixSpec] = []
 _WORK_SETUP: ExperimentSetup | None = None
+#: when True, workers record a span tree per matrix and ship it back with
+#: the record payload (set iff the parent has an ambient tracer installed)
+_WORK_TRACE: bool = False
 
 
 @dataclass(frozen=True)
@@ -100,16 +106,36 @@ class SweepResult:
         return [f.name for f in self.failures]
 
 
+def _measure_one(spec: MatrixSpec) -> MatrixRecord:
+    with obs_span("materialize", matrix=spec.name):
+        matrix = spec.materialize()
+    return measure_matrix(matrix, _WORK_SETUP)
+
+
 def _measure_chunk(indices: list[int]) -> list[dict]:
-    """Worker body: measure a chunk of specs with per-matrix isolation."""
+    """Worker body: measure a chunk of specs with per-matrix isolation.
+
+    With tracing on, each matrix is measured under a fresh worker-local
+    tracer and its serialized span tree travels back in the payload; the
+    parent adopts the trees in spec order, so the assembled run tree is
+    independent of worker scheduling.
+    """
     payloads: list[dict] = []
     for index in indices:
         spec = _WORK_SPECS[index]
         started = time.perf_counter()
         try:
-            matrix = spec.materialize()
-            record = measure_matrix(matrix, _WORK_SETUP)
-            payloads.append({"index": index, "record": asdict(record)})
+            if _WORK_TRACE:
+                with installed(Tracer(memory="rss")) as tracer:
+                    record = _measure_one(spec)
+                payloads.append({
+                    "index": index,
+                    "record": asdict(record),
+                    "trace": tracer.tree().to_dict(),
+                })
+            else:
+                record = _measure_one(spec)
+                payloads.append({"index": index, "record": asdict(record)})
         except Exception as exc:  # noqa: BLE001 - isolation is the point
             payloads.append(
                 {
@@ -193,18 +219,30 @@ def run_collection_parallel(
                 continue
         pending.append(i)
 
+    trees: dict[int, dict] = {}
     if pending:
         use_pool = jobs > 1 and "fork" in mp.get_all_start_methods()
-        global _WORK_SPECS, _WORK_SETUP
+        global _WORK_SPECS, _WORK_SETUP, _WORK_TRACE
         _WORK_SPECS, _WORK_SETUP = list(specs), setup
+        _WORK_TRACE = get_tracer() is not None
         try:
-            if use_pool:
-                _run_pooled(pending, jobs, timeout, chunksize, slots, failures, specs)
-            else:
-                for payload in _measure_chunk(pending):
-                    _absorb(payload, slots, failures)
+            with obs_span("run_collection", matrices=len(specs), jobs=jobs):
+                if use_pool:
+                    _run_pooled(
+                        pending, jobs, timeout, chunksize, slots, failures, specs,
+                        trees,
+                    )
+                else:
+                    for payload in _measure_chunk(pending):
+                        _absorb(payload, slots, failures, trees)
+                # reassemble one tree per run: worker span trees are adopted
+                # in spec order, independent of completion order
+                tracer = get_tracer()
+                if tracer is not None:
+                    for index in sorted(trees):
+                        tracer.adopt(TraceTree.from_dict(trees[index]))
         finally:
-            _WORK_SPECS, _WORK_SETUP = [], None
+            _WORK_SPECS, _WORK_SETUP, _WORK_TRACE = [], None, False
 
     # deterministic persistence: cache entries and failure records are
     # written by the parent, in spec order, with the serial serializer
@@ -241,6 +279,7 @@ def _run_pooled(
     slots: list[MatrixRecord | None],
     failures: list[SweepFailure],
     specs: list[MatrixSpec],
+    trees: dict[int, dict],
 ) -> None:
     chunks = _chunk(pending, jobs, chunksize)
     pool = fork_executor(jobs)
@@ -274,7 +313,7 @@ def _run_pooled(
                     )
                 continue
             for payload in payloads:
-                _absorb(payload, slots, failures)
+                _absorb(payload, slots, failures, trees)
     finally:
         # don't block the sweep on abandoned (timed-out) workers
         pool.shutdown(wait=timeout is None, cancel_futures=True)
@@ -284,8 +323,11 @@ def _absorb(
     payload: dict,
     slots: list[MatrixRecord | None],
     failures: list[SweepFailure],
+    trees: dict[int, dict],
 ) -> None:
     if "record" in payload:
         slots[payload["index"]] = MatrixRecord(**payload["record"])
     else:
         failures.append(SweepFailure(**payload["failure"]))
+    if "trace" in payload:
+        trees[payload["index"]] = payload["trace"]

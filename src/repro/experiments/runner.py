@@ -11,8 +11,14 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from pathlib import Path
 
+from ..obs.report import render_report
+from ..obs.schema import TRACE_SCHEMA_ID
+from ..obs.tracer import Tracer, installed
 from .common import ExperimentSetup, collection_records
 from .figure2 import figure2_series, render_figure2
 from .figure3 import figure3_series, headline_numbers, render_figure3
@@ -50,6 +56,11 @@ def main(argv: list[str] | None = None) -> int:
              "previous sweep instead of skipping them (the record is deleted "
              "on success)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a hierarchical span trace of the run, write it to PATH "
+             "as JSON, and print a self-time report",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -58,6 +69,34 @@ def main(argv: list[str] | None = None) -> int:
     cache = args.cache or None
     wanted = EXPERIMENTS if args.exp == "all" else (args.exp,)
 
+    if not args.trace:
+        return _run(args, cache, wanted)
+
+    started = time.perf_counter()
+    with Tracer(memory="rss") as tracer, installed(tracer):
+        # one root span over the whole run partitions the wall time: every
+        # phase's self time is a slice of this span by construction
+        with tracer.span(
+            "repro.experiments",
+            exp=args.exp, collection=args.collection, jobs=args.jobs,
+        ):
+            status = _run(args, cache, wanted)
+    wall_seconds = time.perf_counter() - started
+    merged = tracer.tree().merged()
+    payload = {
+        "schema": TRACE_SCHEMA_ID,
+        "wall_seconds": wall_seconds,
+        "tree": merged.to_dict(),
+    }
+    Path(args.trace).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(render_report(merged, wall_seconds))
+    print(f"trace written to {args.trace}")
+    return status
+
+
+def _run(args: argparse.Namespace, cache: str | None, wanted: tuple[str, ...]) -> int:
     if "table1" in wanted:
         print(render_table1(run_table1()))
         print()

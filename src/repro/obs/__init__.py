@@ -1,0 +1,77 @@
+"""Unified tracing & profiling layer (``repro.obs``).
+
+One stdlib-only subsystem answers "where did the time and memory go?"
+for every part of the reproduction:
+
+* :class:`Tracer` / :func:`span` — hierarchical spans over the model
+  engines (trace build, stack passes, profile queries), the cache
+  simulator, ``measure_matrix`` phases, pool workers and the advisor
+  service.  A process-local ambient tracer keeps the instrumentation at
+  zero cost when disabled (:func:`span` returns a shared no-op span).
+* :class:`TraceTree` — serializable span forests that merge across
+  processes: fork-pool workers ship their trees back with each record
+  and the parent reassembles one deterministic tree per run.
+* :mod:`repro.obs.report` — the ``--trace`` console report (indented
+  tree + self-time hot list).
+* :class:`LatencyHistogram` / :mod:`repro.obs.prometheus` — the metric
+  primitives behind the service's ``/metrics`` (JSON and Prometheus
+  text exposition).
+* :mod:`repro.obs.schema` — structural validation of serialized traces
+  (also a CLI: ``python -m repro.obs.schema trace.json``).
+"""
+
+from .histogram import LATENCY_BUCKETS, LatencyHistogram
+from .prometheus import parse_prometheus_text, render_prometheus
+from .report import render_report, render_self_times, render_tree
+from .tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    count,
+    enabled,
+    get_tracer,
+    install,
+    installed,
+    peak_rss_bytes,
+    span,
+)
+from .tree import SpanNode, TraceTree, self_seconds
+
+# imported lazily so `python -m repro.obs.schema` does not trip runpy's
+# already-in-sys.modules warning (the CLI lives in the submodule)
+_SCHEMA_EXPORTS = ("TRACE_SCHEMA_ID", "validate_trace_payload", "validate_tree")
+
+
+def __getattr__(name: str):
+    if name in _SCHEMA_EXPORTS:
+        from . import schema
+
+        return getattr(schema, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "LatencyHistogram",
+    "NULL_SPAN",
+    "Span",
+    "SpanNode",
+    "TRACE_SCHEMA_ID",
+    "TraceTree",
+    "Tracer",
+    "count",
+    "enabled",
+    "get_tracer",
+    "install",
+    "installed",
+    "parse_prometheus_text",
+    "peak_rss_bytes",
+    "render_prometheus",
+    "render_report",
+    "render_self_times",
+    "render_tree",
+    "self_seconds",
+    "span",
+    "validate_trace_payload",
+    "validate_tree",
+]

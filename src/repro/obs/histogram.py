@@ -1,0 +1,41 @@
+"""Cumulative latency histograms (Prometheus ``le`` bucket convention).
+
+Moved here from ``repro.service.metrics`` so every observability consumer
+— the advisor daemon, benchmarks, ad-hoc scripts — shares one histogram
+implementation; the service module re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+#: Histogram bucket upper bounds in seconds (+Inf is implicit).
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+class LatencyHistogram:
+    """Cumulative histogram of observed seconds."""
+
+    def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # last slot: +Inf
+        self.total = 0
+        self.sum_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.total += 1
+        self.sum_seconds += seconds
+        for i, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        cumulative = 0
+        out: dict = {"count": self.total, "sum_seconds": self.sum_seconds,
+                     "buckets": {}}
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            out["buckets"][str(bound)] = cumulative
+        out["buckets"]["+Inf"] = self.total
+        return out

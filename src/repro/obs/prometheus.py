@@ -1,0 +1,233 @@
+"""Prometheus text exposition of the service metrics snapshot.
+
+:func:`render_prometheus` turns the JSON snapshot of
+:class:`repro.service.metrics.ServiceMetrics` into the Prometheus text
+format (version 0.0.4): one ``# HELP``/``# TYPE`` pair per metric family,
+cumulative ``_bucket{le=...}`` histogram series reusing the existing
+``le``-convention buckets, counters suffixed ``_total``.
+
+:func:`parse_prometheus_text` is the matching strict reader used by the
+tests (and usable against any exposition text): it validates line syntax,
+label quoting, histogram monotonicity and ``_count`` == ``+Inf`` bucket
+consistency, raising ``ValueError`` on the first violation.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _labels(**labels) -> str:
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels.items())
+    return f"{{{inner}}}" if inner else ""
+
+
+class _Writer:
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        self.lines: list[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> str:
+        full = f"{self.prefix}_{name}"
+        self.lines.append(f"# HELP {full} {help_text}")
+        self.lines.append(f"# TYPE {full} {kind}")
+        return full
+
+    def sample(self, name: str, value, **labels) -> None:
+        self.lines.append(f"{name}{_labels(**labels)} {_format_value(value)}")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """The ``/metrics`` snapshot in Prometheus text-exposition format."""
+    w = _Writer(prefix)
+
+    name = w.family("uptime_seconds", "gauge", "Daemon uptime.")
+    w.sample(name, float(snapshot.get("uptime_seconds", 0.0)))
+
+    name = w.family("requests_total", "counter",
+                    "Terminal request count by endpoint and status.")
+    for endpoint, statuses in sorted(snapshot.get("requests", {}).items()):
+        for status, count in sorted(statuses.items()):
+            w.sample(name, count, endpoint=endpoint, status=status)
+
+    name = w.family("evaluations_total", "counter",
+                    "Model evaluations actually performed.")
+    for endpoint, count in sorted(snapshot.get("evaluations", {}).items()):
+        w.sample(name, count, endpoint=endpoint)
+
+    name = w.family("coalesced_total", "counter",
+                    "Requests that piggybacked on an in-flight evaluation.")
+    for endpoint, count in sorted(snapshot.get("coalesced", {}).items()):
+        w.sample(name, count, endpoint=endpoint)
+
+    name = w.family("cache_served_total", "counter",
+                    "Requests served from a cache tier.")
+    for endpoint, tiers in sorted(snapshot.get("cache_served", {}).items()):
+        for tier, count in sorted(tiers.items()):
+            w.sample(name, count, endpoint=endpoint, tier=tier)
+
+    name = w.family("evaluation_phase_seconds_total", "counter",
+                    "Cumulative model-evaluation self time by phase span.")
+    for endpoint, phases in sorted(
+        snapshot.get("evaluation_phase_seconds", {}).items()
+    ):
+        for phase, seconds in sorted(phases.items()):
+            w.sample(name, float(seconds), endpoint=endpoint, phase=phase)
+
+    name = w.family("request_latency_seconds", "histogram",
+                    "Request latency by endpoint.")
+    for endpoint, hist in sorted(snapshot.get("latency_seconds", {}).items()):
+        for bound, cumulative in hist.get("buckets", {}).items():
+            w.sample(f"{name}_bucket", cumulative, endpoint=endpoint, le=bound)
+        w.sample(f"{name}_sum", float(hist.get("sum_seconds", 0.0)),
+                 endpoint=endpoint)
+        w.sample(f"{name}_count", hist.get("count", 0), endpoint=endpoint)
+
+    cache = snapshot.get("cache", {})
+    memory = cache.get("memory", {})
+    name = w.family("cache_memory_entries", "gauge", "Memory-tier entries.")
+    w.sample(name, memory.get("entries", 0))
+    name = w.family("cache_memory_bytes", "gauge", "Memory-tier resident bytes.")
+    w.sample(name, memory.get("bytes", 0))
+    name = w.family("cache_tier_events_total", "counter",
+                    "Cache events (hits/misses/evictions/expirations) by tier.")
+    for event in ("hits", "misses", "evictions", "expirations"):
+        w.sample(name, memory.get(event, 0), tier="memory", event=event)
+    disk = cache.get("disk", {})
+    for event in ("hits", "misses"):
+        w.sample(name, disk.get(event, 0), tier="disk", event=event)
+
+    queue = snapshot.get("queue", {})
+    name = w.family("queue_depth", "gauge", "Requests waiting for a worker slot.")
+    w.sample(name, queue.get("depth", 0))
+    name = w.family("queue_peak", "gauge", "Peak queue depth.")
+    w.sample(name, queue.get("peak", 0))
+
+    workers = snapshot.get("workers", {})
+    name = w.family("workers_busy", "gauge", "Busy pool workers.")
+    w.sample(name, workers.get("busy", 0))
+    name = w.family("workers_jobs", "gauge", "Configured pool size.")
+    w.sample(name, workers.get("jobs", 0))
+    name = w.family("worker_restarts_total", "counter",
+                    "Pool rebuilds after a worker death.")
+    w.sample(name, workers.get("restarts", 0))
+    name = w.family("request_timeouts_total", "counter",
+                    "Evaluations abandoned on timeout.")
+    w.sample(name, workers.get("timeouts", 0))
+
+    return "\n".join(w.lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Strictly parse exposition text into ``{name: [(labels, value)]}``.
+
+    Raises ``ValueError`` on malformed lines, labels, duplicate TYPE
+    declarations, samples without a TYPE, non-monotonic histogram buckets,
+    or ``_count`` disagreeing with the ``+Inf`` bucket.
+    """
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _NAME.match(parts[2]) or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE line {line!r}")
+            if parts[2] in types:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unknown comment {line!r}")
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in types and family not in types:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+        labels: dict = {}
+        raw = match.group("labels")
+        if raw:
+            for part in _split_labels(raw, lineno):
+                label = _LABEL.match(part)
+                if not label:
+                    raise ValueError(f"line {lineno}: malformed label {part!r}")
+                labels[label.group("key")] = label.group("value")
+        samples.setdefault(name, []).append((labels, float(match.group("value"))))
+    _check_histograms(samples, types)
+    return samples
+
+
+def _split_labels(raw: str, lineno: int) -> list[str]:
+    parts, depth_quote, current = [], False, ""
+    for ch in raw:
+        if ch == '"' and not current.endswith("\\"):
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current:
+        parts.append(current)
+    if depth_quote:
+        raise ValueError(f"line {lineno}: unbalanced quotes in labels")
+    return parts
+
+
+def _check_histograms(
+    samples: dict[str, list[tuple[dict, float]]], types: dict[str, str]
+) -> None:
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series: dict[tuple, list[tuple[float, float]]] = {}
+        for labels, value in samples.get(f"{family}_bucket", []):
+            if "le" not in labels:
+                raise ValueError(f"{family}_bucket sample without le label")
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            bound = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+            series.setdefault(key, []).append((bound, value))
+        counts = {
+            tuple(sorted(labels.items())): value
+            for labels, value in samples.get(f"{family}_count", [])
+        }
+        for key, buckets in series.items():
+            ordered = sorted(buckets)
+            values = [v for _, v in ordered]
+            if values != sorted(values):
+                raise ValueError(f"{family}{dict(key)}: non-monotonic buckets")
+            if ordered[-1][0] != float("inf"):
+                raise ValueError(f"{family}{dict(key)}: missing +Inf bucket")
+            if key in counts and counts[key] != ordered[-1][1]:
+                raise ValueError(
+                    f"{family}{dict(key)}: _count != +Inf bucket"
+                )

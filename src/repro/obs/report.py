@@ -1,0 +1,91 @@
+"""Text rendering of span trees: call tree plus self-time hot list.
+
+:func:`render_report` is what ``python -m repro.experiments --trace``
+prints: an indented tree (flamegraph read top-to-bottom) followed by a
+table of span names sorted by aggregated exclusive time — the phase cost
+breakdown the Method-A-vs-B overhead claims are defended with.
+"""
+
+from __future__ import annotations
+
+from .tree import SpanNode, TraceTree, self_seconds
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 2**20:
+        return f"{n / 2**20:.1f}MiB"
+    if n >= 2**10:
+        return f"{n / 2**10:.1f}KiB"
+    return f"{n}B"
+
+
+def render_tree(tree: TraceTree, max_depth: int | None = None) -> str:
+    """The span forest as an indented text tree."""
+    lines: list[str] = []
+
+    def walk(node: SpanNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        label = node.name
+        if node.count > 1:
+            label += f" x{node.count}"
+        extras = []
+        if node.attrs:
+            extras.append(
+                ",".join(f"{k}={v}" for k, v in sorted(node.attrs.items()))
+            )
+        if node.rss_delta_bytes:
+            extras.append(f"+rss {_fmt_bytes(node.rss_delta_bytes)}")
+        if node.mem_peak_bytes:
+            extras.append(f"peak {_fmt_bytes(node.mem_peak_bytes)}")
+        if node.counters:
+            extras.append(
+                " ".join(f"{k}:{v}" for k, v in sorted(node.counters.items()))
+            )
+        suffix = f"  [{'; '.join(extras)}]" if extras else ""
+        lines.append(f"{'  ' * depth}{node.seconds:10.4f}s  {label}{suffix}")
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in tree.roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_self_times(tree: TraceTree, wall_seconds: float | None = None) -> str:
+    """Span names sorted by aggregated exclusive (self) time."""
+    self_by_name = tree.self_seconds_by_name()
+    counts: dict[str, int] = {}
+    totals: dict[str, float] = {}
+
+    def walk(node: SpanNode) -> None:
+        counts[node.name] = counts.get(node.name, 0) + node.count
+        totals[node.name] = totals.get(node.name, 0.0) + node.seconds
+        for child in node.children:
+            walk(child)
+
+    for root in tree.roots:
+        walk(root)
+    denominator = wall_seconds if wall_seconds else tree.total_seconds()
+    header = f"{'span':<28} {'count':>7} {'total s':>10} {'self s':>10} {'self %':>7}"
+    lines = [header, "-" * len(header)]
+    for name in sorted(self_by_name, key=lambda n: self_by_name[n], reverse=True):
+        share = 100.0 * self_by_name[name] / denominator if denominator else 0.0
+        lines.append(
+            f"{name:<28} {counts[name]:>7} {totals[name]:>10.4f} "
+            f"{self_by_name[name]:>10.4f} {share:>6.1f}%"
+        )
+    covered = sum(self_by_name.values())
+    if wall_seconds:
+        lines.append(
+            f"{'(spans cover)':<28} {'':>7} {'':>10} {covered:>10.4f} "
+            f"{100.0 * covered / wall_seconds:>6.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_report(tree: TraceTree, wall_seconds: float | None = None) -> str:
+    """Indented tree + self-time hot list (the ``--trace`` console output)."""
+    parts = ["span tree:", render_tree(tree), "",
+             "self time by span:", render_self_times(tree, wall_seconds)]
+    return "\n".join(parts)

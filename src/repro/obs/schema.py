@@ -1,0 +1,158 @@
+"""Structural validation of serialized trace payloads (stdlib-only).
+
+``python -m repro.experiments --trace trace.json`` writes a payload of
+the form::
+
+    {"schema": "repro.obs.trace/v1",
+     "wall_seconds": 12.3,
+     "tree": {"roots": [...], "counters": {...}}}
+
+:func:`validate_trace_payload` checks that shape (a hand-rolled JSON
+schema — the container has no ``jsonschema``) and returns a list of
+human-readable problems, empty when the payload is valid.  The CI smoke
+step runs it as a CLI::
+
+    python -m repro.obs.schema trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TRACE_SCHEMA_ID = "repro.obs.trace/v1"
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+def _validate_node(node: object, path: str, problems: list[str]) -> None:
+    if not isinstance(node, dict):
+        problems.append(f"{path}: node must be an object, got {type(node).__name__}")
+        return
+    name = node.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{path}.name: must be a non-empty string")
+    seconds = node.get("seconds", 0.0)
+    if not isinstance(seconds, (int, float)) or isinstance(seconds, bool) or seconds < 0:
+        problems.append(f"{path}.seconds: must be a non-negative number")
+    count = node.get("count", 1)
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        problems.append(f"{path}.count: must be a positive integer")
+    attrs = node.get("attrs", {})
+    if not isinstance(attrs, dict):
+        problems.append(f"{path}.attrs: must be an object")
+    else:
+        for key, value in attrs.items():
+            if not isinstance(value, _SCALAR):
+                problems.append(f"{path}.attrs[{key!r}]: must be a JSON scalar")
+    counters = node.get("counters", {})
+    if not isinstance(counters, dict):
+        problems.append(f"{path}.counters: must be an object")
+    else:
+        for key, value in counters.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{path}.counters[{key!r}]: must be a number")
+    for field in ("mem_peak_bytes", "rss_delta_bytes"):
+        value = node.get(field, 0)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{path}.{field}: must be a non-negative integer")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        problems.append(f"{path}.children: must be a list")
+        return
+    for i, child in enumerate(children):
+        _validate_node(child, f"{path}.children[{i}]", problems)
+    # containment (children are disjoint sub-regions of their parent) is only
+    # checkable on unaggregated spans: once nodes are merged — or concurrent
+    # worker trees are adopted under a parent — child seconds are CPU time
+    # summed across spans/processes and may legitimately exceed the parent's
+    # wall time.  count == 1 throughout identifies the unaggregated case.
+    unaggregated = count == 1 and all(
+        isinstance(c, dict) and c.get("count", 1) == 1 for c in children
+    )
+    if (
+        unaggregated
+        and isinstance(seconds, (int, float))
+        and not isinstance(seconds, bool)
+    ):
+        child_seconds = sum(
+            c.get("seconds", 0.0)
+            for c in children
+            if isinstance(c, dict)
+            and isinstance(c.get("seconds", 0.0), (int, float))
+        )
+        # a 1% tolerance absorbs clock jitter
+        if child_seconds > seconds * 1.01 + 1e-6:
+            problems.append(
+                f"{path}: children cover {child_seconds:.6f}s > own {seconds:.6f}s"
+            )
+
+
+def validate_tree(tree: object, path: str = "tree") -> list[str]:
+    """Problems with a serialized :class:`~repro.obs.tree.TraceTree` dict."""
+    problems: list[str] = []
+    if not isinstance(tree, dict):
+        return [f"{path}: must be an object"]
+    roots = tree.get("roots")
+    if not isinstance(roots, list):
+        problems.append(f"{path}.roots: must be a list")
+    else:
+        for i, root in enumerate(roots):
+            _validate_node(root, f"{path}.roots[{i}]", problems)
+    counters = tree.get("counters", {})
+    if not isinstance(counters, dict):
+        problems.append(f"{path}.counters: must be an object")
+    return problems
+
+
+def validate_trace_payload(payload: object) -> list[str]:
+    """Problems with a ``--trace`` JSON payload; empty when valid."""
+    if not isinstance(payload, dict):
+        return ["payload: must be a JSON object"]
+    problems: list[str] = []
+    if payload.get("schema") != TRACE_SCHEMA_ID:
+        problems.append(
+            f"schema: expected {TRACE_SCHEMA_ID!r}, got {payload.get('schema')!r}"
+        )
+    wall = payload.get("wall_seconds")
+    if wall is not None and (
+        not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0
+    ):
+        problems.append("wall_seconds: must be a non-negative number")
+    if "tree" not in payload:
+        problems.append("tree: missing")
+    else:
+        problems.extend(validate_tree(payload["tree"]))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="trace JSON file to validate")
+    args = parser.parse_args(argv)
+    try:
+        payload = json.loads(open(args.path).read())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_trace_payload(payload)
+    for problem in problems:
+        print(f"invalid: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    tree = payload["tree"]
+    spans = sum(_count_spans(root) for root in tree["roots"])
+    print(f"OK: {args.path} is a valid {TRACE_SCHEMA_ID} trace "
+          f"({len(tree['roots'])} roots, {spans} spans)")
+    return 0
+
+
+def _count_spans(node: dict) -> int:
+    return node.get("count", 1) + sum(
+        _count_spans(child) for child in node.get("children", [])
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Serializable span trees and their cross-process merge.
+
+A :class:`TraceTree` is the data half of the tracing layer: a forest of
+finished :class:`SpanNode` records plus tracer-level counters.  Trees are
+plain JSON values end-to-end (``to_dict``/``from_dict``), which is what
+lets fork-pool workers ship their spans back to the parent next to each
+``MatrixRecord`` and lets the advisor service return a tree inline with a
+response.
+
+Two combination operations cover every consumer:
+
+* :meth:`TraceTree.merge` concatenates forests — the parent's
+  "reassemble one tree per run" step.  It is shape-preserving: every
+  worker's spans survive as distinct roots.
+* :meth:`TraceTree.merged` aggregates siblings by span name, recursively,
+  summing wall time and counters and maxing memory peaks.  The result is
+  deterministic (children sorted by name, commutative reductions only),
+  so merging worker trees in any arrival order yields identical bytes —
+  the property the cross-process tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpanNode:
+    """One finished span: a named, timed region with children.
+
+    ``seconds`` is inclusive wall time; :func:`self_seconds` derives the
+    exclusive time.  ``count`` is 1 for a raw span and the number of
+    constituent spans after :meth:`TraceTree.merged` aggregation.
+    """
+
+    name: str
+    seconds: float = 0.0
+    count: int = 1
+    attrs: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    #: tracemalloc peak during the span (``memory="tracemalloc"`` tracers)
+    mem_peak_bytes: int = 0
+    #: growth of the process peak-RSS high-water mark across the span
+    #: (``memory="rss"`` tracers); monotonic, hence >= 0
+    rss_delta_bytes: int = 0
+    children: list["SpanNode"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "count": self.count,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "mem_peak_bytes": self.mem_peak_bytes,
+            "rss_delta_bytes": self.rss_delta_bytes,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanNode":
+        return cls(
+            name=payload["name"],
+            seconds=float(payload.get("seconds", 0.0)),
+            count=int(payload.get("count", 1)),
+            attrs=dict(payload.get("attrs", {})),
+            counters=dict(payload.get("counters", {})),
+            mem_peak_bytes=int(payload.get("mem_peak_bytes", 0)),
+            rss_delta_bytes=int(payload.get("rss_delta_bytes", 0)),
+            children=[cls.from_dict(c) for c in payload.get("children", [])],
+        )
+
+
+def self_seconds(node: SpanNode) -> float:
+    """Exclusive wall time of a node (inclusive minus children)."""
+    return max(0.0, node.seconds - sum(c.seconds for c in node.children))
+
+
+def _merge_nodes(nodes: list[SpanNode]) -> list[SpanNode]:
+    """Aggregate same-named siblings; output sorted by name (deterministic)."""
+    by_name: dict[str, list[SpanNode]] = {}
+    for node in nodes:
+        by_name.setdefault(node.name, []).append(node)
+    out = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        counters: dict = {}
+        for node in group:
+            for key, value in node.counters.items():
+                counters[key] = counters.get(key, 0) + value
+        attrs = dict(group[0].attrs)
+        for node in group[1:]:
+            if node.attrs != attrs:
+                attrs = {}  # conflicting attributes do not survive aggregation
+                break
+        out.append(
+            SpanNode(
+                name=name,
+                # fsum: exactly-rounded, hence independent of arrival order
+                seconds=math.fsum(n.seconds for n in group),
+                count=sum(n.count for n in group),
+                attrs=attrs,
+                counters=counters,
+                mem_peak_bytes=max(n.mem_peak_bytes for n in group),
+                rss_delta_bytes=sum(n.rss_delta_bytes for n in group),
+                children=_merge_nodes(
+                    [c for n in group for c in n.children]
+                ),
+            )
+        )
+    return out
+
+
+@dataclass
+class TraceTree:
+    """A forest of finished spans plus tracer-level counters."""
+
+    roots: list[SpanNode] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "roots": [root.to_dict() for root in self.roots],
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceTree":
+        return cls(
+            roots=[SpanNode.from_dict(r) for r in payload.get("roots", [])],
+            counters=dict(payload.get("counters", {})),
+        )
+
+    @staticmethod
+    def merge(trees: list["TraceTree"]) -> "TraceTree":
+        """Concatenate forests and sum counters (shape-preserving)."""
+        merged = TraceTree()
+        for tree in trees:
+            merged.roots.extend(tree.roots)
+            for key, value in tree.counters.items():
+                merged.counters[key] = merged.counters.get(key, 0) + value
+        return merged
+
+    def merged(self) -> "TraceTree":
+        """Aggregate same-named spans recursively (order-independent)."""
+        counters: dict = {}
+        for key in sorted(self.counters):
+            counters[key] = self.counters[key]
+        return TraceTree(roots=_merge_nodes(self.roots), counters=counters)
+
+    # -- queries --------------------------------------------------------
+    def total_seconds(self) -> float:
+        """Inclusive wall time covered by the root spans."""
+        return sum(root.seconds for root in self.roots)
+
+    def self_seconds_by_name(self) -> dict[str, float]:
+        """Exclusive time aggregated by span name over the whole forest."""
+        out: dict[str, float] = {}
+
+        def walk(node: SpanNode) -> None:
+            out[node.name] = out.get(node.name, 0.0) + self_seconds(node)
+            for child in node.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return out
+
+    def find(self, name: str) -> list[SpanNode]:
+        """All nodes with a given span name, in depth-first order."""
+        found: list[SpanNode] = []
+
+        def walk(node: SpanNode) -> None:
+            if node.name == name:
+                found.append(node)
+            for child in node.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return found

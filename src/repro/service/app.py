@@ -34,9 +34,12 @@ from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
+from urllib.parse import parse_qs
+
 from ..analysis.report import canonical_json
 from ..experiments.common import cache_entry_path
 from ..experiments.pool import fork_executor
+from ..obs.prometheus import render_prometheus
 from .cache import TieredResultCache
 from .metrics import ServiceMetrics
 from .protocol import (
@@ -109,14 +112,29 @@ class LocalityService:
     # ------------------------------------------------------------------
     async def handle_request(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict, bool]:
-        """Route one request; returns (status, payload, shutdown?)."""
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+    ) -> tuple[int, dict | str, bool]:
+        """Route one request; returns (status, payload, shutdown?).
+
+        A ``str`` payload is served verbatim as Prometheus text exposition
+        (``/metrics?format=prometheus``); dicts are served as JSON.
+        """
+        path, _, query_string = path.partition("?")
+        path = path.rstrip("/") or "/"
         if method == "GET":
             if path == "/healthz":
                 return 200, {"ok": True, "status": "healthy"}, False
             if path == "/metrics":
-                return 200, self.metrics.snapshot(self.cache.stats()), False
+                fmt = (parse_qs(query_string).get("format") or ["json"])[-1]
+                if fmt not in ("json", "prometheus"):
+                    return 400, _error_payload(
+                        "metrics", "BadFormat",
+                        f"unknown metrics format {fmt!r} "
+                        "(expected 'json' or 'prometheus')",
+                    ), False
+                snapshot = self.metrics.snapshot(self.cache.stats())
+                if fmt == "prometheus":
+                    return 200, render_prometheus(snapshot), False
+                return 200, snapshot, False
             return 404, _error_payload(path, "NotFound", f"no such path {path!r}"), False
         if method != "POST":
             return 405, _error_payload(path, "MethodNotAllowed",
@@ -151,7 +169,7 @@ class LocalityService:
             return exc.status, _error_payload(endpoint, "RequestError", str(exc))
 
         try:
-            result, cached = await self._resolve(endpoint, task, key)
+            result, cached, trace = await self._resolve(endpoint, task, key)
         except _EvaluationError as exc:
             self.metrics.observe_request(endpoint, "error",
                                          time.perf_counter() - started)
@@ -162,29 +180,39 @@ class LocalityService:
         self.metrics.observe_request(endpoint, "ok", time.perf_counter() - started)
         if cached in ("memory", "disk"):
             self.metrics.cache_served[endpoint][cached] += 1
-        return 200, {"ok": True, "endpoint": endpoint, "key": key,
-                     "cached": cached, "result": result}
+        response = {"ok": True, "endpoint": endpoint, "key": key,
+                    "cached": cached, "result": result}
+        if task.get("trace"):
+            # best-effort: null when the result came from a cache tier or
+            # piggybacked on another request's in-flight evaluation
+            response["trace"] = trace
+        return 200, response
 
     async def _resolve(
         self, endpoint: str, task: dict, key: str
-    ) -> tuple[dict, str | None]:
-        """Resolve a key via cache, coalescing, or a fresh evaluation."""
+    ) -> tuple[dict, str | None, dict | None]:
+        """Resolve a key via cache, coalescing, or a fresh evaluation.
+
+        Returns ``(result, cache_tier, span_tree)``; the span tree is only
+        non-None for a fresh evaluation of a ``"trace": true`` task.
+        """
         disk_path, disk_format = self._disk_entry(task, key)
         result, tier = self.cache.get(key, disk_path)
         if result is not None:
             if tier == "disk":
                 self.cache.promote(key, canonical_json(result).encode())
-            return result, tier
+            return result, tier, None
 
         pending = self._inflight.get(key)
         if pending is not None:
             self.metrics.coalesced[endpoint] += 1
-            return await asyncio.shield(pending), "coalesced"
+            return await asyncio.shield(pending), "coalesced", None
 
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         try:
-            result = await self._evaluate(endpoint, task)
+            payload = await self._evaluate(endpoint, task)
+            result = payload["result"]
             future.set_result(result)
         except _EvaluationError as exc:
             future.set_exception(exc)
@@ -192,6 +220,7 @@ class LocalityService:
             raise
         finally:
             self._inflight.pop(key, None)
+        self.metrics.observe_phases(endpoint, payload.get("phase_seconds", {}))
         self.cache.put(
             key,
             canonical_json(result).encode(),
@@ -200,7 +229,7 @@ class LocalityService:
             # sweeps and the daemon share one disk cache
             disk_text=json.dumps(result) if disk_format == "record" else None,
         )
-        return result, None
+        return result, None, payload.get("trace")
 
     def _disk_entry(self, task: dict, key: str) -> tuple[Path | None, str | None]:
         if self.cache.cache_dir is None:
@@ -252,7 +281,7 @@ class LocalityService:
             detail = payload["error"]
             status = 400 if detail.get("type") in _CLIENT_ERRORS else 500
             raise _EvaluationError(status, detail)
-        return payload["result"]
+        return payload
 
     # ------------------------------------------------------------------
     # HTTP glue
@@ -308,11 +337,18 @@ def _error_payload(endpoint: str, error_type: str, message: str) -> dict:
             "error": {"type": error_type, "message": message}}
 
 
-async def _respond(writer: asyncio.StreamWriter, status: int, payload: dict) -> None:
-    data = json.dumps(payload).encode()
+async def _respond(
+    writer: asyncio.StreamWriter, status: int, payload: dict | str
+) -> None:
+    if isinstance(payload, str):
+        data = payload.encode()
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        data = json.dumps(payload).encode()
+        content_type = "application/json"
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(data)}\r\n"
         "Connection: close\r\n\r\n"
     ).encode("latin1")

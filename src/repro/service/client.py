@@ -97,33 +97,50 @@ class ServiceClient:
 
     # -- endpoints -----------------------------------------------------
     def classify(self, matrix=None, *, name=None, collection=None,
-                 way_options=None, timeout=None, **setup) -> dict:
+                 way_options=None, timeout=None, trace=None, **setup) -> dict:
         return self._model("classify", matrix, name, collection, setup,
-                           {"way_options": way_options, "timeout": timeout})
+                           {"way_options": way_options, "timeout": timeout,
+                            "trace": trace})
 
     def predict(self, matrix=None, *, name=None, collection=None,
-                policies=None, timeout=None, **setup) -> dict:
+                policies=None, timeout=None, trace=None, **setup) -> dict:
         return self._model("predict", matrix, name, collection, setup,
-                           {"policies": policies, "timeout": timeout})
+                           {"policies": policies, "timeout": timeout,
+                            "trace": trace})
 
     def advise(self, matrix=None, *, name=None, collection=None,
                way_options=None, consider_isolate_x=None,
-               min_sector1_ways_with_prefetch=None, timeout=None, **setup) -> dict:
+               min_sector1_ways_with_prefetch=None, timeout=None,
+               trace=None, **setup) -> dict:
         return self._model("advise", matrix, name, collection, setup, {
             "way_options": way_options,
             "consider_isolate_x": consider_isolate_x,
             "min_sector1_ways_with_prefetch": min_sector1_ways_with_prefetch,
             "timeout": timeout,
+            "trace": trace,
         })
 
     def sweep(self, matrix=None, *, name=None, collection=None,
-              timeout=None, **setup) -> dict:
+              timeout=None, trace=None, **setup) -> dict:
         return self._model("sweep", matrix, name, collection, setup,
-                           {"timeout": timeout})
+                           {"timeout": timeout, "trace": trace})
 
     # -- operations ----------------------------------------------------
-    def metrics(self) -> dict:
-        return self.request("GET", "/metrics")
+    def metrics(self, format: str | None = None) -> dict | str:
+        """The ``/metrics`` snapshot; text exposition for ``format="prometheus"``."""
+        if format in (None, "json"):
+            return self.request("GET", "/metrics")
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/metrics?format={format}")
+            response = conn.getresponse()
+            text = response.read().decode()
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   json.loads(text).get("error", {}))
+            return text
+        finally:
+            conn.close()
 
     def health(self) -> dict:
         return self.request("GET", "/healthz")

@@ -15,38 +15,11 @@ import time
 from collections import Counter, defaultdict
 from typing import Callable
 
-#: Histogram bucket upper bounds in seconds (+Inf is implicit).
-LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+# the histogram lives in the shared observability layer now; re-exported
+# here because service code and its tests import it from this module
+from ..obs.histogram import LATENCY_BUCKETS, LatencyHistogram
 
-
-class LatencyHistogram:
-    """Cumulative histogram of observed seconds."""
-
-    def __init__(self, buckets: tuple[float, ...] = LATENCY_BUCKETS) -> None:
-        self.buckets = buckets
-        self.counts = [0] * (len(buckets) + 1)  # last slot: +Inf
-        self.total = 0
-        self.sum_seconds = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.total += 1
-        self.sum_seconds += seconds
-        for i, bound in enumerate(self.buckets):
-            if seconds <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
-
-    def snapshot(self) -> dict:
-        cumulative = 0
-        out: dict = {"count": self.total, "sum_seconds": self.sum_seconds,
-                     "buckets": {}}
-        for bound, count in zip(self.buckets, self.counts):
-            cumulative += count
-            out["buckets"][str(bound)] = cumulative
-        out["buckets"]["+Inf"] = self.total
-        return out
+__all__ = ["LATENCY_BUCKETS", "LatencyHistogram", "ServiceMetrics"]
 
 
 class ServiceMetrics:
@@ -64,6 +37,8 @@ class ServiceMetrics:
         self.coalesced: Counter = Counter()
         #: endpoint -> requests served from a cache tier
         self.cache_served: dict[str, Counter] = defaultdict(Counter)
+        #: endpoint -> cumulative worker-side self seconds per span name
+        self.phase_seconds: dict[str, Counter] = defaultdict(Counter)
         self.latency: dict[str, LatencyHistogram] = defaultdict(LatencyHistogram)
         self.queue_depth = 0
         self.queue_peak = 0
@@ -92,6 +67,12 @@ class ServiceMetrics:
         self.requests[endpoint][status] += 1
         self.latency[endpoint].observe(seconds)
 
+    def observe_phases(self, endpoint: str, phases: dict) -> None:
+        """Fold one evaluation's per-phase self seconds into the totals."""
+        counter = self.phase_seconds[endpoint]
+        for name, seconds in phases.items():
+            counter[name] += float(seconds)
+
     def snapshot(self, cache_stats: dict) -> dict:
         return {
             "uptime_seconds": self._clock() - self.started,
@@ -99,6 +80,10 @@ class ServiceMetrics:
             "evaluations": dict(self.evaluations),
             "coalesced": dict(self.coalesced),
             "cache_served": {ep: dict(c) for ep, c in sorted(self.cache_served.items())},
+            "evaluation_phase_seconds": {
+                ep: {name: c[name] for name in sorted(c)}
+                for ep, c in sorted(self.phase_seconds.items())
+            },
             "latency_seconds": {
                 ep: hist.snapshot() for ep, hist in sorted(self.latency.items())
             },

@@ -225,6 +225,11 @@ def normalize_request(endpoint: str, payload: object) -> dict:
             raise RequestError("timeout must be a number") from None
         _require(timeout > 0, "timeout must be positive")
         task["timeout"] = timeout
+    if payload.get("trace"):
+        # best-effort observability flag: a span tree comes back only when
+        # the request triggers a fresh evaluation (cached or coalesced
+        # responses carry "trace": null)
+        task["trace"] = True
     for hook in ("x_test_sleep", "x_test_crash"):
         if hook in payload:
             task[hook] = payload[hook]
@@ -234,10 +239,11 @@ def normalize_request(endpoint: str, payload: object) -> dict:
 def request_key(task: dict) -> str:
     """Cache/coalescing key of a canonical task.
 
-    The per-request ``timeout`` is excluded: it bounds the wait, not the
-    computation, so requests differing only in patience share one result.
+    The per-request ``timeout`` and ``trace`` flags are excluded: they
+    bound the wait and shape the presentation, not the computation, so
+    requests differing only in those share one result.
     """
-    keyed = {k: v for k, v in task.items() if k != "timeout"}
+    keyed = {k: v for k, v in task.items() if k not in ("timeout", "trace")}
     digest = hashlib.sha256(canonical_json(["v1", keyed]).encode()).hexdigest()
     return digest[:32]
 

@@ -23,17 +23,37 @@ from ..core.advisor import SectorAdvisor
 from ..core.classification import classify
 from ..core.method_b import MethodB
 from ..experiments.common import measure_matrix
+from ..obs.tracer import Tracer, installed
 from ..spmv.sector_policy import SectorPolicy
 from .protocol import matrix_from_task, setup_from_task
 
 
 def evaluate(task: dict) -> dict:
-    """Run one canonical task; never raises (fault isolation)."""
+    """Run one canonical task; never raises (fault isolation).
+
+    Every evaluation runs under a worker-local tracer: per-phase self
+    seconds always travel back for the daemon's ``/metrics`` aggregation,
+    and the full span tree is included when the request set
+    ``"trace": true`` (memory sampling is only paid in that case).
+    """
     started = time.perf_counter()
     try:
         _test_hooks(task)
-        result = _dispatch(task)
-        return {"result": result, "elapsed_seconds": time.perf_counter() - started}
+        want_trace = bool(task.get("trace"))
+        with Tracer(memory="rss" if want_trace else None) as tracer:
+            with installed(tracer), tracer.span(
+                "evaluate", endpoint=task.get("endpoint", "")
+            ):
+                result = _dispatch(task)
+        tree = tracer.tree()
+        payload = {
+            "result": result,
+            "elapsed_seconds": time.perf_counter() - started,
+            "phase_seconds": tree.self_seconds_by_name(),
+        }
+        if want_trace:
+            payload["trace"] = tree.to_dict()
+        return payload
     except Exception as exc:  # noqa: BLE001 - isolation is the point
         return {
             "error": {

@@ -1,0 +1,116 @@
+"""Prometheus text exposition: rendering and the strict parser."""
+
+import pytest
+
+from repro.obs import LatencyHistogram, parse_prometheus_text, render_prometheus
+from repro.service.metrics import ServiceMetrics
+
+CACHE_STATS = {
+    "memory": {"hits": 3, "misses": 1, "evictions": 0, "expirations": 0,
+               "entries": 2, "bytes": 512, "max_bytes": 1 << 20,
+               "ttl_seconds": 300.0},
+    "disk": {"hits": 1, "misses": 2, "enabled": True},
+}
+
+
+def _snapshot():
+    metrics = ServiceMetrics(jobs=2, clock=lambda: 10.0)
+    metrics.observe_request("sweep", "ok", 0.02)
+    metrics.observe_request("sweep", "ok", 4.0)
+    metrics.observe_request("advise", "error", 0.3)
+    metrics.evaluations["sweep"] += 2
+    metrics.coalesced["sweep"] += 1
+    metrics.cache_served["sweep"]["memory"] += 1
+    metrics.observe_phases("sweep", {"simulate": 1.5, "model_a": 0.5})
+    metrics.observe_phases("sweep", {"simulate": 0.5})
+    return metrics.snapshot(CACHE_STATS)
+
+
+def test_rendered_snapshot_parses_under_the_strict_reader():
+    text = render_prometheus(_snapshot())
+    samples = parse_prometheus_text(text)
+    assert ({"endpoint": "sweep", "status": "ok"}, 2.0) in samples[
+        "repro_requests_total"
+    ]
+    assert ({"endpoint": "sweep"}, 2.0) in samples["repro_evaluations_total"]
+    assert ({"endpoint": "sweep", "phase": "simulate"}, 2.0) in samples[
+        "repro_evaluation_phase_seconds_total"
+    ]
+    assert ({"endpoint": "sweep", "tier": "memory"}, 1.0) in samples[
+        "repro_cache_served_total"
+    ]
+
+
+def test_histogram_series_are_cumulative_and_consistent():
+    text = render_prometheus(_snapshot())
+    samples = parse_prometheus_text(text)
+    buckets = [
+        (labels["le"], value)
+        for labels, value in samples["repro_request_latency_seconds_bucket"]
+        if labels["endpoint"] == "sweep"
+    ]
+    values = [v for _, v in buckets]
+    assert values == sorted(values), "buckets must be cumulative"
+    assert buckets[-1][0] == "+Inf" and buckets[-1][1] == 2.0
+    counts = dict(
+        (labels["endpoint"], value)
+        for labels, value in samples["repro_request_latency_seconds_count"]
+    )
+    assert counts["sweep"] == 2.0
+
+
+def test_label_values_are_escaped():
+    snapshot = _snapshot()
+    snapshot["requests"]['we"ird\nname'] = {"ok": 1}
+    text = render_prometheus(snapshot)
+    samples = parse_prometheus_text(text)
+    assert any(
+        labels.get("endpoint") == 'we\\"ird\\nname'
+        for labels, _ in samples["repro_requests_total"]
+    )
+
+
+def test_parser_rejects_malformed_text():
+    with pytest.raises(ValueError, match="no TYPE"):
+        parse_prometheus_text("untyped_metric 1\n")
+    with pytest.raises(ValueError, match="malformed sample"):
+        parse_prometheus_text("# TYPE m counter\nm{broken 1\n")
+    with pytest.raises(ValueError, match="malformed TYPE"):
+        parse_prometheus_text("# TYPE m wrongkind\n")
+    with pytest.raises(ValueError, match="duplicate TYPE"):
+        parse_prometheus_text("# TYPE m counter\n# TYPE m counter\n")
+
+
+def test_parser_rejects_inconsistent_histograms():
+    bad = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="0.1"} 5\n'
+        'h_bucket{le="+Inf"} 3\n'
+    )
+    with pytest.raises(ValueError, match="non-monotonic"):
+        parse_prometheus_text(bad)
+    missing_inf = "# TYPE h histogram\n" 'h_bucket{le="0.1"} 1\n'
+    with pytest.raises(ValueError, match="missing \\+Inf"):
+        parse_prometheus_text(missing_inf)
+    mismatch = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="+Inf"} 3\n'
+        "h_count 4\n"
+    )
+    with pytest.raises(ValueError, match="_count"):
+        parse_prometheus_text(mismatch)
+
+
+def test_latency_histogram_is_shared_between_obs_and_service():
+    # the satellite move: one histogram class, re-exported by the service
+    from repro.obs import histogram as obs_histogram
+    from repro.service import metrics as service_metrics
+
+    assert service_metrics.LatencyHistogram is obs_histogram.LatencyHistogram
+    hist = LatencyHistogram()
+    hist.observe(0.003)
+    hist.observe(100.0)
+    snap = hist.snapshot()
+    assert snap["count"] == 2
+    assert snap["buckets"]["+Inf"] == 2
+    assert snap["buckets"]["0.005"] == 1

@@ -1,0 +1,62 @@
+"""The --trace console report: indented tree and self-time table."""
+
+from repro.obs import SpanNode, TraceTree, render_report, render_self_times, render_tree
+
+
+def _tree():
+    return TraceTree(
+        roots=[
+            SpanNode(
+                name="measure_matrix",
+                seconds=2.0,
+                count=2,
+                attrs={"jobs": 2},
+                rss_delta_bytes=3 << 20,
+                children=[
+                    SpanNode(name="simulate", seconds=1.2,
+                             counters={"sim.events_queries": 9}),
+                    SpanNode(name="model_a", seconds=0.5,
+                             mem_peak_bytes=2048),
+                ],
+            )
+        ]
+    )
+
+
+def test_render_tree_shows_structure_and_annotations():
+    text = render_tree(_tree())
+    lines = text.splitlines()
+    assert "measure_matrix x2" in lines[0]
+    assert "jobs=2" in lines[0]
+    assert "+rss 3.0MiB" in lines[0]
+    # children are indented under the parent
+    assert lines[1].startswith("  ") and "simulate" in lines[1]
+    assert "sim.events_queries:9" in lines[1]
+    assert "peak 2.0KiB" in lines[2]
+
+
+def test_render_tree_max_depth_prunes():
+    text = render_tree(_tree(), max_depth=0)
+    assert "measure_matrix" in text
+    assert "simulate" not in text
+
+
+def test_self_times_sorted_by_exclusive_time():
+    text = render_self_times(_tree())
+    rows = text.splitlines()[2:]
+    names = [row.split()[0] for row in rows]
+    # self seconds: simulate 1.2, model_a 0.5, measure_matrix 2.0-1.7=0.3
+    assert names == ["simulate", "model_a", "measure_matrix"]
+
+
+def test_self_times_against_wall_clock_reports_coverage():
+    text = render_self_times(_tree(), wall_seconds=2.5)
+    assert "(spans cover)" in text
+    # all 2.0s of spans over 2.5s wall -> 80.0%
+    assert "80.0%" in text.splitlines()[-1]
+
+
+def test_render_report_combines_both_views():
+    text = render_report(_tree(), wall_seconds=2.5)
+    assert text.startswith("span tree:")
+    assert "self time by span:" in text

@@ -1,0 +1,120 @@
+"""Trace-payload validation: the structural schema and its CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import TRACE_SCHEMA_ID, Tracer, validate_trace_payload, validate_tree
+from repro.obs.schema import main as schema_main
+
+
+def _payload(tree_dict=None, **overrides):
+    payload = {
+        "schema": TRACE_SCHEMA_ID,
+        "wall_seconds": 1.5,
+        "tree": tree_dict
+        if tree_dict is not None
+        else {
+            "roots": [
+                {
+                    "name": "root",
+                    "seconds": 1.0,
+                    "children": [{"name": "leaf", "seconds": 0.4}],
+                }
+            ],
+            "counters": {"queries": 3},
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_valid_payload_has_no_problems():
+    assert validate_trace_payload(_payload()) == []
+
+
+def test_live_tracer_output_validates():
+    tracer = Tracer(memory="rss")
+    with tracer.span("outer", matrix="m1"):
+        with tracer.span("inner"):
+            pass
+    tracer.count("loose", 2)
+    assert validate_tree(tracer.tree().to_dict()) == []
+
+
+@pytest.mark.parametrize(
+    "payload,needle",
+    [
+        ([], "must be a JSON object"),
+        (_payload(schema="other/v9"), "schema"),
+        (_payload(wall_seconds=-1), "wall_seconds"),
+        ({"schema": TRACE_SCHEMA_ID}, "tree: missing"),
+        (_payload(tree_dict={"roots": 3}), "roots"),
+        (_payload(tree_dict={"roots": [{"name": ""}]}), "name"),
+        (_payload(tree_dict={"roots": [{"name": "a", "seconds": -0.1}]}), "seconds"),
+        (_payload(tree_dict={"roots": [{"name": "a", "count": 0}]}), "count"),
+        (_payload(tree_dict={"roots": [{"name": "a", "attrs": {"k": [1]}}]}), "attrs"),
+        (
+            _payload(tree_dict={"roots": [{"name": "a", "counters": {"k": "x"}}]}),
+            "counters",
+        ),
+        (
+            _payload(tree_dict={"roots": [{"name": "a", "mem_peak_bytes": -4}]}),
+            "mem_peak_bytes",
+        ),
+    ],
+)
+def test_invalid_payloads_are_reported(payload, needle):
+    problems = validate_trace_payload(payload)
+    assert problems, f"expected a problem mentioning {needle!r}"
+    assert any(needle in p for p in problems), problems
+
+
+def test_children_exceeding_parent_rejected_for_unaggregated_spans():
+    tree = {
+        "roots": [
+            {
+                "name": "root",
+                "seconds": 1.0,
+                "children": [
+                    {"name": "a", "seconds": 0.8},
+                    {"name": "b", "seconds": 0.8},
+                ],
+            }
+        ]
+    }
+    assert any("children cover" in p for p in validate_tree(tree))
+
+
+def test_children_may_exceed_parent_after_aggregation():
+    # a merged parallel run: 2 workers' CPU time under one wall-clock span
+    tree = {
+        "roots": [
+            {
+                "name": "run_collection",
+                "seconds": 1.0,
+                "children": [{"name": "measure_matrix", "seconds": 1.8, "count": 2}],
+            }
+        ]
+    }
+    assert validate_tree(tree) == []
+
+
+def test_cli_accepts_a_valid_trace(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(_payload()))
+    assert schema_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and TRACE_SCHEMA_ID in out
+
+
+def test_cli_rejects_a_broken_trace(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(_payload(schema="nope")))
+    assert schema_main([str(path)]) == 1
+    assert "invalid" in capsys.readouterr().err
+
+
+def test_cli_rejects_unreadable_file(tmp_path, capsys):
+    assert schema_main([str(tmp_path / "missing.json")]) == 1
+    assert "cannot read" in capsys.readouterr().err

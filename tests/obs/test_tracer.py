@@ -1,0 +1,174 @@
+"""Tracer semantics: nesting, exception safety, the disabled fast path."""
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    count,
+    enabled,
+    get_tracer,
+    install,
+    installed,
+    span,
+)
+
+
+def test_span_nesting_builds_a_tree():
+    tracer = Tracer()
+    with tracer.span("outer", matrix="m1"):
+        with tracer.span("inner_a"):
+            pass
+        with tracer.span("inner_b"):
+            with tracer.span("leaf"):
+                pass
+    tree = tracer.tree()
+    assert [r.name for r in tree.roots] == ["outer"]
+    outer = tree.roots[0]
+    assert outer.attrs == {"matrix": "m1"}
+    assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+    assert [c.name for c in outer.children[1].children] == ["leaf"]
+    # inclusive times nest: the parent covers its children
+    assert outer.seconds >= sum(c.seconds for c in outer.children)
+
+
+def test_sibling_spans_stay_siblings():
+    tracer = Tracer()
+    with tracer.span("first"):
+        pass
+    with tracer.span("second"):
+        pass
+    assert [r.name for r in tracer.tree().roots] == ["first", "second"]
+
+
+def test_span_records_seconds_and_annotations():
+    tracer = Tracer()
+    with tracer.span("work") as sp:
+        sp.annotate(rows=7)
+        sp.add("queries", 3)
+        sp.add("queries")
+    assert sp.seconds > 0
+    node = tracer.tree().roots[0]
+    assert node.attrs == {"rows": 7}
+    assert node.counters == {"queries": 4}
+
+
+def test_exception_safety_records_span_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(ValueError, match="boom"):
+        with tracer.span("outer"):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+    tree = tracer.tree()
+    assert [r.name for r in tree.roots] == ["outer"]
+    failing = tree.roots[0].children[0]
+    assert failing.name == "failing"
+    assert failing.attrs["error"] == "ValueError"
+    # the stack unwound: a new span is a root's child again, not orphaned
+    with tracer.span("after"):
+        pass
+    assert [r.name for r in tracer.tree().roots] == ["outer", "after"]
+
+
+def test_counter_outside_any_span_lands_on_the_tracer():
+    tracer = Tracer()
+    tracer.count("events", 2)
+    tracer.count("events")
+    assert tracer.tree().counters == {"events": 3}
+
+
+def test_disabled_ambient_tracing_returns_the_shared_null_span():
+    assert get_tracer() is None
+    # zero-allocation fast path: the very same object every call
+    assert span("anything", matrix="m") is NULL_SPAN
+    assert span("other") is span("different")
+    count("ignored")  # must be a no-op, not an error
+    with span("nested") as sp:
+        sp.add("n")
+        sp.annotate(x=1)
+    assert sp.seconds == 0.0
+    assert sp.rss_delta_bytes == 0
+    assert sp.mem_peak_bytes == 0
+    assert not enabled()
+
+
+def test_install_and_installed_manage_the_ambient_tracer():
+    tracer = Tracer()
+    previous = install(tracer)
+    try:
+        assert previous is None
+        assert enabled()
+        with span("ambient"):
+            count("hits")
+    finally:
+        install(previous)
+    assert get_tracer() is None
+    node = tracer.tree().roots[0]
+    assert node.name == "ambient"
+    assert node.counters == {"hits": 1}
+
+    with installed(Tracer()) as inner:
+        assert get_tracer() is inner
+    assert get_tracer() is None
+
+
+def test_installed_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with installed(Tracer()):
+            raise RuntimeError
+    assert get_tracer() is None
+
+
+def test_rss_memory_mode_records_nonnegative_deltas():
+    tracer = Tracer(memory="rss")
+    with tracer.span("alloc") as sp:
+        data = bytearray(8 << 20)  # 8 MiB should move the high-water mark
+        data[-1] = 1
+    assert sp.rss_delta_bytes >= 0
+    assert tracer.tree().roots[0].rss_delta_bytes == sp.rss_delta_bytes
+
+
+def test_tracemalloc_mode_segments_peaks_per_span():
+    with Tracer(memory="tracemalloc") as tracer:
+        with tracer.span("parent"):
+            with tracer.span("big"):
+                blob = bytearray(4 << 20)
+            del blob
+            with tracer.span("small"):
+                tiny = bytearray(1024)
+                del tiny
+    parent, = tracer.tree().roots
+    big, small = parent.children
+    assert big.mem_peak_bytes >= 4 << 20
+    assert small.mem_peak_bytes < 4 << 20
+    # a parent's peak is the maximum over its extent, so it covers the child
+    assert parent.mem_peak_bytes >= big.mem_peak_bytes
+
+
+def test_tracemalloc_ownership_is_released_on_close():
+    import tracemalloc
+
+    assert not tracemalloc.is_tracing()
+    tracer = Tracer(memory="tracemalloc")
+    assert tracemalloc.is_tracing()
+    tracer.close()
+    assert not tracemalloc.is_tracing()
+
+
+def test_invalid_memory_mode_rejected():
+    with pytest.raises(ValueError, match="memory"):
+        Tracer(memory="heap")
+
+
+def test_adopt_grafts_a_foreign_tree_under_the_open_span():
+    worker = Tracer()
+    with worker.span("worker_task"):
+        pass
+    worker.count("worker_events", 5)
+
+    parent = Tracer()
+    with parent.span("run"):
+        parent.adopt(worker.tree())
+    run, = parent.tree().roots
+    assert [c.name for c in run.children] == ["worker_task"]
+    assert parent.tree().counters == {"worker_events": 5}

@@ -1,0 +1,99 @@
+"""TraceTree serialization, cross-process merge, and determinism."""
+
+import json
+
+from repro.obs import SpanNode, TraceTree, Tracer, self_seconds
+
+
+def _worker_tree(matrix, seconds, queries):
+    """A tree shaped like one fork-pool worker's measurement."""
+    return TraceTree(
+        roots=[
+            SpanNode(
+                name="measure_matrix",
+                seconds=seconds,
+                attrs={"matrix": matrix},
+                children=[
+                    SpanNode(name="classify", seconds=seconds * 0.1),
+                    SpanNode(
+                        name="simulate",
+                        seconds=seconds * 0.7,
+                        counters={"sim.events_queries": queries},
+                    ),
+                ],
+            )
+        ],
+        counters={"worker_events": 1},
+    )
+
+
+def test_round_trip_preserves_every_field():
+    tree = _worker_tree("m1", 2.0, 5)
+    tree.roots[0].mem_peak_bytes = 123
+    tree.roots[0].rss_delta_bytes = 456
+    restored = TraceTree.from_dict(json.loads(json.dumps(tree.to_dict())))
+    assert restored.to_dict() == tree.to_dict()
+
+
+def test_from_dict_tolerates_missing_optional_fields():
+    node = SpanNode.from_dict({"name": "bare"})
+    assert node.seconds == 0.0
+    assert node.count == 1
+    assert node.children == []
+    tree = TraceTree.from_dict({})
+    assert tree.roots == [] and tree.counters == {}
+
+
+def test_merge_concatenates_and_sums_counters():
+    merged = TraceTree.merge([_worker_tree("m1", 1.0, 2), _worker_tree("m2", 3.0, 4)])
+    assert [r.attrs["matrix"] for r in merged.roots] == ["m1", "m2"]
+    assert merged.counters == {"worker_events": 2}
+
+
+def test_merged_aggregates_same_named_spans():
+    tree = TraceTree.merge([_worker_tree("m1", 1.0, 2), _worker_tree("m2", 3.0, 4)])
+    compact = tree.merged()
+    root, = compact.roots
+    assert root.name == "measure_matrix"
+    assert root.count == 2
+    assert root.seconds == 4.0
+    assert root.attrs == {}  # conflicting matrix attrs do not survive
+    by_name = {c.name: c for c in root.children}
+    assert by_name["simulate"].counters == {"sim.events_queries": 6}
+
+
+def test_merged_is_deterministic_under_arrival_order():
+    trees = [_worker_tree(f"m{i}", float(i + 1), i) for i in range(4)]
+    forward = TraceTree.merge(trees).merged().to_dict()
+    backward = TraceTree.merge(list(reversed(trees))).merged().to_dict()
+    assert json.dumps(forward, sort_keys=True) == json.dumps(backward, sort_keys=True)
+
+
+def test_self_seconds_excludes_children():
+    node = SpanNode(
+        name="outer",
+        seconds=2.0,
+        children=[SpanNode(name="a", seconds=0.5), SpanNode(name="b", seconds=0.7)],
+    )
+    assert self_seconds(node) == 2.0 - 0.5 - 0.7
+    assert self_seconds(SpanNode(name="tight", seconds=0.1)) == 0.1
+
+
+def test_self_seconds_by_name_partitions_a_real_trace():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("phase_a"):
+            pass
+        with tracer.span("phase_b"):
+            pass
+    tree = tracer.tree()
+    by_name = tree.self_seconds_by_name()
+    assert set(by_name) == {"root", "phase_a", "phase_b"}
+    # self times partition the root's inclusive time (up to clamping slack)
+    assert sum(by_name.values()) <= tree.total_seconds() + 1e-9
+
+
+def test_find_walks_depth_first():
+    tree = _worker_tree("m1", 1.0, 1)
+    assert [n.name for n in tree.find("simulate")] == ["simulate"]
+    assert tree.find("missing") == []

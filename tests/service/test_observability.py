@@ -1,0 +1,75 @@
+"""Service observability: the trace flag and Prometheus metrics exposition."""
+
+from repro.obs import parse_prometheus_text, validate_tree
+
+from .conftest import SETUP
+
+
+def test_trace_flag_round_trips_a_span_tree(client):
+    envelope = client.predict(
+        name="banded_001", collection="tiny", trace=True, **SETUP
+    )
+    assert envelope["ok"]
+    if envelope["cached"] is None:
+        tree = envelope["trace"]
+        assert tree is not None
+        assert validate_tree(tree) == []
+        evaluate, = [r for r in tree["roots"] if r["name"] == "evaluate"]
+        assert evaluate["attrs"]["endpoint"] == "predict"
+        # the worker's model spans hang under the evaluate root
+        names = {c["name"] for c in evaluate["children"]}
+        assert "method_b.trace_build" in names
+    else:
+        # served from cache: trace is best-effort and explicitly null
+        assert envelope["trace"] is None
+
+
+def test_cached_repeat_returns_null_trace(client):
+    first = client.classify(name="banded_001", collection="tiny",
+                            trace=True, **SETUP)
+    second = client.classify(name="banded_001", collection="tiny",
+                             trace=True, **SETUP)
+    assert second["cached"] in ("memory", "disk", "coalesced")
+    assert second["trace"] is None
+    assert first["key"] == second["key"], "trace flag must not change the key"
+
+
+def test_untraced_requests_have_no_trace_field(client):
+    envelope = client.classify(name="random_uniform_002", collection="tiny", **SETUP)
+    assert envelope["ok"]
+    assert "trace" not in envelope
+
+
+def test_metrics_report_evaluation_phase_seconds(client):
+    client.predict(name="diagonal_plus_random_003", collection="tiny", **SETUP)
+    snapshot = client.metrics()
+    phases = snapshot["evaluation_phase_seconds"]
+    assert "predict" in phases
+    assert phases["predict"]["evaluate"] >= 0.0
+
+
+def test_prometheus_exposition_parses_and_matches_json(client):
+    client.classify(name="banded_001", collection="tiny", **SETUP)
+    text = client.metrics(format="prometheus")
+    samples = parse_prometheus_text(text)  # raises on malformed exposition
+    assert "repro_uptime_seconds" in samples
+    assert "repro_request_latency_seconds_bucket" in samples
+    snapshot = client.metrics()
+    classify_ok = sum(
+        value
+        for labels, value in samples["repro_requests_total"]
+        if labels == {"endpoint": "classify", "status": "ok"}
+    )
+    assert classify_ok == snapshot["requests"]["classify"]["ok"]
+
+
+def test_unknown_metrics_format_is_a_client_error(client):
+    from repro.service import ServiceError
+
+    try:
+        client.metrics(format="xml")
+    except ServiceError as exc:
+        assert exc.status == 400
+        assert "xml" in str(exc)
+    else:
+        raise AssertionError("expected a 400 for an unknown format")
