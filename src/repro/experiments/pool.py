@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing as mp
+import signal
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -41,6 +42,7 @@ from ..matrices.collection import MatrixSpec
 from ..obs.tracer import Tracer, get_tracer, installed
 from ..obs.tracer import span as obs_span
 from ..obs.tree import TraceTree
+from ..resilience import faults
 from .common import (
     ExperimentSetup,
     MatrixRecord,
@@ -49,6 +51,23 @@ from .common import (
     measure_matrix,
     store_record,
 )
+
+
+def _worker_signal_reset() -> None:
+    """Detach a forked worker from the parent's signal plumbing.
+
+    A forked worker inherits the parent's Python-level signal handlers
+    *and* its ``signal.set_wakeup_fd`` pipe.  When the advisor daemon's
+    asyncio loop owns SIGINT/SIGTERM, a SIGTERM delivered to a worker
+    (e.g. executor teardown after a sibling died) would run the inherited
+    handler, write to the *shared* wakeup pipe, and trigger the parent's
+    own shutdown callback — cleanly stopping the daemon because one of
+    its children was told to exit.  Restore default dispositions and drop
+    the wakeup fd so signals aimed at a worker stay in that worker.
+    """
+    signal.set_wakeup_fd(-1)
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, signal.SIG_DFL)
 
 
 def fork_executor(jobs: int) -> ProcessPoolExecutor:
@@ -61,7 +80,9 @@ def fork_executor(jobs: int) -> ProcessPoolExecutor:
     only supports picklable work.
     """
     if "fork" in mp.get_all_start_methods():
-        return ProcessPoolExecutor(max_workers=jobs, mp_context=mp.get_context("fork"))
+        return ProcessPoolExecutor(max_workers=jobs,
+                                   mp_context=mp.get_context("fork"),
+                                   initializer=_worker_signal_reset)
     return ProcessPoolExecutor(max_workers=jobs)
 
 # Work published to forked workers (MatrixSpec closures cannot be pickled;
@@ -119,12 +140,21 @@ def _measure_chunk(indices: list[int]) -> list[dict]:
     tracer and its serialized span tree travels back in the payload; the
     parent adopts the trees in spec order, so the assembled run tree is
     independent of worker scheduling.
+
+    The ``pool.worker`` fault site fires once per matrix against the
+    ambient plan inherited across ``fork`` (see
+    :mod:`repro.resilience.faults`): a ``crash`` dies like a segfault and
+    surfaces as pool breakage, a ``delay`` runs into the parent's
+    per-matrix timeout, and an ``error`` lands in the structured
+    :class:`SweepFailure` path — all three already-handled failure modes,
+    now reachable deterministically.
     """
     payloads: list[dict] = []
     for index in indices:
         spec = _WORK_SPECS[index]
         started = time.perf_counter()
         try:
+            faults.perform(faults.fire("pool.worker"))
             if _WORK_TRACE:
                 with installed(Tracer(memory="rss")) as tracer:
                     record = _measure_one(spec)

@@ -88,6 +88,43 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         for tier, count in sorted(tiers.items()):
             w.sample(name, count, endpoint=endpoint, tier=tier)
 
+    name = w.family("degraded_total", "counter",
+                    "Requests answered from the analytic degraded path.")
+    for endpoint, reasons in sorted(snapshot.get("degraded", {}).items()):
+        for reason, count in sorted(reasons.items()):
+            w.sample(name, count, endpoint=endpoint, reason=reason)
+
+    name = w.family("faults_injected_total", "counter",
+                    "Injected faults fired, by site and kind.")
+    for site_kind, count in sorted(snapshot.get("faults_injected", {}).items()):
+        site, _, kind = site_kind.rpartition(":")
+        w.sample(name, count, site=site, kind=kind)
+
+    breakers = snapshot.get("breakers", {})
+    if breakers:
+        from ..resilience.breaker import STATE_VALUES
+
+        name = w.family("breaker_state", "gauge",
+                        "Circuit-breaker state per endpoint "
+                        "(0=closed, 1=open, 2=half_open).")
+        for endpoint, breaker in sorted(breakers.items()):
+            w.sample(name, STATE_VALUES.get(breaker.get("state"), 0),
+                     endpoint=endpoint)
+        name = w.family("breaker_events_total", "counter",
+                        "Circuit-breaker accounting events per endpoint.")
+        for endpoint, breaker in sorted(breakers.items()):
+            for event in ("successes", "failures", "rejections"):
+                w.sample(name, breaker.get(event, 0),
+                         endpoint=endpoint, event=event)
+        name = w.family("breaker_transitions_total", "counter",
+                        "Circuit-breaker state transitions per endpoint.")
+        for endpoint, breaker in sorted(breakers.items()):
+            for transition, count in sorted(
+                breaker.get("transitions", {}).items()
+            ):
+                w.sample(name, count, endpoint=endpoint,
+                         transition=transition)
+
     name = w.family("evaluation_phase_seconds_total", "counter",
                     "Cumulative model-evaluation self time by phase span.")
     for endpoint, phases in sorted(
@@ -116,7 +153,7 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     for event in ("hits", "misses", "evictions", "expirations"):
         w.sample(name, memory.get(event, 0), tier="memory", event=event)
     disk = cache.get("disk", {})
-    for event in ("hits", "misses"):
+    for event in ("hits", "misses", "corrupt"):
         w.sample(name, disk.get(event, 0), tier="disk", event=event)
 
     queue = snapshot.get("queue", {})

@@ -1,0 +1,141 @@
+"""A per-endpoint circuit breaker (closed / open / half-open).
+
+The daemon keeps one breaker per model endpoint in front of the process
+pool.  Semantics:
+
+* **closed** — evaluations flow; ``failure_threshold`` *consecutive*
+  server-side failures (worker crash, timeout, 5xx) trip it open.
+  Client errors (bad requests) never count.
+* **open** — :meth:`allow` refuses for ``recovery_seconds``; the daemon
+  answers from the degraded path (or sheds load) without touching the
+  pool, which is what lets a crashing worker set heal instead of being
+  hammered.
+* **half-open** — after the recovery window, up to
+  ``half_open_max_probes`` trial evaluations are let through; one
+  success closes the breaker, one failure re-opens it (and restarts the
+  recovery clock).
+
+The clock is injected so state transitions are deterministic under test;
+every transition is counted (``closed->open``, ``open->half_open``,
+``half_open->closed``, ``half_open->open``) and exported via
+``/metrics`` and the Prometheus exposition.
+
+Single-owner by design: the daemon drives each breaker from the asyncio
+event loop, so there is no internal locking (same stance as
+:class:`repro.obs.Tracer`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding of the state for the Prometheus exposition.
+STATE_VALUES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with counted transitions."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        half_open_max_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if recovery_seconds <= 0:
+            raise ValueError("recovery_seconds must be positive")
+        if half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.half_open_max_probes = half_open_max_probes
+        self._clock = clock
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.consecutive_failures = 0
+        self.failures = 0
+        self.successes = 0
+        self.rejections = 0
+        self.transitions: dict[str, int] = {}
+
+    # -- state ---------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        key = f"{self._state}->{state}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        self._state = state
+        if state == OPEN:
+            self._opened_at = self._clock()
+        if state == HALF_OPEN:
+            self._probes_in_flight = 0
+        if state == CLOSED:
+            self.consecutive_failures = 0
+
+    @property
+    def state(self) -> str:
+        """The current state; lazily moves open -> half-open on expiry."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_seconds
+        ):
+            self._transition(HALF_OPEN)
+        return self._state
+
+    def allow(self) -> bool:
+        """May one evaluation proceed right now?
+
+        In half-open state an affirmative answer *claims* a probe slot;
+        callers must follow up with :meth:`record_success` or
+        :meth:`record_failure` for the state machine to advance.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and self._probes_in_flight < self.half_open_max_probes:
+            self._probes_in_flight += 1
+            return True
+        self.rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self.consecutive_failures = 0
+        if self._state == HALF_OPEN:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self._state == HALF_OPEN:
+            self._transition(OPEN)
+        elif self._state == CLOSED and (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(OPEN)
+
+    def retry_after_seconds(self) -> float:
+        """Seconds until the recovery window reopens (0 when not open)."""
+        if self.state != OPEN:
+            return 0.0
+        return max(
+            0.0, self.recovery_seconds - (self._clock() - self._opened_at)
+        )
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` view of this breaker."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failures": self.failures,
+            "successes": self.successes,
+            "rejections": self.rejections,
+            "transitions": dict(sorted(self.transitions.items())),
+        }

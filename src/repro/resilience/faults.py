@@ -1,0 +1,231 @@
+"""Deterministic fault injection at named sites (stdlib-only).
+
+A :class:`FaultPlan` is a seeded schedule of faults to fire at *sites* —
+named choke points the service and the sweep pool consult on every pass::
+
+    worker.evaluate   the service pool worker, before dispatching a task
+    cache.disk_read   the daemon's disk-tier read (corruption)
+    pool.submit       the daemon's pool admission (saturation)
+    pool.worker       the sweep engine's per-matrix worker body
+
+Like :class:`repro.obs.Tracer`, a plan is *ambient and process-local*:
+:func:`install` (or the :func:`installed` context manager) makes it
+visible to :func:`fire`, and the instrumented sites cost one module
+lookup when no plan is installed.  Ambient state is inherited across
+``fork``, which is how a plan installed before a pooled sweep reaches the
+sweep workers; the advisor daemon instead ships the plan *inside* the
+task (the ``"faults"`` request flag) and the pool worker installs it for
+the duration of one evaluation.
+
+Determinism: each rule owns a :class:`random.Random` seeded from
+``"<plan seed>:<rule index>"`` plus hit/fire counters, so the same plan
+replayed over the same sequence of site hits fires identically.  Note
+that counters are per *process* — a plan inherited by N forked workers
+fires independently in each.
+
+The JSON form (``repro.resilience.plan/v1``) is validated by
+:mod:`repro.resilience.schema` and by the daemon before it accepts a
+``"faults"`` request flag.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Fault kinds a rule may request.
+KINDS = ("crash", "delay", "error", "corrupt", "saturate")
+
+#: Sites wired into the codebase (plans may name others; they never fire).
+KNOWN_SITES = ("worker.evaluate", "cache.disk_read", "pool.submit", "pool.worker")
+
+PLAN_SCHEMA_ID = "repro.resilience.plan/v1"
+
+
+class FaultInjected(RuntimeError):
+    """The exception raised by an ``error``-kind fault."""
+
+
+@dataclass
+class FaultRule:
+    """One scheduled fault: where, what, and when it fires.
+
+    ``after`` site hits are let through untouched before the rule becomes
+    eligible; an eligible hit fires with ``probability`` (1.0 = always,
+    drawn from the rule's seeded rng) until ``max_fires`` is exhausted
+    (``None`` = unlimited).
+    """
+
+    site: str
+    kind: str
+    delay_seconds: float = 0.0
+    probability: float = 1.0
+    after: int = 0
+    max_fires: int | None = None
+    hits: int = field(default=0, compare=False)
+    fires: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if not self.site:
+            raise ValueError("site must be a non-empty string")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.after < 0:
+            raise ValueError("after must be non-negative")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError("max_fires must be positive (or None)")
+
+    def to_dict(self) -> dict:
+        payload: dict = {"site": self.site, "kind": self.kind}
+        if self.delay_seconds:
+            payload["delay_seconds"] = self.delay_seconds
+        if self.probability != 1.0:
+            payload["probability"] = self.probability
+        if self.after:
+            payload["after"] = self.after
+        if self.max_fires is not None:
+            payload["max_fires"] = self.max_fires
+        return payload
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of faults over named sites."""
+
+    def __init__(self, rules: list[FaultRule], seed: int = 0) -> None:
+        self.rules = list(rules)
+        self.seed = int(seed)
+        # string seeds hash via sha512 inside random.Random — deterministic
+        # across processes (unlike tuple/object seeds, which are rejected)
+        self._rngs = [random.Random(f"{self.seed}:{i}")
+                      for i in range(len(self.rules))]
+        self._lock = threading.Lock()
+
+    def fire(self, site: str) -> FaultRule | None:
+        """Record a hit at ``site``; the first rule that fires, or None."""
+        with self._lock:
+            for rule, rng in zip(self.rules, self._rngs):
+                if rule.site != site:
+                    continue
+                rule.hits += 1
+                if rule.hits <= rule.after:
+                    continue
+                if rule.max_fires is not None and rule.fires >= rule.max_fires:
+                    continue
+                if rule.probability < 1.0 and rng.random() >= rule.probability:
+                    continue
+                rule.fires += 1
+                return rule
+        return None
+
+    def fired_counts(self) -> dict[str, int]:
+        """``{"site:kind": fires}`` for every rule that fired (metrics)."""
+        counts: dict[str, int] = {}
+        with self._lock:
+            for rule in self.rules:
+                if rule.fires:
+                    key = f"{rule.site}:{rule.kind}"
+                    counts[key] = counts.get(key, 0) + rule.fires
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PLAN_SCHEMA_ID,
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Build a plan from its JSON form (validate with the schema first
+        for friendly errors; this constructor raises ``ValueError``)."""
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan must be a JSON object")
+        schema = payload.get("schema", PLAN_SCHEMA_ID)
+        if schema != PLAN_SCHEMA_ID:
+            raise ValueError(f"expected schema {PLAN_SCHEMA_ID!r}, got {schema!r}")
+        rules = []
+        for entry in payload.get("rules", []):
+            if not isinstance(entry, dict):
+                raise ValueError("each rule must be an object")
+            rules.append(FaultRule(
+                site=str(entry.get("site", "")),
+                kind=str(entry.get("kind", "")),
+                delay_seconds=float(entry.get("delay_seconds", 0.0)),
+                probability=float(entry.get("probability", 1.0)),
+                after=int(entry.get("after", 0)),
+                max_fires=(None if entry.get("max_fires") is None
+                           else int(entry["max_fires"])),
+            ))
+        return cls(rules, seed=int(payload.get("seed", 0)))
+
+
+# ----------------------------------------------------------------------
+# process-local ambient plan (mirrors repro.obs.tracer's install pattern)
+# ----------------------------------------------------------------------
+
+_ambient: FaultPlan | None = None
+
+
+def get_plan() -> FaultPlan | None:
+    """The installed ambient plan, or None when fault injection is off."""
+    return _ambient
+
+
+def install(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install (or, with None, remove) the ambient plan; returns the old one."""
+    global _ambient
+    previous = _ambient
+    _ambient = plan
+    return previous
+
+
+@contextlib.contextmanager
+def installed(plan: FaultPlan | None):
+    """Ambient-install a plan for the duration of a block."""
+    previous = install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+def fire(site: str) -> FaultRule | None:
+    """A hit at ``site`` on the ambient plan; None when none is installed."""
+    plan = _ambient
+    if plan is None:
+        return None
+    return plan.fire(site)
+
+
+#: Exit code of an injected worker crash (visible in pool diagnostics).
+CRASH_EXIT_CODE = 70  # EX_SOFTWARE
+
+
+def perform(rule: FaultRule | None, sleep: Callable[[float], None] = time.sleep) -> None:
+    """Execute a fired rule at a code site.
+
+    ``delay`` sleeps and returns (the site then proceeds normally, so a
+    parent-side timeout can trip); ``crash`` kills the process the way a
+    segfault would (no cleanup, no exception); every other kind raises
+    :class:`FaultInjected`, which fault-isolated callers turn into a
+    structured error.  Sites with richer semantics (``corrupt`` reads,
+    ``saturate`` admission) special-case those kinds *before* calling
+    this.  A ``None`` rule (nothing fired) is a no-op.
+    """
+    if rule is None:
+        return
+    if rule.kind == "delay":
+        sleep(rule.delay_seconds)
+        return
+    if rule.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    raise FaultInjected(f"injected {rule.kind!r} fault at site {rule.site!r}")

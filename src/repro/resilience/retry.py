@@ -1,0 +1,128 @@
+"""Capped exponential backoff with full jitter, and a retry driver.
+
+The schedule is the standard AWS-architecture-blog shape::
+
+    raw(attempt)  = min(cap, base * multiplier ** (attempt - 1))
+    delay(attempt) = uniform(0, raw)            # jitter="full" (default)
+                   | raw/2 + uniform(0, raw/2)  # jitter="equal"
+                   | raw                        # jitter="none"
+
+Everything nondeterministic is injected — the rng, the clock and the
+sleep function — so tests replay exact schedules with a fake clock and a
+seeded rng, and :class:`~repro.service.client.ServiceClient` retries are
+reproducible under test.
+
+:func:`call_with_retries` drives a callable through the schedule while
+honouring a *deadline budget*: once the budget would be exceeded (either
+already spent, or by the next sleep), the last error is raised instead of
+sleeping — a caller with 2 s left never waits 4 s for a retry.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+_JITTER_MODES = ("full", "equal", "none")
+
+
+class BackoffPolicy:
+    """Deterministic-under-seed capped exponential backoff schedule."""
+
+    def __init__(
+        self,
+        base_seconds: float = 0.05,
+        cap_seconds: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: str = "full",
+        rng: random.Random | None = None,
+    ) -> None:
+        if base_seconds <= 0:
+            raise ValueError("base_seconds must be positive")
+        if cap_seconds < base_seconds:
+            raise ValueError("cap_seconds must be >= base_seconds")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if jitter not in _JITTER_MODES:
+            raise ValueError(f"jitter must be one of {_JITTER_MODES}, got {jitter!r}")
+        self.base_seconds = base_seconds
+        self.cap_seconds = cap_seconds
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.rng = rng if rng is not None else random.Random()
+
+    def raw_delay(self, attempt: int) -> float:
+        """The un-jittered (capped) delay before retry number ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        return min(
+            self.cap_seconds,
+            self.base_seconds * self.multiplier ** (attempt - 1),
+        )
+
+    def delay(self, attempt: int) -> float:
+        """The jittered delay before retry number ``attempt`` (1-based)."""
+        raw = self.raw_delay(attempt)
+        if self.jitter == "none":
+            return raw
+        if self.jitter == "equal":
+            return raw / 2.0 + self.rng.uniform(0.0, raw / 2.0)
+        return self.rng.uniform(0.0, raw)
+
+
+class DeadlineExceeded(Exception):
+    """Retrying stopped because the deadline budget ran out.
+
+    Raised ``from`` the last underlying error, which also rides in
+    :attr:`last_error` for callers that need the terminal cause.
+    """
+
+    def __init__(self, message: str, last_error: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+def call_with_retries(
+    fn: Callable[[], object],
+    retries: int = 0,
+    backoff: BackoffPolicy | None = None,
+    retryable: Callable[[BaseException], bool] | None = None,
+    deadline_seconds: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Call ``fn`` with up to ``retries`` retries under a deadline budget.
+
+    ``retryable(exc)`` decides which failures are worth another attempt
+    (default: any ``Exception``); anything else propagates immediately.
+    With a ``deadline_seconds`` budget, a retry whose backoff sleep would
+    overrun the budget is abandoned: the last error is re-raised wrapped
+    in :class:`DeadlineExceeded` so callers can tell "gave up on time"
+    from "gave up on attempts".
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if backoff is None:
+        backoff = BackoffPolicy()
+    started = clock()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - filtered by `retryable`
+            if retryable is not None and not retryable(exc):
+                raise
+            attempt += 1
+            if attempt > retries:
+                raise
+            pause = backoff.delay(attempt)
+            if deadline_seconds is not None:
+                remaining = deadline_seconds - (clock() - started)
+                if remaining <= 0 or pause > remaining:
+                    raise DeadlineExceeded(
+                        f"retry deadline of {deadline_seconds:.3g}s exhausted "
+                        f"after {attempt} attempt(s)",
+                        last_error=exc,
+                    ) from exc
+            sleep(pause)

@@ -1,0 +1,134 @@
+"""Structural validation of fault-plan payloads (stdlib-only).
+
+A fault plan's JSON form (``repro.resilience.plan/v1``) looks like::
+
+    {"schema": "repro.resilience.plan/v1",
+     "seed": 42,
+     "rules": [{"site": "worker.evaluate", "kind": "crash", "max_fires": 1},
+               {"site": "cache.disk_read", "kind": "corrupt"},
+               {"site": "worker.evaluate", "kind": "delay",
+                "delay_seconds": 0.5, "probability": 0.25, "after": 2}]}
+
+:func:`validate_plan` checks that shape (a hand-rolled JSON schema — the
+container has no ``jsonschema``, mirroring :mod:`repro.obs.schema`) and
+returns a list of human-readable problems, empty when the payload is
+valid.  The daemon runs it on every ``"faults"`` request flag, and the CI
+chaos-smoke job runs it as a CLI::
+
+    python -m repro.resilience.schema plan.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .faults import KINDS, KNOWN_SITES, PLAN_SCHEMA_ID
+
+_RULE_FIELDS = frozenset(
+    {"site", "kind", "delay_seconds", "probability", "after", "max_fires"}
+)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_rule(rule: object, path: str, problems: list[str]) -> None:
+    if not isinstance(rule, dict):
+        problems.append(f"{path}: rule must be an object, got {type(rule).__name__}")
+        return
+    unknown = set(rule) - _RULE_FIELDS
+    if unknown:
+        problems.append(f"{path}: unknown fields {sorted(unknown)}")
+    site = rule.get("site")
+    if not isinstance(site, str) or not site:
+        problems.append(f"{path}.site: must be a non-empty string")
+    elif site not in KNOWN_SITES:
+        # not an error: unknown sites validate but never fire
+        problems.append(
+            f"{path}.site: warning: {site!r} is not a wired site "
+            f"(known: {', '.join(KNOWN_SITES)})"
+        )
+    kind = rule.get("kind")
+    if kind not in KINDS:
+        problems.append(f"{path}.kind: must be one of {', '.join(KINDS)}")
+    delay = rule.get("delay_seconds", 0.0)
+    if not _is_number(delay) or delay < 0:
+        problems.append(f"{path}.delay_seconds: must be a non-negative number")
+    elif kind == "delay" and delay == 0:
+        problems.append(f"{path}.delay_seconds: a delay rule needs a positive delay")
+    probability = rule.get("probability", 1.0)
+    if not _is_number(probability) or not 0.0 <= probability <= 1.0:
+        problems.append(f"{path}.probability: must be a number in [0, 1]")
+    after = rule.get("after", 0)
+    if not isinstance(after, int) or isinstance(after, bool) or after < 0:
+        problems.append(f"{path}.after: must be a non-negative integer")
+    max_fires = rule.get("max_fires")
+    if max_fires is not None and (
+        not isinstance(max_fires, int) or isinstance(max_fires, bool) or max_fires < 1
+    ):
+        problems.append(f"{path}.max_fires: must be a positive integer or null")
+
+
+def validate_plan(payload: object, strict_sites: bool = False) -> list[str]:
+    """Problems with a fault-plan payload; empty when valid.
+
+    Unknown sites produce ``warning:`` entries only when ``strict_sites``
+    — a plan naming a site nothing consults is harmless (it never fires)
+    but usually a typo worth surfacing in the CLI.
+    """
+    if not isinstance(payload, dict):
+        return ["payload: must be a JSON object"]
+    problems: list[str] = []
+    if payload.get("schema") != PLAN_SCHEMA_ID:
+        problems.append(
+            f"schema: expected {PLAN_SCHEMA_ID!r}, got {payload.get('schema')!r}"
+        )
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        problems.append("seed: must be an integer")
+    unknown = set(payload) - {"schema", "seed", "rules"}
+    if unknown:
+        problems.append(f"payload: unknown fields {sorted(unknown)}")
+    rules = payload.get("rules")
+    if not isinstance(rules, list):
+        problems.append("rules: must be a list")
+    else:
+        if not rules:
+            problems.append("rules: must not be empty")
+        for i, rule in enumerate(rules):
+            _validate_rule(rule, f"rules[{i}]", problems)
+    if not strict_sites:
+        problems = [p for p in problems if ": warning:" not in p]
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="fault-plan JSON file to validate")
+    args = parser.parse_args(argv)
+    try:
+        payload = json.loads(open(args.path).read())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_plan(payload, strict_sites=True)
+    warnings = [p for p in problems if ": warning:" in p]
+    errors = [p for p in problems if ": warning:" not in p]
+    for problem in warnings:
+        print(f"warning: {problem.replace(' warning:', '')}", file=sys.stderr)
+    for problem in errors:
+        print(f"invalid: {problem}", file=sys.stderr)
+    if errors:
+        return 1
+    rules = payload["rules"]
+    sites = sorted({rule.get("site") for rule in rules if isinstance(rule, dict)})
+    print(f"OK: {args.path} is a valid {PLAN_SCHEMA_ID} plan "
+          f"({len(rules)} rules over sites: {', '.join(sites)})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

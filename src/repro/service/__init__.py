@@ -18,6 +18,15 @@ LRU with TTL and a byte budget over the ``.repro_cache`` disk records),
 identical concurrent requests coalesce onto one model evaluation, and
 the CPU work runs on the sweep engine's process pool so the event loop
 stays responsive.
+
+The service self-heals (see :mod:`repro.resilience` and
+``docs/OPERATIONS.md``): per-endpoint circuit breakers in front of the
+pool, an analytic degraded mode that answers ``classify``/``predict``/
+``advise`` from Method B's closed forms when the pool is saturated or a
+breaker is open, quarantine-and-reevaluate healing of corrupt disk-cache
+entries, and opt-in client retries with capped jittered backoff.  Chaos
+testing is built in: start the daemon with ``--allow-fault-injection``
+and ship seeded ``repro.resilience.plan/v1`` fault plans per request.
 """
 
 from .app import LocalityService, ServiceConfig, ServiceThread, run_server

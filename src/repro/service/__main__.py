@@ -5,14 +5,19 @@ Examples::
     python -m repro.service --port 8787 --jobs 4
     python -m repro.service --port 0 --cache /tmp/advisor-cache
     python -m repro.service --cache ''          # disk tier disabled
+    python -m repro.service --allow-fault-injection \
+        --fault-plan chaos.json                 # chaos testing
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import sys
 
+from ..resilience.faults import FaultPlan
+from ..resilience.schema import validate_plan
 from .app import ServiceConfig, run_server
 
 
@@ -35,9 +40,41 @@ def main(argv: list[str] | None = None) -> int:
                         help="default per-request evaluation budget in seconds")
     parser.add_argument("--test-hooks", action="store_true",
                         help=argparse.SUPPRESS)  # fault injection for tests/CI
+    parser.add_argument("--allow-fault-injection", action="store_true",
+                        help="accept the 'faults' request flag (chaos "
+                             "testing; refused with a 403 otherwise)")
+    parser.add_argument("--fault-plan", default=None, metavar="PLAN.json",
+                        help="ambient repro.resilience.plan/v1 fault plan, "
+                             "inherited by pool workers (requires "
+                             "--allow-fault-injection)")
+    parser.add_argument("--breaker-threshold", type=int, default=5,
+                        help="consecutive evaluation failures that open an "
+                             "endpoint's circuit breaker")
+    parser.add_argument("--breaker-recovery", type=float, default=30.0,
+                        help="seconds an open breaker waits before probing")
+    parser.add_argument("--breaker-probes", type=int, default=1,
+                        help="trial evaluations through a half-open breaker")
+    parser.add_argument("--no-degraded", action="store_true",
+                        help="shed with 503 instead of answering from the "
+                             "analytic degraded path")
+    parser.add_argument("--saturation-depth", type=int, default=64,
+                        help="queue depth at which requests degrade instead "
+                             "of queueing (0 disables)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be positive")
+    fault_plan = None
+    if args.fault_plan is not None:
+        if not args.allow_fault_injection:
+            parser.error("--fault-plan requires --allow-fault-injection")
+        try:
+            payload = json.loads(open(args.fault_plan).read())
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"--fault-plan: cannot read {args.fault_plan}: {exc}")
+        problems = validate_plan(payload)
+        if problems:
+            parser.error("--fault-plan: " + "; ".join(problems))
+        fault_plan = FaultPlan.from_dict(payload)
 
     config = ServiceConfig(
         jobs=args.jobs,
@@ -46,6 +83,13 @@ def main(argv: list[str] | None = None) -> int:
         memory_max_bytes=args.cache_bytes,
         request_timeout=args.timeout,
         test_hooks=args.test_hooks,
+        allow_fault_injection=args.allow_fault_injection,
+        fault_plan=fault_plan,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_recovery_seconds=args.breaker_recovery,
+        breaker_half_open_probes=args.breaker_probes,
+        degraded_mode=not args.no_degraded,
+        saturation_queue_depth=args.saturation_depth or None,
     )
     try:
         asyncio.run(run_server(config, host=args.host, port=args.port))

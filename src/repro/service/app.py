@@ -40,6 +40,10 @@ from ..analysis.report import canonical_json
 from ..experiments.common import cache_entry_path
 from ..experiments.pool import fork_executor
 from ..obs.prometheus import render_prometheus
+from ..resilience import faults
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.degraded import answer_task as degraded_answer
+from ..resilience.faults import FaultPlan
 from .cache import TieredResultCache
 from .metrics import ServiceMetrics
 from .protocol import (
@@ -52,9 +56,10 @@ from .protocol import (
 )
 from .worker import evaluate
 
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error", 504: "Gateway Timeout"}
+_REASONS = {200: "OK", 400: "Bad Request", 403: "Forbidden",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
 
 
 @dataclass(frozen=True)
@@ -70,12 +75,41 @@ class ServiceConfig:
     #: honour ``x_test_sleep`` / ``x_test_crash`` fault-injection fields
     #: (tests and the CI smoke job only)
     test_hooks: bool = False
+    #: accept the ``"faults"`` request flag (chaos testing); off by
+    #: default — a production daemon refuses injected faults with a 403
+    allow_fault_injection: bool = False
+    #: a daemon-wide ambient :class:`~repro.resilience.FaultPlan`,
+    #: inherited across ``fork`` by the pool workers (requires
+    #: ``allow_fault_injection``)
+    fault_plan: FaultPlan | None = None
+    #: consecutive 5xx evaluation failures that trip an endpoint's breaker
+    breaker_failure_threshold: int = 5
+    #: seconds an open breaker refuses the pool before probing again
+    breaker_recovery_seconds: float = 30.0
+    #: trial evaluations allowed through a half-open breaker
+    breaker_half_open_probes: int = 1
+    #: answer from the analytic degraded path instead of shedding with a
+    #: 503 when the pool is unavailable (breaker open / saturated)
+    degraded_mode: bool = True
+    #: queue depth at which new evaluations degrade instead of queueing
+    #: (None disables natural-saturation degradation)
+    saturation_queue_depth: int | None = 64
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be positive")
         if self.request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be positive")
+        if self.breaker_recovery_seconds <= 0:
+            raise ValueError("breaker_recovery_seconds must be positive")
+        if self.breaker_half_open_probes < 1:
+            raise ValueError("breaker_half_open_probes must be positive")
+        if self.saturation_queue_depth is not None and self.saturation_queue_depth < 1:
+            raise ValueError("saturation_queue_depth must be positive (or None)")
+        if self.fault_plan is not None and not self.allow_fault_injection:
+            raise ValueError("fault_plan requires allow_fault_injection")
 
 
 class _EvaluationError(Exception):
@@ -85,6 +119,22 @@ class _EvaluationError(Exception):
         super().__init__(detail.get("message", ""))
         self.status = status
         self.detail = detail
+
+
+class _DegradedService(Exception):
+    """The pool cannot take this evaluation; answer analytically or shed.
+
+    Raised by admission control (breaker open, saturation — injected or
+    natural) and caught in :meth:`LocalityService._handle_model`, which
+    either answers from :mod:`repro.resilience.degraded` or, when no
+    analytic surrogate exists (``sweep``) or degraded mode is off,
+    responds 503 with a retry hint.
+    """
+
+    def __init__(self, reason: str, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
 
 
 #: Worker-side exception types that indicate a bad request, not a bad server.
@@ -102,6 +152,20 @@ class LocalityService:
             ttl_seconds=config.memory_ttl_seconds,
         )
         self.metrics = ServiceMetrics(jobs=config.jobs)
+        self.breakers = {
+            endpoint: CircuitBreaker(
+                failure_threshold=config.breaker_failure_threshold,
+                recovery_seconds=config.breaker_recovery_seconds,
+                half_open_max_probes=config.breaker_half_open_probes,
+            )
+            for endpoint in ENDPOINTS
+        }
+        # the ambient daemon-wide plan must be installed before the first
+        # fork so pool workers inherit it; close() restores the previous one
+        self._previous_plan = (
+            faults.install(config.fault_plan)
+            if config.fault_plan is not None else None
+        )
         self._executor = fork_executor(config.jobs)
         self._slots = asyncio.Semaphore(config.jobs)
         self._inflight: dict[str, asyncio.Future] = {}
@@ -131,7 +195,8 @@ class LocalityService:
                         f"unknown metrics format {fmt!r} "
                         "(expected 'json' or 'prometheus')",
                     ), False
-                snapshot = self.metrics.snapshot(self.cache.stats())
+                snapshot = self.metrics.snapshot(self.cache.stats(),
+                                                 self.breakers)
                 if fmt == "prometheus":
                     return 200, render_prometheus(snapshot), False
                 return 200, snapshot, False
@@ -158,18 +223,51 @@ class LocalityService:
     async def _handle_model(self, endpoint: str, payload: object) -> tuple[int, dict]:
         started = time.perf_counter()
         try:
+            if (isinstance(payload, dict) and "faults" in payload
+                    and not self.config.allow_fault_injection):
+                raise RequestError(
+                    "fault injection is disabled; start the daemon with "
+                    "--allow-fault-injection to accept 'faults' flags",
+                    status=403,
+                )
             task = normalize_request(endpoint, payload)
             if not self.config.test_hooks:
                 task.pop("x_test_sleep", None)
                 task.pop("x_test_crash", None)
             key = request_key(task)
+            plan = (faults.FaultPlan.from_dict(task["faults"])
+                    if "faults" in task else None)
         except RequestError as exc:
             self.metrics.observe_request(endpoint, "error",
                                          time.perf_counter() - started)
             return exc.status, _error_payload(endpoint, "RequestError", str(exc))
 
         try:
-            result, cached, trace = await self._resolve(endpoint, task, key)
+            result, cached, trace = await self._resolve(endpoint, task, key, plan)
+        except _DegradedService as exc:
+            result = self._degraded_result(task)
+            if result is None:
+                # sweep has no analytic surrogate (its whole point is the
+                # stack-distance measurement), and degraded mode may be off
+                self.metrics.observe_request(endpoint, "error",
+                                             time.perf_counter() - started)
+                return 503, {"ok": False, "endpoint": endpoint, "key": key,
+                             "error": {
+                                 "type": "ServiceUnavailable",
+                                 "message": "evaluation pool unavailable "
+                                            f"({exc.reason}) and no analytic "
+                                            "fallback applies",
+                                 "reason": exc.reason,
+                                 "retry_after_seconds": exc.retry_after_seconds,
+                             }}
+            self.metrics.observe_request(endpoint, "degraded",
+                                         time.perf_counter() - started)
+            self.metrics.degraded[endpoint][exc.reason] += 1
+            # degraded answers are approximations: never cached, clearly
+            # marked, and "cached" is null so clients can tell them apart
+            return 200, {"ok": True, "endpoint": endpoint, "key": key,
+                         "cached": None, "degraded": True,
+                         "degraded_reason": exc.reason, "result": result}
         except _EvaluationError as exc:
             self.metrics.observe_request(endpoint, "error",
                                          time.perf_counter() - started)
@@ -189,47 +287,133 @@ class LocalityService:
         return 200, response
 
     async def _resolve(
-        self, endpoint: str, task: dict, key: str
+        self, endpoint: str, task: dict, key: str, plan: faults.FaultPlan | None
     ) -> tuple[dict, str | None, dict | None]:
         """Resolve a key via cache, coalescing, or a fresh evaluation.
 
         Returns ``(result, cache_tier, span_tree)``; the span tree is only
         non-None for a fresh evaluation of a ``"trace": true`` task.
+
+        ``plan`` is the request's own fault plan (None for normal
+        requests, which still consult the daemon-wide ambient plan at the
+        parent-side sites).  Fault-carrying requests may *read* the cache
+        — that is how ``cache.disk_read`` corruption is exercised — but
+        never write it, never register as a coalescing leader, and never
+        join another request's in-flight future: their perturbed outcome
+        must not leak into healthy responses.
         """
         disk_path, disk_format = self._disk_entry(task, key)
-        result, tier = self.cache.get(key, disk_path)
+        corrupt_rule = self._fire(plan, "cache.disk_read") if disk_path else None
+        result, tier = self.cache.get(key, disk_path,
+                                      corrupt_read=corrupt_rule is not None)
         if result is not None:
+            # cache hits bypass admission control: they cost no pool slot,
+            # so an open breaker or a saturated queue does not refuse them
             if tier == "disk":
                 self.cache.promote(key, canonical_json(result).encode())
             return result, tier, None
 
-        pending = self._inflight.get(key)
-        if pending is not None:
-            self.metrics.coalesced[endpoint] += 1
-            return await asyncio.shield(pending), "coalesced", None
+        chaos = plan is not None
+        if not chaos:
+            pending = self._inflight.get(key)
+            if pending is not None:
+                self.metrics.coalesced[endpoint] += 1
+                return await asyncio.shield(pending), "coalesced", None
 
-        future = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
+        await self._admit(endpoint, plan)
+        breaker = self.breakers[endpoint]
+        future = None
+        if not chaos:
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
         try:
             payload = await self._evaluate(endpoint, task)
             result = payload["result"]
-            future.set_result(result)
+            breaker.record_success()
+            if future is not None:
+                future.set_result(result)
         except _EvaluationError as exc:
-            future.set_exception(exc)
-            future.exception()  # mark retrieved even with no waiters
+            # only server-side failures count against the breaker; a 4xx
+            # means the machinery worked and the request was at fault
+            if exc.status >= 500:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+            if future is not None:
+                future.set_exception(exc)
+                future.exception()  # mark retrieved even with no waiters
             raise
         finally:
-            self._inflight.pop(key, None)
+            if future is not None:
+                self._inflight.pop(key, None)
         self.metrics.observe_phases(endpoint, payload.get("phase_seconds", {}))
-        self.cache.put(
-            key,
-            canonical_json(result).encode(),
-            disk_path,
-            # sweep records keep the store_record byte format so batch
-            # sweeps and the daemon share one disk cache
-            disk_text=json.dumps(result) if disk_format == "record" else None,
-        )
+        if not chaos:
+            self.cache.put(
+                key,
+                canonical_json(result).encode(),
+                disk_path,
+                # sweep records keep the store_record byte format so batch
+                # sweeps and the daemon share one disk cache
+                disk_text=json.dumps(result) if disk_format == "record" else None,
+            )
         return result, None, payload.get("trace")
+
+    def _fire(self, plan: faults.FaultPlan | None, site: str):
+        """Fire a parent-side fault site against the request plan (or the
+        ambient daemon plan when the request carries none) and count it."""
+        rule = plan.fire(site) if plan is not None else faults.fire(site)
+        if rule is not None:
+            self.metrics.faults_injected[f"{site}:{rule.kind}"] += 1
+        return rule
+
+    async def _admit(self, endpoint: str, plan: faults.FaultPlan | None) -> None:
+        """Admission control in front of the pool.
+
+        Raises :class:`_DegradedService` when the evaluation should not
+        reach the pool: an injected or natural saturation, or an open
+        circuit breaker.  Injected ``pool.submit`` faults of other kinds
+        map to a structured 500 (``delay`` first stalls the admission) —
+        a deterministic way for tests to trip a breaker without killing
+        workers.
+        """
+        rule = self._fire(plan, "pool.submit")
+        if rule is not None:
+            if rule.kind == "saturate":
+                raise _DegradedService("pool_saturated")
+            if rule.kind == "delay":
+                await asyncio.sleep(rule.delay_seconds)
+            else:
+                # counts against the breaker like any server-side failure,
+                # so tests can trip it without killing workers
+                self.breakers[endpoint].record_failure()
+                raise _EvaluationError(500, {
+                    "type": "FaultInjected",
+                    "message": f"injected {rule.kind!r} fault at "
+                               "site 'pool.submit'",
+                })
+        depth_limit = self.config.saturation_queue_depth
+        if depth_limit is not None and self.metrics.queue_depth >= depth_limit:
+            raise _DegradedService("pool_saturated")
+        breaker = self.breakers[endpoint]
+        if not breaker.allow():
+            raise _DegradedService("breaker_open",
+                                   breaker.retry_after_seconds())
+
+    def _degraded_result(self, task: dict) -> dict | None:
+        """The analytic degraded answer for a task, or None to shed (503).
+
+        Uses Method B's closed forms (streaming-miss terms plus the
+        ``s1``/``s2`` scaling factors) over the matrix *dimensions* only —
+        no stack pass, no pool, event-loop-cheap.  Any surprise in the
+        surrogate falls back to shedding rather than a dropped connection.
+        """
+        if not self.config.degraded_mode:
+            return None
+        try:
+            machine = setup_from_task(task).machine()
+            return degraded_answer(task, machine, matrix_name(task))
+        except Exception:  # noqa: BLE001 - degrade to 503, never to a hang
+            return None
 
     def _disk_entry(self, task: dict, key: str) -> tuple[Path | None, str | None]:
         if self.cache.cache_dir is None:
@@ -277,6 +461,8 @@ class LocalityService:
         finally:
             self.metrics.worker_finished()
             self._slots.release()
+        for site_kind, count in payload.pop("faults_fired", {}).items():
+            self.metrics.faults_injected[site_kind] += count
         if "error" in payload:
             detail = payload["error"]
             status = 400 if detail.get("type") in _CLIENT_ERRORS else 500
@@ -330,6 +516,8 @@ class LocalityService:
         # race in concurrent.futures; abandoned (timed-out) workers are the
         # exception and at worst delay shutdown by their remaining runtime
         self._executor.shutdown(wait=True, cancel_futures=True)
+        if self.config.fault_plan is not None:
+            faults.install(self._previous_plan)
 
 
 def _error_payload(endpoint: str, error_type: str, message: str) -> dict:

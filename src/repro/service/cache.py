@@ -115,10 +115,21 @@ class TieredResultCache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.disk_hits = 0
         self.disk_misses = 0
+        self.disk_corrupt = 0
 
-    def get(self, key: str, disk_path: Path | None) -> tuple[dict | None, str | None]:
+    def get(
+        self, key: str, disk_path: Path | None, corrupt_read: bool = False
+    ) -> tuple[dict | None, str | None]:
         """Look a key up; returns ``(result, tier)`` with tier in
-        {"memory", "disk", None}."""
+        {"memory", "disk", None}.
+
+        A disk entry that does not parse (mid-write crash, bit rot, or an
+        injected ``cache.disk_read`` corruption when ``corrupt_read``) is
+        *quarantined* — renamed to ``<entry>.corrupt`` and counted — and
+        reported as a miss, so the caller re-evaluates and the next
+        ``put`` rewrites a healthy entry.  Corruption therefore costs one
+        evaluation, never a failed request.
+        """
         payload = self.memory.get(key)
         if payload is not None:
             return json.loads(payload), "memory"
@@ -128,8 +139,16 @@ class TieredResultCache:
             self.disk_misses += 1
             return None, None
         text = disk_path.read_text()
+        if corrupt_read:
+            # simulate a torn write: the tail of the entry never made it
+            text = text[: max(0, len(text) // 2)]
+        try:
+            result = json.loads(text)
+        except json.JSONDecodeError:
+            self.disk_corrupt += 1
+            disk_path.replace(disk_path.with_name(disk_path.name + ".corrupt"))
+            return None, None
         self.disk_hits += 1
-        result = json.loads(text)
         return result, "disk"
 
     def put(
@@ -162,6 +181,7 @@ class TieredResultCache:
             "disk": {
                 "hits": self.disk_hits,
                 "misses": self.disk_misses,
+                "corrupt": self.disk_corrupt,
                 "enabled": self.cache_dir is not None,
             },
         }

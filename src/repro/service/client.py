@@ -9,9 +9,20 @@ Every model call returns the response *envelope*::
     {"ok": true, "endpoint": "advise", "key": "...",
      "cached": null | "memory" | "disk" | "coalesced", "result": {...}}
 
-so callers can see which tier served them.  Failures raise
-:class:`ServiceError` with the HTTP status and the server's structured
-error object.
+so callers can see which tier served them (degraded answers additionally
+carry ``"degraded": true``).  Failures raise :class:`ServiceError` with
+the HTTP status and the server's structured error object — including a
+response body that is not JSON at all (a proxy error page, a torn
+response from a dying daemon), which becomes a ``BadResponseBody`` error
+with the raw body attached rather than a bare ``JSONDecodeError``.
+
+The client can self-heal: construct it with ``retries=N`` and transient
+failures (connection errors, timeouts, 5xx responses, bad bodies) are
+retried under a capped exponential backoff with full jitter
+(:class:`repro.resilience.BackoffPolicy`), bounded by an optional
+``deadline_seconds`` budget.  Clock, sleep and rng are injectable, so the
+retry schedule is deterministic under test.  The default stays
+``retries=0`` — wire behaviour is unchanged unless asked for.
 """
 
 from __future__ import annotations
@@ -21,16 +32,42 @@ import json
 import socket
 import time
 
+from ..resilience.retry import BackoffPolicy, call_with_retries
 from ..spmv.csr import CSRMatrix
 
 
 class ServiceError(Exception):
-    """A non-2xx response from the daemon."""
+    """A non-2xx response from the daemon (or an unparseable response).
+
+    ``error`` is the server's structured error object; for a response
+    body that was not valid JSON it is synthesized client-side with
+    ``type="BadResponseBody"`` and the raw body under ``"body"``.
+    """
 
     def __init__(self, status: int, error: dict) -> None:
         super().__init__(f"[{status}] {error.get('type')}: {error.get('message')}")
         self.status = status
         self.error = error
+
+
+#: Bytes of a non-JSON response body preserved on a BadResponseBody error.
+_BODY_SNIPPET_BYTES = 2048
+
+
+def _retryable(exc: BaseException) -> bool:
+    """Transient failures worth another attempt.
+
+    Connection-level trouble (``OSError`` covers refused/reset/timeout),
+    HTTP-protocol trouble, 5xx responses, and unparseable bodies; a 4xx
+    means the request itself is wrong and retrying cannot help.  Model
+    requests are safe to retry: the daemon coalesces and caches by
+    canonical key, so a duplicate costs at most one cache lookup.
+    """
+    if isinstance(exc, (OSError, http.client.HTTPException)):
+        return True
+    if isinstance(exc, ServiceError):
+        return exc.status >= 500 or exc.error.get("type") == "BadResponseBody"
+    return False
 
 
 def matrix_payload(matrix: CSRMatrix) -> dict:
@@ -67,20 +104,59 @@ class ServiceClient:
     """One daemon address; one HTTP request per call (Connection: close)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0, *,
+                 retries: int = 0,
+                 backoff: BackoffPolicy | None = None,
+                 deadline_seconds: float | None = None,
+                 clock=time.monotonic,
+                 sleep=time.sleep) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.deadline_seconds = deadline_seconds
+        self._clock = clock
+        self._sleep = sleep
 
     # -- transport -----------------------------------------------------
     def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One request, retried per the client's policy.
+
+        With ``retries=0`` (the default) this is a single attempt.
+        Otherwise transient failures (see :func:`_retryable`) are retried
+        under the backoff policy; when a ``deadline_seconds`` budget is
+        set, a retry whose sleep would overrun it raises
+        :class:`repro.resilience.DeadlineExceeded` instead of waiting.
+        """
+        if self.retries <= 0:
+            return self._request_once(method, path, payload)
+        return call_with_retries(
+            lambda: self._request_once(method, path, payload),
+            retries=self.retries,
+            backoff=self.backoff,
+            retryable=_retryable,
+            deadline_seconds=self.deadline_seconds,
+            clock=self._clock,
+            sleep=self._sleep,
+        )
+
+    def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None if payload is None else json.dumps(payload)
             headers = {"Content-Type": "application/json"} if body else {}
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
-            envelope = json.loads(response.read().decode())
+            raw = response.read().decode(errors="replace")
+            try:
+                envelope = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(response.status, {
+                    "type": "BadResponseBody",
+                    "message": f"response body is not JSON: {exc}",
+                    "body": raw[:_BODY_SNIPPET_BYTES],
+                }) from None
             if response.status >= 400:
                 raise ServiceError(response.status, envelope.get("error", {}))
             return envelope
@@ -96,34 +172,40 @@ class ServiceClient:
         return self.request("POST", f"/{endpoint}", payload)
 
     # -- endpoints -----------------------------------------------------
+    # `faults` ships a repro.resilience.plan/v1 object with the request
+    # (chaos testing; the daemon refuses it without --allow-fault-injection)
     def classify(self, matrix=None, *, name=None, collection=None,
-                 way_options=None, timeout=None, trace=None, **setup) -> dict:
+                 way_options=None, timeout=None, trace=None, faults=None,
+                 **setup) -> dict:
         return self._model("classify", matrix, name, collection, setup,
                            {"way_options": way_options, "timeout": timeout,
-                            "trace": trace})
+                            "trace": trace, "faults": faults})
 
     def predict(self, matrix=None, *, name=None, collection=None,
-                policies=None, timeout=None, trace=None, **setup) -> dict:
+                policies=None, timeout=None, trace=None, faults=None,
+                **setup) -> dict:
         return self._model("predict", matrix, name, collection, setup,
                            {"policies": policies, "timeout": timeout,
-                            "trace": trace})
+                            "trace": trace, "faults": faults})
 
     def advise(self, matrix=None, *, name=None, collection=None,
                way_options=None, consider_isolate_x=None,
                min_sector1_ways_with_prefetch=None, timeout=None,
-               trace=None, **setup) -> dict:
+               trace=None, faults=None, **setup) -> dict:
         return self._model("advise", matrix, name, collection, setup, {
             "way_options": way_options,
             "consider_isolate_x": consider_isolate_x,
             "min_sector1_ways_with_prefetch": min_sector1_ways_with_prefetch,
             "timeout": timeout,
             "trace": trace,
+            "faults": faults,
         })
 
     def sweep(self, matrix=None, *, name=None, collection=None,
-              timeout=None, trace=None, **setup) -> dict:
+              timeout=None, trace=None, faults=None, **setup) -> dict:
         return self._model("sweep", matrix, name, collection, setup,
-                           {"timeout": timeout, "trace": trace})
+                           {"timeout": timeout, "trace": trace,
+                            "faults": faults})
 
     # -- operations ----------------------------------------------------
     def metrics(self, format: str | None = None) -> dict | str:

@@ -37,6 +37,12 @@ class ServiceMetrics:
         self.coalesced: Counter = Counter()
         #: endpoint -> requests served from a cache tier
         self.cache_served: dict[str, Counter] = defaultdict(Counter)
+        #: endpoint -> reason -> requests answered from the degraded path
+        self.degraded: dict[str, Counter] = defaultdict(Counter)
+        #: "site:kind" -> injected faults fired (parent-side sites plus
+        #: per-request worker plans; ambient worker-side fires are only
+        #: visible through their injected outcomes)
+        self.faults_injected: Counter = Counter()
         #: endpoint -> cumulative worker-side self seconds per span name
         self.phase_seconds: dict[str, Counter] = defaultdict(Counter)
         self.latency: dict[str, LatencyHistogram] = defaultdict(LatencyHistogram)
@@ -73,13 +79,24 @@ class ServiceMetrics:
         for name, seconds in phases.items():
             counter[name] += float(seconds)
 
-    def snapshot(self, cache_stats: dict) -> dict:
+    def snapshot(self, cache_stats: dict, breakers: dict | None = None) -> dict:
+        """The ``/metrics`` JSON object.
+
+        ``breakers`` maps endpoint -> :class:`repro.resilience.CircuitBreaker`;
+        their snapshots ride under ``"breakers"`` (empty when the caller
+        has none, e.g. unit tests of the bare metrics object).
+        """
         return {
             "uptime_seconds": self._clock() - self.started,
             "requests": {ep: dict(c) for ep, c in sorted(self.requests.items())},
             "evaluations": dict(self.evaluations),
             "coalesced": dict(self.coalesced),
             "cache_served": {ep: dict(c) for ep, c in sorted(self.cache_served.items())},
+            "degraded": {ep: dict(c) for ep, c in sorted(self.degraded.items())},
+            "faults_injected": {k: self.faults_injected[k]
+                                for k in sorted(self.faults_injected)},
+            "breakers": {ep: breaker.snapshot()
+                         for ep, breaker in sorted((breakers or {}).items())},
             "evaluation_phase_seconds": {
                 ep: {name: c[name] for name in sorted(c)}
                 for ep, c in sorted(self.phase_seconds.items())

@@ -230,6 +230,16 @@ def normalize_request(endpoint: str, payload: object) -> dict:
         # the request triggers a fresh evaluation (cached or coalesced
         # responses carry "trace": null)
         task["trace"] = True
+    if "faults" in payload:
+        # chaos-testing flag (the daemon refuses it unless started with
+        # --allow-fault-injection); validated here so a malformed plan is
+        # a 400 with the schema problems spelled out
+        from ..resilience.schema import validate_plan
+
+        problems = validate_plan(payload["faults"])
+        _require(not problems,
+                 "invalid fault plan: " + "; ".join(problems))
+        task["faults"] = payload["faults"]
     for hook in ("x_test_sleep", "x_test_crash"):
         if hook in payload:
             task[hook] = payload[hook]
@@ -239,11 +249,15 @@ def normalize_request(endpoint: str, payload: object) -> dict:
 def request_key(task: dict) -> str:
     """Cache/coalescing key of a canonical task.
 
-    The per-request ``timeout`` and ``trace`` flags are excluded: they
-    bound the wait and shape the presentation, not the computation, so
-    requests differing only in those share one result.
+    The per-request ``timeout``, ``trace`` and ``faults`` flags are
+    excluded: they bound the wait, shape the presentation, or perturb the
+    execution, not the computation a correct evaluation performs, so
+    requests differing only in those share one result.  (Fault-carrying
+    requests never *write* the cache — the key only lets them read what a
+    healthy request stored.)
     """
-    keyed = {k: v for k, v in task.items() if k not in ("timeout", "trace")}
+    keyed = {k: v for k, v in task.items()
+             if k not in ("timeout", "trace", "faults")}
     digest = hashlib.sha256(canonical_json(["v1", keyed]).encode()).hexdigest()
     return digest[:32]
 

@@ -15,6 +15,7 @@ format, which is what makes service responses byte-identical to direct
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 import traceback
@@ -24,6 +25,7 @@ from ..core.classification import classify
 from ..core.method_b import MethodB
 from ..experiments.common import measure_matrix
 from ..obs.tracer import Tracer, installed
+from ..resilience import faults
 from ..spmv.sector_policy import SectorPolicy
 from .protocol import matrix_from_task, setup_from_task
 
@@ -35,16 +37,29 @@ def evaluate(task: dict) -> dict:
     seconds always travel back for the daemon's ``/metrics`` aggregation,
     and the full span tree is included when the request set
     ``"trace": true`` (memory sampling is only paid in that case).
+
+    A ``"faults"`` flag (already validated and gated by the daemon) is
+    installed as the ambient fault plan for the duration of this one
+    evaluation; the ``worker.evaluate`` site fires before dispatch, so a
+    ``crash`` rule kills this worker process exactly the way a segfault
+    would, a ``delay`` stalls into the parent's timeout, and an ``error``
+    surfaces through the structured-error path.  Without the flag the
+    ambient plan (if any — inherited across ``fork`` from a daemon
+    started with ``--fault-plan``) is consulted instead.
     """
     started = time.perf_counter()
+    plan = (faults.FaultPlan.from_dict(task["faults"])
+            if task.get("faults") else None)
     try:
         _test_hooks(task)
         want_trace = bool(task.get("trace"))
-        with Tracer(memory="rss" if want_trace else None) as tracer:
-            with installed(tracer), tracer.span(
-                "evaluate", endpoint=task.get("endpoint", "")
-            ):
-                result = _dispatch(task)
+        with faults.installed(plan) if plan else contextlib.nullcontext():
+            faults.perform(faults.fire("worker.evaluate"))
+            with Tracer(memory="rss" if want_trace else None) as tracer:
+                with installed(tracer), tracer.span(
+                    "evaluate", endpoint=task.get("endpoint", "")
+                ):
+                    result = _dispatch(task)
         tree = tracer.tree()
         payload = {
             "result": result,
@@ -53,9 +68,11 @@ def evaluate(task: dict) -> dict:
         }
         if want_trace:
             payload["trace"] = tree.to_dict()
+        if plan is not None:
+            payload["faults_fired"] = plan.fired_counts()
         return payload
     except Exception as exc:  # noqa: BLE001 - isolation is the point
-        return {
+        payload = {
             "error": {
                 "type": type(exc).__name__,
                 "message": str(exc),
@@ -63,6 +80,9 @@ def evaluate(task: dict) -> dict:
                 "elapsed_seconds": time.perf_counter() - started,
             }
         }
+        if plan is not None:
+            payload["faults_fired"] = plan.fired_counts()
+        return payload
 
 
 def _test_hooks(task: dict) -> None:

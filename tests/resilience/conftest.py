@@ -1,0 +1,49 @@
+"""Fixtures for the chaos harness: a fault-accepting in-process daemon."""
+
+import pytest
+
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+#: Modest thread count keeps evaluations fast.
+SETUP = {"num_threads": 8}
+
+
+def make_plan(*rules, seed=0):
+    """A repro.resilience.plan/v1 payload from rule dicts."""
+    return {"schema": "repro.resilience.plan/v1", "seed": seed,
+            "rules": list(rules)}
+
+
+def inline_matrix(num_rows=64, bandwidth=2):
+    """A tiny banded inline-CSR payload; vary ``num_rows`` for fresh keys."""
+    rowptr, colidx = [0], []
+    for row in range(num_rows):
+        cols = [c for c in range(row - bandwidth, row + bandwidth + 1)
+                if 0 <= c < num_rows]
+        colidx.extend(cols)
+        rowptr.append(len(colidx))
+    return {"csr": {"num_rows": num_rows, "num_cols": num_rows,
+                    "rowptr": rowptr, "colidx": colidx}}
+
+
+@pytest.fixture(scope="module")
+def chaos_server(tmp_path_factory):
+    """A daemon that accepts fault plans (memory tier off so the
+    ``cache.disk_read`` site is reachable deterministically)."""
+    cache_dir = tmp_path_factory.mktemp("chaos_cache")
+    thread = ServiceThread(ServiceConfig(
+        jobs=2,
+        cache_dir=str(cache_dir),
+        memory_max_bytes=0,
+        request_timeout=30.0,
+        allow_fault_injection=True,
+    ))
+    thread.start()
+    yield thread
+    thread.stop()
+
+
+@pytest.fixture(scope="module")
+def chaos_client(chaos_server):
+    host, port = chaos_server.address
+    return ServiceClient(host, port, timeout=60.0)

@@ -1,0 +1,122 @@
+"""Circuit-breaker state machine under a fake clock: every transition
+deterministic and counted."""
+
+import pytest
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, STATE_VALUES, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _breaker(threshold=3, recovery=10.0, probes=1):
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=threshold,
+                             recovery_seconds=recovery,
+                             half_open_max_probes=probes, clock=clock)
+    return breaker, clock
+
+
+def test_starts_closed_and_allows():
+    breaker, _ = _breaker()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+    assert breaker.rejections == 0
+
+
+def test_consecutive_failures_trip_open():
+    breaker, _ = _breaker(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.transitions == {"closed->open": 1}
+    assert not breaker.allow()
+    assert breaker.rejections == 1
+
+
+def test_success_resets_the_consecutive_count():
+    breaker, _ = _breaker(threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # never two in a row
+
+
+def test_recovery_window_moves_to_half_open():
+    breaker, clock = _breaker(threshold=1, recovery=10.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.retry_after_seconds() == pytest.approx(10.0)
+    clock.now = 9.999
+    assert breaker.state == OPEN
+    clock.now = 10.0
+    assert breaker.state == HALF_OPEN
+    assert breaker.transitions["open->half_open"] == 1
+
+
+def test_half_open_probe_success_closes():
+    breaker, clock = _breaker(threshold=1, recovery=5.0)
+    breaker.record_failure()
+    clock.now = 5.0
+    assert breaker.allow()  # claims the probe slot
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.transitions == {
+        "closed->open": 1, "open->half_open": 1, "half_open->closed": 1,
+    }
+
+
+def test_half_open_probe_failure_reopens_and_restarts_clock():
+    breaker, clock = _breaker(threshold=1, recovery=5.0)
+    breaker.record_failure()
+    clock.now = 5.0
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.transitions["half_open->open"] == 1
+    # the recovery clock restarted at t=5
+    assert breaker.retry_after_seconds() == pytest.approx(5.0)
+    clock.now = 9.0
+    assert breaker.state == OPEN
+
+
+def test_half_open_limits_probes_in_flight():
+    breaker, clock = _breaker(threshold=1, recovery=1.0, probes=2)
+    breaker.record_failure()
+    clock.now = 1.0
+    assert breaker.allow()
+    assert breaker.allow()
+    assert not breaker.allow()  # both probe slots claimed
+    assert breaker.rejections == 1
+
+
+def test_snapshot_shape():
+    breaker, clock = _breaker(threshold=1, recovery=1.0)
+    breaker.record_failure()
+    clock.now = 1.0
+    breaker.allow()
+    breaker.record_success()
+    snap = breaker.snapshot()
+    assert snap["state"] == CLOSED
+    assert snap["failures"] == 1
+    assert snap["successes"] == 1
+    assert snap["transitions"] == {
+        "closed->open": 1, "open->half_open": 1, "half_open->closed": 1,
+    }
+    assert set(STATE_VALUES) == {CLOSED, OPEN, HALF_OPEN}
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(recovery_seconds=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(half_open_max_probes=0)

@@ -1,0 +1,57 @@
+"""Ambient fault plans against the parallel sweep engine: the pool's
+existing isolation absorbs injected faults as structured failures."""
+
+import pytest
+
+from repro.experiments import ExperimentSetup, run_collection_parallel
+from repro.matrices.collection import collection
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultRule
+
+SETUP = ExperimentSetup(scale=16, num_threads=8,
+                        l2_way_options=(0, 5), l1_way_options=(0,))
+
+
+def _specs(count=3):
+    return collection("tiny", machine=SETUP.machine())[:count]
+
+
+@pytest.fixture(autouse=True)
+def _clean_ambient_plan():
+    yield
+    faults.install(None)
+
+
+def test_injected_error_becomes_a_structured_sweep_failure(tmp_path):
+    plan = FaultPlan([FaultRule(site="pool.worker", kind="error",
+                                max_fires=1)])
+    with faults.installed(plan):
+        result = run_collection_parallel(_specs(), SETUP, tmp_path, jobs=1)
+    assert len(result.failures) == 1
+    assert result.failures[0].error_type == "FaultInjected"
+    assert len(result.records) == len(_specs()) - 1
+
+
+def test_sweep_completes_after_injected_worker_crash(tmp_path):
+    """A crash kills the worker mid-chunk; the parent records the chunk as
+    failures (pool breakage) and the sweep still returns."""
+    plan = FaultPlan([FaultRule(site="pool.worker", kind="crash",
+                                max_fires=1)])
+    with faults.installed(plan):
+        result = run_collection_parallel(_specs(), SETUP, tmp_path, jobs=2,
+                                         chunksize=1)
+    assert result.failures, "the crashed chunk must surface as failures"
+    assert len(result.records) + len(result.failures) >= len(_specs())
+
+
+def test_retry_after_faulted_sweep_heals(tmp_path):
+    plan = FaultPlan([FaultRule(site="pool.worker", kind="error",
+                                max_fires=1)])
+    with faults.installed(plan):
+        first = run_collection_parallel(_specs(), SETUP, tmp_path, jobs=1)
+    assert first.failures
+    # plan gone: retrying the recorded failures completes the sweep
+    healed = run_collection_parallel(_specs(), SETUP, tmp_path, jobs=1,
+                                     retry_failures=True)
+    assert not healed.failures
+    assert len(healed.records) == len(_specs())

@@ -1,0 +1,162 @@
+"""ServiceClient self-healing: retry schedule, deadline budget, and the
+structured BadResponseBody error for non-JSON bodies."""
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.resilience.retry import BackoffPolicy, DeadlineExceeded
+from repro.service.client import ServiceClient, ServiceError, _retryable
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def _flaky_client(outcomes, **kwargs):
+    """A client whose transport is scripted: each entry is an exception to
+    raise or a value to return."""
+    clock = FakeClock()
+    client = ServiceClient("127.0.0.1", 1, clock=clock, sleep=clock.sleep,
+                           **kwargs)
+    script = list(outcomes)
+
+    def scripted(method, path, payload):
+        outcome = script.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._request_once = scripted
+    return client, clock
+
+
+def test_default_client_does_not_retry():
+    client, clock = _flaky_client([OSError("down"), {"ok": True}])
+    with pytest.raises(OSError):
+        client.request("GET", "/healthz")
+    assert clock.sleeps == []
+
+
+def test_retries_recover_from_transient_failures():
+    client, clock = _flaky_client(
+        [OSError("down"), ConnectionRefusedError(), {"ok": True}],
+        retries=3,
+        backoff=BackoffPolicy(base_seconds=0.1, jitter="none"),
+    )
+    assert client.request("GET", "/healthz") == {"ok": True}
+    assert clock.sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+
+def test_retry_schedule_is_seed_deterministic():
+    def sleeps(seed):
+        client, clock = _flaky_client(
+            [OSError(), OSError(), OSError(), {"ok": True}],
+            retries=3,
+            backoff=BackoffPolicy(base_seconds=0.1, rng=random.Random(seed)),
+        )
+        client.request("GET", "/")
+        return clock.sleeps
+
+    assert sleeps(7) == sleeps(7)
+    assert sleeps(7) != sleeps(8)
+
+
+def test_4xx_is_not_retried_5xx_is():
+    bad_request = ServiceError(400, {"type": "RequestError", "message": "no"})
+    client, clock = _flaky_client([bad_request, {"ok": True}], retries=3)
+    with pytest.raises(ServiceError):
+        client.request("POST", "/advise", {})
+    assert clock.sleeps == []
+
+    server_error = ServiceError(500, {"type": "WorkerCrashed", "message": ""})
+    client, clock = _flaky_client([server_error, {"ok": True}], retries=3,
+                                  backoff=BackoffPolicy(jitter="none"))
+    assert client.request("POST", "/advise", {}) == {"ok": True}
+    assert len(clock.sleeps) == 1
+
+
+def test_bad_response_body_is_retryable():
+    torn = ServiceError(200, {"type": "BadResponseBody",
+                              "message": "not json", "body": "<html>"})
+    assert _retryable(torn)
+    client, clock = _flaky_client([torn, {"ok": True}], retries=1,
+                                  backoff=BackoffPolicy(jitter="none"))
+    assert client.request("GET", "/metrics") == {"ok": True}
+
+
+def test_deadline_budget_raises_deadline_exceeded():
+    client, clock = _flaky_client(
+        [OSError("down")] * 10,
+        retries=10,
+        backoff=BackoffPolicy(base_seconds=1.0, cap_seconds=60.0,
+                              jitter="none"),
+        deadline_seconds=2.5,
+    )
+    with pytest.raises(DeadlineExceeded) as info:
+        client.request("GET", "/healthz")
+    assert isinstance(info.value.last_error, OSError)
+    assert clock.sleeps == [pytest.approx(1.0)]  # 2 s retry would overrun
+
+
+def _one_shot_server(response_bytes):
+    """A real socket serving one canned HTTP response."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(1)
+    port = sock.getsockname()[1]
+
+    def serve():
+        conn, _ = sock.accept()
+        conn.recv(65536)
+        conn.sendall(response_bytes)
+        conn.close()
+        sock.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return port, thread
+
+
+def test_non_json_body_becomes_structured_service_error():
+    body = b"<html>502 Bad Gateway</html>"
+    port, thread = _one_shot_server(
+        b"HTTP/1.1 502 Bad Gateway\r\n"
+        b"Content-Type: text/html\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+        b"Connection: close\r\n\r\n" + body
+    )
+    client = ServiceClient("127.0.0.1", port, timeout=5.0)
+    with pytest.raises(ServiceError) as info:
+        client.request("GET", "/healthz")
+    thread.join(timeout=5)
+    assert info.value.status == 502
+    assert info.value.error["type"] == "BadResponseBody"
+    assert "502 Bad Gateway" in info.value.error["body"]
+
+
+def test_non_json_200_body_is_also_wrapped():
+    body = b"this is not json at all"
+    port, thread = _one_shot_server(
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+        b"Connection: close\r\n\r\n" + body
+    )
+    client = ServiceClient("127.0.0.1", port, timeout=5.0)
+    with pytest.raises(ServiceError) as info:
+        client.request("GET", "/healthz")
+    thread.join(timeout=5)
+    assert info.value.error["type"] == "BadResponseBody"
+    assert info.value.error["body"] == body.decode()

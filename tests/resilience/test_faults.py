@@ -1,0 +1,118 @@
+"""FaultPlan scheduling semantics: deterministic, seeded, counted."""
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultInjected, FaultPlan, FaultRule
+
+
+def _plan(*rules, seed=0):
+    return FaultPlan(list(rules), seed=seed)
+
+
+def test_rule_fires_every_hit_by_default():
+    plan = _plan(FaultRule(site="worker.evaluate", kind="error"))
+    assert plan.fire("worker.evaluate") is not None
+    assert plan.fire("worker.evaluate") is not None
+    assert plan.fire("other.site") is None
+
+
+def test_after_lets_hits_through_then_fires():
+    plan = _plan(FaultRule(site="s", kind="error", after=2))
+    assert plan.fire("s") is None
+    assert plan.fire("s") is None
+    assert plan.fire("s") is not None
+
+
+def test_max_fires_exhausts():
+    plan = _plan(FaultRule(site="s", kind="error", max_fires=2))
+    assert plan.fire("s") is not None
+    assert plan.fire("s") is not None
+    assert plan.fire("s") is None
+    assert plan.fired_counts() == {"s:error": 2}
+
+
+def test_probability_is_deterministic_under_seed():
+    def draws(seed):
+        plan = _plan(FaultRule(site="s", kind="error", probability=0.5), seed=seed)
+        return [plan.fire("s") is not None for _ in range(32)]
+
+    assert draws(7) == draws(7)
+    assert draws(7) != draws(8)  # astronomically unlikely to collide
+    assert any(draws(7)) and not all(draws(7))
+
+
+def test_first_matching_rule_wins_and_counters_are_per_rule():
+    plan = _plan(
+        FaultRule(site="s", kind="error", max_fires=1),
+        FaultRule(site="s", kind="delay", delay_seconds=0.1),
+    )
+    assert plan.fire("s").kind == "error"
+    assert plan.fire("s").kind == "delay"
+    assert plan.fired_counts() == {"s:error": 1, "s:delay": 1}
+
+
+def test_roundtrip_through_dict():
+    plan = _plan(
+        FaultRule(site="worker.evaluate", kind="crash", max_fires=1),
+        FaultRule(site="cache.disk_read", kind="corrupt", probability=0.5,
+                  after=3),
+        seed=42,
+    )
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone.to_dict() == plan.to_dict()
+    assert clone.seed == 42
+
+
+def test_from_dict_rejects_bad_payloads():
+    with pytest.raises(ValueError):
+        FaultPlan.from_dict([])
+    with pytest.raises(ValueError):
+        FaultPlan.from_dict({"schema": "something/else", "rules": []})
+    with pytest.raises(ValueError):
+        FaultPlan.from_dict({"rules": [{"site": "s", "kind": "nope"}]})
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        FaultRule(site="", kind="error")
+    with pytest.raises(ValueError):
+        FaultRule(site="s", kind="error", probability=1.5)
+    with pytest.raises(ValueError):
+        FaultRule(site="s", kind="error", max_fires=0)
+
+
+def test_ambient_install_and_fire():
+    assert faults.fire("s") is None  # nothing installed costs nothing
+    plan = _plan(FaultRule(site="s", kind="error"))
+    with faults.installed(plan):
+        assert faults.get_plan() is plan
+        assert faults.fire("s") is not None
+    assert faults.get_plan() is None
+    assert faults.fire("s") is None
+
+
+def test_installed_restores_previous_plan():
+    outer = _plan(FaultRule(site="a", kind="error"))
+    inner = _plan(FaultRule(site="b", kind="error"))
+    with faults.installed(outer):
+        with faults.installed(inner):
+            assert faults.fire("a") is None
+            assert faults.fire("b") is not None
+        assert faults.fire("a") is not None
+
+
+def test_perform_delay_sleeps_and_returns():
+    slept = []
+    rule = FaultRule(site="s", kind="delay", delay_seconds=0.25)
+    faults.perform(rule, sleep=slept.append)
+    assert slept == [0.25]
+
+
+def test_perform_error_raises_fault_injected():
+    with pytest.raises(FaultInjected, match="injected 'error' fault"):
+        faults.perform(FaultRule(site="s", kind="error"))
+
+
+def test_perform_none_is_noop():
+    faults.perform(None)

@@ -1,0 +1,138 @@
+"""Backoff schedule and retry driver: deterministic under injected
+clock/rng/sleep, honouring the deadline budget."""
+
+import random
+
+import pytest
+
+from repro.resilience.retry import BackoffPolicy, DeadlineExceeded, call_with_retries
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+def test_raw_delays_are_capped_exponential():
+    policy = BackoffPolicy(base_seconds=0.1, cap_seconds=1.0, multiplier=2.0,
+                           jitter="none")
+    assert [policy.raw_delay(a) for a in range(1, 6)] == [
+        0.1, 0.2, 0.4, 0.8, 1.0
+    ]
+    assert policy.delay(3) == 0.4  # jitter="none" -> raw
+
+
+def test_full_jitter_is_seed_deterministic_and_bounded():
+    def schedule(seed):
+        policy = BackoffPolicy(base_seconds=0.1, cap_seconds=1.0,
+                               rng=random.Random(seed))
+        return [policy.delay(a) for a in range(1, 8)]
+
+    assert schedule(1) == schedule(1)
+    assert schedule(1) != schedule(2)
+    for attempt, delay in enumerate(schedule(1), start=1):
+        assert 0.0 <= delay <= min(1.0, 0.1 * 2 ** (attempt - 1))
+
+
+def test_equal_jitter_keeps_half_the_raw_delay():
+    policy = BackoffPolicy(base_seconds=0.4, cap_seconds=10.0, jitter="equal",
+                           rng=random.Random(0))
+    for attempt in range(1, 6):
+        raw = policy.raw_delay(attempt)
+        assert raw / 2 <= policy.delay(attempt) <= raw
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        BackoffPolicy(base_seconds=0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(cap_seconds=0.01)
+    with pytest.raises(ValueError):
+        BackoffPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter="bogus")
+
+
+def test_success_after_transient_failures():
+    clock = FakeClock()
+    calls = []
+
+    def flaky():
+        calls.append(clock.now)
+        if len(calls) < 3:
+            raise OSError("transient")
+        return "ok"
+
+    result = call_with_retries(
+        flaky, retries=5,
+        backoff=BackoffPolicy(base_seconds=0.1, jitter="none"),
+        clock=clock, sleep=clock.sleep,
+    )
+    assert result == "ok"
+    # slept 0.1 then 0.2 between the three attempts
+    assert calls == [0.0, pytest.approx(0.1), pytest.approx(0.3)]
+
+
+def test_attempts_exhausted_raises_last_error():
+    clock = FakeClock()
+
+    def always_fails():
+        raise OSError("still down")
+
+    with pytest.raises(OSError, match="still down"):
+        call_with_retries(always_fails, retries=2,
+                          backoff=BackoffPolicy(jitter="none"),
+                          clock=clock, sleep=clock.sleep)
+
+
+def test_non_retryable_errors_propagate_immediately():
+    calls = []
+
+    def fails():
+        calls.append(1)
+        raise ValueError("bad input")
+
+    with pytest.raises(ValueError):
+        call_with_retries(fails, retries=5,
+                          retryable=lambda exc: isinstance(exc, OSError))
+    assert len(calls) == 1
+
+
+def test_deadline_budget_stops_retrying():
+    clock = FakeClock()
+
+    def always_fails():
+        raise OSError("down")
+
+    # jitter="none": sleeps would be 1, 2, 4...; with a 2.5 s budget the
+    # first retry (1 s) fits, the second (2 s, at t=1) would overrun
+    with pytest.raises(DeadlineExceeded) as info:
+        call_with_retries(
+            always_fails, retries=10,
+            backoff=BackoffPolicy(base_seconds=1.0, cap_seconds=60.0,
+                                  jitter="none"),
+            deadline_seconds=2.5, clock=clock, sleep=clock.sleep,
+        )
+    assert isinstance(info.value.last_error, OSError)
+    assert info.value.__cause__ is info.value.last_error
+    assert clock.now == pytest.approx(1.0)  # only the first sleep happened
+
+
+def test_zero_retries_is_single_attempt():
+    calls = []
+
+    def fails():
+        calls.append(1)
+        raise OSError("down")
+
+    with pytest.raises(OSError):
+        call_with_retries(fails, retries=0)
+    assert len(calls) == 1
+    with pytest.raises(ValueError):
+        call_with_retries(fails, retries=-1)

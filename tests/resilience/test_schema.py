@@ -1,0 +1,92 @@
+"""Fault-plan schema validation and its CLI."""
+
+import json
+
+from repro.resilience.schema import main, validate_plan
+
+VALID = {
+    "schema": "repro.resilience.plan/v1",
+    "seed": 42,
+    "rules": [
+        {"site": "worker.evaluate", "kind": "crash", "max_fires": 1},
+        {"site": "cache.disk_read", "kind": "corrupt"},
+        {"site": "pool.submit", "kind": "delay", "delay_seconds": 0.5,
+         "probability": 0.25, "after": 2},
+    ],
+}
+
+
+def test_valid_plan_has_no_problems():
+    assert validate_plan(VALID) == []
+
+
+def test_non_object_payload():
+    assert validate_plan([]) == ["payload: must be a JSON object"]
+
+
+def test_schema_id_and_seed_checked():
+    problems = validate_plan({"schema": "nope", "seed": "x",
+                              "rules": VALID["rules"]})
+    assert any(p.startswith("schema:") for p in problems)
+    assert any(p.startswith("seed:") for p in problems)
+
+
+def test_rules_must_be_nonempty_list():
+    assert "rules: must be a list" in validate_plan(
+        {"schema": VALID["schema"], "rules": {}})
+    assert "rules: must not be empty" in validate_plan(
+        {"schema": VALID["schema"], "rules": []})
+
+
+def test_rule_field_problems_are_located():
+    problems = validate_plan({
+        "schema": VALID["schema"],
+        "rules": [
+            {"site": "worker.evaluate", "kind": "bogus"},
+            {"site": "worker.evaluate", "kind": "delay"},  # zero delay
+            {"site": "worker.evaluate", "kind": "error", "probability": 2},
+            {"site": "worker.evaluate", "kind": "error", "typo_field": 1},
+        ],
+    })
+    assert any(p.startswith("rules[0].kind:") for p in problems)
+    assert any(p.startswith("rules[1].delay_seconds:") for p in problems)
+    assert any(p.startswith("rules[2].probability:") for p in problems)
+    assert any("typo_field" in p for p in problems)
+
+
+def test_unknown_sites_warn_only_in_strict_mode():
+    plan = {"schema": VALID["schema"],
+            "rules": [{"site": "not.a.site", "kind": "error"}]}
+    assert validate_plan(plan) == []
+    strict = validate_plan(plan, strict_sites=True)
+    assert len(strict) == 1 and "warning" in strict[0]
+
+
+def test_cli_accepts_valid_plan(tmp_path, capsys):
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(VALID))
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "3 rules" in out
+
+
+def test_cli_rejects_invalid_plan(tmp_path, capsys):
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps({"schema": "nope", "rules": []}))
+    assert main([str(path)]) == 1
+    assert "invalid:" in capsys.readouterr().err
+
+
+def test_cli_warns_on_unwired_sites_but_passes(tmp_path, capsys):
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps({
+        "schema": VALID["schema"],
+        "rules": [{"site": "not.a.site", "kind": "error"}],
+    }))
+    assert main([str(path)]) == 0
+    assert "warning:" in capsys.readouterr().err
+
+
+def test_cli_unreadable_file(tmp_path, capsys):
+    assert main([str(tmp_path / "missing.json")]) == 1
+    assert "cannot read" in capsys.readouterr().err
