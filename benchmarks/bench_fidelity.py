@@ -1,0 +1,318 @@
+"""Fidelity-ladder cost and calibration benchmark (Method C).
+
+Measures, per tier of :class:`repro.ladder.Ladder`, the wall seconds of a
+``predict`` answer and its observed floored relative error against the
+tier-3 simulated ground truth, over representative generator matrices
+covering all four paper classes.  The headline numbers are the cost
+ratios on the 20k-row random matrix — tier 0 (closed forms) and tier 1
+(SHARDS-sampled stack pass) vs tier 2 (the exact single-period stack
+pass, the historical default fidelity) — and the calibration check that
+every tier's observed error stays within its reported bound.
+
+Run as a script for the JSON emitter / CI smoke mode::
+
+    PYTHONPATH=src python benchmarks/bench_fidelity.py --json BENCH_fidelity.json
+    PYTHONPATH=src python benchmarks/bench_fidelity.py --check
+
+``--check`` relaxes the cost thresholds (tier 0 >= 20x, tier 1 >= 2x
+cheaper than tier 2): shared CI runners measure scheduler noise, not the
+engine; the committed ``BENCH_fidelity.json`` records the full ratios
+(tier 0 >= 100x, tier 1 >= 5x).  The check also boots the advisor daemon
+and asserts that a loose accuracy SLO is answered without any stack
+pass, via the per-tier ladder counters and per-phase seconds in
+``/metrics``.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import pytest
+
+from repro.core.analytic import stream_misses
+from repro.core.classification import classify
+from repro.experiments import ExperimentSetup
+from repro.experiments.common import peak_rss_bytes
+from repro.ladder import Ladder, MatrixDims
+from repro.matrices import banded, random_uniform
+from repro.spmv.sector_policy import SectorPolicy
+
+#: The benchmark's experiment shape: the paper's 48-thread run at the
+#: simulator-friendly 1/16 machine scale.
+SETUP = ExperimentSetup(scale=16, num_threads=48, iterations=2)
+
+#: L2 way splits priced per matrix (baseline + the two Listing-1 splits
+#: the advisor ranks first).
+WAY_SPLITS = (0, 2, 5)
+
+#: (factory, headline) workloads spanning the four paper classes under
+#: ``SETUP``: banded_n8000 is class 1, random_n20000 class 2 (the
+#: headline cost matrix), random_n40000 mixes classes 2/3a across the
+#: way splits, random_n80000 is class 3b.
+WORKLOADS = (
+    (lambda: random_uniform(20_000, 8, seed=1), True),
+    (lambda: banded(8_000, 32, 4, seed=1), False),
+    (lambda: random_uniform(40_000, 8, seed=4), False),
+    (lambda: random_uniform(80_000, 4, seed=9), False),
+)
+
+#: Forcing one tier: with no SLO the ladder answers at ``min(2,
+#: max_tier)``, so ``max_tier`` alone pins tiers 0-2; an unattainable
+#: SLO skips every analytic tier and runs only the simulation.
+FORCE_TIER = {
+    0: {"max_tier": 0},
+    1: {"max_tier": 1},
+    2: {"max_tier": 2},
+    3: {"max_tier": 3, "accuracy": 1e-9},
+}
+
+
+def _policies():
+    return [
+        SectorPolicy.from_dict({"l2_sector1_ways": w}).to_dict()
+        for w in WAY_SPLITS
+    ]
+
+
+def _policy_key(policy: dict) -> str:
+    return json.dumps(policy, sort_keys=True)
+
+
+def measure_matrix(matrix, repeats: int = 3) -> dict:
+    """Per-tier seconds, error bound, and observed error for one matrix.
+
+    Tiers 0-2 report the best of ``repeats`` cold answers (each answer
+    rebuilds its model: the cost is the real end-to-end price of that
+    fidelity); tier 3, the ground truth, runs once.  Errors are floored
+    relative errors of ``l2_misses`` per policy, worst-cased over the
+    policy grid — the same metric the calibrated bounds speak about.
+    """
+    machine = SETUP.machine()
+    ladder = Ladder(SETUP)
+    dims = MatrixDims.of(matrix)
+    floor = max(1, stream_misses(dims, machine.line_size).total)
+    cmgs = -(-SETUP.num_threads // machine.cores_per_cmg)
+    policies = _policies()
+
+    answers = {}
+    seconds = {}
+    for tier, forcing in FORCE_TIER.items():
+        rounds = 1 if tier == 3 else repeats
+        best = float("inf")
+        for _ in range(rounds):
+            answer = ladder.answer(
+                "predict", dims, lambda m=matrix: m, name=matrix.name,
+                policies=policies, **forcing,
+            )
+            assert answer.tier == tier, (
+                f"forcing {forcing} answered at tier {answer.tier}"
+            )
+            best = min(best, answer.cost_seconds)
+        answers[tier] = answer
+        seconds[tier] = best
+
+    truth = {
+        _policy_key(p["policy"]): p["l2_misses"]
+        for p in answers[3].result["predictions"]
+    }
+    tiers = {}
+    for tier in (0, 1, 2, 3):
+        error = max(
+            abs(p["l2_misses"] - truth[_policy_key(p["policy"])])
+            / max(truth[_policy_key(p["policy"])], floor)
+            for p in answers[tier].result["predictions"]
+        )
+        tiers[str(tier)] = {
+            "seconds": seconds[tier],
+            "predicted_seconds": answers[tier].predicted_cost_seconds,
+            "error_bound": answers[tier].error_bound,
+            "observed_error": error,
+            "within_bound": error <= answers[tier].error_bound,
+        }
+    return {
+        "nnz": matrix.nnz,
+        "classes": {
+            str(w): classify(dims, machine, w, cmgs).value for w in WAY_SPLITS
+        },
+        "stream_lines_floor": floor,
+        "tiers": tiers,
+    }
+
+
+def run_benchmark(repeats: int = 3, verbose: bool = True) -> dict:
+    """The full measurement payload (the ``BENCH_fidelity.json`` shape)."""
+    payload = {
+        "setup": {"scale": SETUP.scale, "num_threads": SETUP.num_threads,
+                  "iterations": SETUP.iterations},
+        "way_splits": list(WAY_SPLITS),
+        "error_metric": "|prediction - truth| / max(truth, stream_lines)",
+        "matrices": {},
+    }
+    for factory, headline in WORKLOADS:
+        matrix = factory()
+        stats = measure_matrix(matrix, repeats=repeats)
+        payload["matrices"][matrix.name] = stats
+        if headline:
+            t = stats["tiers"]
+            payload["headline"] = {
+                "matrix": matrix.name,
+                "tier0_speedup_vs_tier2": t["2"]["seconds"] / t["0"]["seconds"],
+                "tier1_speedup_vs_tier2": t["2"]["seconds"] / t["1"]["seconds"],
+                "tier2_seconds": t["2"]["seconds"],
+                "tier3_seconds": t["3"]["seconds"],
+            }
+        if verbose:
+            line = "  ".join(
+                f"t{tier}: {s['seconds'] * 1e3:.2f}ms "
+                f"err={s['observed_error']:.3f}/{s['error_bound']:.3f}"
+                for tier, s in sorted(stats["tiers"].items())
+            )
+            print(f"{matrix.name}: {line}")
+    payload["within_bounds"] = all(
+        s["within_bound"]
+        for stats in payload["matrices"].values()
+        for s in stats["tiers"].values()
+    )
+    payload["peak_rss_bytes"] = peak_rss_bytes()
+    return payload
+
+
+# -- pytest entry points (pytest benchmarks/bench_fidelity.py) -----------
+
+
+def test_bench_tier_cost_ordering(benchmark):
+    """Headline matrix: each cheaper tier is actually cheaper."""
+    matrix = WORKLOADS[0][0]()
+    stats = benchmark.pedantic(
+        lambda: measure_matrix(matrix, repeats=1),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    t = stats["tiers"]
+    benchmark.extra_info["tier_seconds"] = {k: s["seconds"] for k, s in t.items()}
+    assert t["0"]["seconds"] < t["2"]["seconds"]
+    assert t["1"]["seconds"] < t["2"]["seconds"]
+    assert t["2"]["seconds"] < t["3"]["seconds"]
+
+
+@pytest.mark.parametrize(
+    "factory", [w[0] for w in WORKLOADS],
+    ids=["random20k", "banded8k", "random40k", "random80k"],
+)
+def test_bench_errors_within_bounds(factory):
+    """Every tier's observed error stays inside its reported bound."""
+    stats = measure_matrix(factory(), repeats=1)
+    for tier, stat in stats["tiers"].items():
+        assert stat["within_bound"], (
+            f"tier {tier}: observed {stat['observed_error']:.3f} exceeds "
+            f"the reported bound {stat['error_bound']:.3f}"
+        )
+
+
+# -- script mode: JSON emitter + CI smoke check --------------------------
+
+
+def _check_service_loose_slo() -> None:
+    """A loose-SLO request must be answered without any stack pass.
+
+    Boots the daemon, sends one ``predict`` with an SLO the class-1
+    matrix's tier-0 bound satisfies, and asserts via ``/metrics`` that
+    the answer was delivered at tier 0 and that no ``method_b.stack_pass``
+    phase ever ran for ``predict``.
+    """
+    from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+    matrix = banded(4_000, 16, 4, seed=2)
+    thread = ServiceThread(ServiceConfig(jobs=1, cache_dir=None))
+    host, port = thread.start()
+    try:
+        client = ServiceClient(host, port, timeout=120.0)
+        client.wait_ready()
+        envelope = client.predict(
+            matrix=matrix, num_threads=8, scale=16, accuracy=1.0,
+        )
+        fidelity = envelope["fidelity"]
+        assert fidelity["tier"] == 0, fidelity
+        assert fidelity["slo_met"], fidelity
+        metrics = client.metrics()
+        answers = metrics["ladder"]["answers"]["predict"]
+        assert answers.get("0", 0) >= 1, metrics["ladder"]
+        phases = metrics["evaluation_phase_seconds"].get("predict", {})
+        stack_phases = [k for k in phases if "stack_pass" in k]
+        assert not stack_phases, f"stack pass ran: {stack_phases}"
+        assert any(k.startswith("ladder.tier0") for k in phases), phases
+        client.shutdown()
+    finally:
+        thread.stop()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the per-tier seconds / error / bound payload here",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI smoke mode: relaxed cost ratios, errors-within-bounds, "
+             "and the loose-SLO no-stack-pass service assertion",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--min-tier0-speedup", type=float, default=None,
+        help="required tier-2/tier-0 cost ratio on the headline matrix "
+             "(default: 100, or 20 under --check)",
+    )
+    parser.add_argument(
+        "--min-tier1-speedup", type=float, default=None,
+        help="required tier-2/tier-1 cost ratio on the headline matrix "
+             "(default: 5, or 2 under --check)",
+    )
+    args = parser.parse_args(argv)
+    min_t0 = args.min_tier0_speedup or (20.0 if args.check else 100.0)
+    min_t1 = args.min_tier1_speedup or (2.0 if args.check else 5.0)
+
+    started = time.perf_counter()
+    payload = run_benchmark(repeats=1 if args.check else args.repeats)
+    headline = payload["headline"]
+    print(
+        f"headline ({headline['matrix']}): tier 0 is "
+        f"{headline['tier0_speedup_vs_tier2']:.0f}x and tier 1 "
+        f"{headline['tier1_speedup_vs_tier2']:.1f}x cheaper than tier 2 "
+        f"({time.perf_counter() - started:.1f}s total)"
+    )
+
+    failures = []
+    if not payload["within_bounds"]:
+        failures.append("an observed error exceeded its reported bound")
+    if headline["tier0_speedup_vs_tier2"] < min_t0:
+        failures.append(
+            f"tier-0 speedup {headline['tier0_speedup_vs_tier2']:.1f}x "
+            f"< required {min_t0:g}x"
+        )
+    if headline["tier1_speedup_vs_tier2"] < min_t1:
+        failures.append(
+            f"tier-1 speedup {headline['tier1_speedup_vs_tier2']:.1f}x "
+            f"< required {min_t1:g}x"
+        )
+    if args.check:
+        _check_service_loose_slo()
+        print("OK: loose-SLO predict answered at tier 0, no stack pass ran")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: every tier's observed error is within its reported bound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,6 +118,131 @@ class Recommendation:
         )
 
 
+def surrogate_choice(
+    perf: PerformanceModel,
+    nnz: int,
+    streams,
+    num_threads: int,
+    policy: SectorPolicy,
+    per_array: dict,
+) -> PolicyChoice:
+    """Price one candidate policy from its per-array miss counts.
+
+    The single home of the model-level event surrogate shared by the full
+    advisor, degraded mode and the fidelity ladder: all predicted misses
+    are refills, the demand share is whatever the prefetchable streams
+    cannot cover.  ``per_array`` is the zero-filtered miss dict of
+    :func:`repro.core.analytic.method_b_per_array` (any x pricing).
+    """
+    misses = sum(per_array.values())
+    prefetchable = sum(
+        per_array.get(a, 0) for a in ("values", "colidx", "rowptr", "y")
+    )
+    events = CacheEvents(
+        l1_refill=streams.total + nnz // 8,
+        l2_refill=misses,
+        l2_refill_demand=per_array.get("x", 0),
+        l2_refill_prefetch=prefetchable,
+        l2_writeback=streams.y if misses else 0,
+    )
+    est = perf.estimate_from_counts(nnz, events, num_threads)
+    return PolicyChoice(
+        policy=policy, predicted_l2_misses=misses, predicted_seconds=est.seconds
+    )
+
+
+def isolate_x_choice(
+    perf: PerformanceModel,
+    nnz: int,
+    streams,
+    num_threads: int,
+    ways: int,
+    x_misses: int,
+) -> PolicyChoice:
+    """Price the Section-3.1 isolate-x candidate for a way count.
+
+    ``x`` owns partition 0 alone (its reuse distances need no scaling —
+    the third case of Section 3.2.2, so ``x_misses`` is priced at scale
+    1.0); everything else streams through sector 1.
+    """
+    misses = streams.total + x_misses
+    events = CacheEvents(
+        l1_refill=streams.total + nnz // 8,
+        l2_refill=misses,
+        l2_refill_demand=max(0, misses - streams.total),
+        l2_refill_prefetch=min(misses, streams.total),
+        l2_writeback=streams.y,
+    )
+    est = perf.estimate_from_counts(nnz, events, num_threads)
+    return PolicyChoice(
+        policy=isolate_x_policy(ways),
+        predicted_l2_misses=misses,
+        predicted_seconds=est.seconds,
+    )
+
+
+def recommend_from_predictions(
+    *,
+    machine: A64FX,
+    num_threads: int,
+    way_options,
+    consider_isolate_x: bool,
+    min_ways: int,
+    matrix_class: MatrixClass,
+    nnz: int,
+    streams,
+    per_array_fn,
+    x_misses_fn,
+) -> Recommendation:
+    """Shared candidate enumeration and ranking of the sector advisor.
+
+    ``per_array_fn(policy)`` supplies the per-array miss counts of one
+    candidate and ``x_misses_fn(scale, capacity_lines)`` the x pricing for
+    the isolate-x candidates; everything else — the candidate field, the
+    prefetch-premature-eviction gate (``min_ways``), the class gate on
+    isolate-x, the performance-model ranking and the fewer-ways tie-break
+    — is identical no matter which fidelity tier computed the misses.
+    """
+    if not way_options:
+        raise ValueError("way_options must not be empty")
+    perf = PerformanceModel(machine)
+
+    base_policy = no_sector_cache()
+    baseline = surrogate_choice(
+        perf, nnz, streams, num_threads, base_policy, per_array_fn(base_policy)
+    )
+    candidates = [baseline]
+    for ways in way_options:
+        if ways < min_ways:
+            continue
+        policy = listing1_policy(ways)
+        candidates.append(
+            surrogate_choice(
+                perf, nnz, streams, num_threads, policy, per_array_fn(policy)
+            )
+        )
+    if consider_isolate_x and matrix_class in (MatrixClass.CLASS3A, MatrixClass.CLASS3B):
+        for ways in way_options:
+            if ways < min_ways:
+                continue
+            n0, _ = machine.l2.partition_lines(ways)
+            candidates.append(
+                isolate_x_choice(
+                    perf, nnz, streams, num_threads, ways, x_misses_fn(1.0, n0)
+                )
+            )
+    best = min(
+        candidates,
+        key=lambda c: (c.predicted_seconds, c.policy.l2_sector1_ways),
+    )
+    return Recommendation(
+        best=best,
+        baseline=baseline,
+        candidates=tuple(candidates),
+        matrix_class=matrix_class,
+    )
+
+
 class SectorAdvisor:
     """Pick a sector policy for a matrix from model predictions alone.
 
@@ -146,31 +271,6 @@ class SectorAdvisor:
         self.min_ways = min_sector1_ways_with_prefetch
         self.perf = PerformanceModel(machine)
 
-    def _choice(
-        self, model: MethodB, matrix: CSRMatrix, policy: SectorPolicy
-    ) -> PolicyChoice:
-        misses = model.predict(policy).l2_misses
-        streams = stream_misses(matrix, self.machine.line_size)
-        # model-level event surrogate: all predicted misses are refills;
-        # the demand share is whatever prefetchable streams cannot cover
-        prediction = model.predict(policy)
-        prefetchable = sum(
-            prediction.per_array.get(a, 0)
-            for a in ("values", "colidx", "rowptr", "y")
-        )
-        demand = prediction.per_array.get("x", 0)
-        events = CacheEvents(
-            l1_refill=streams.total + matrix.nnz // 8,
-            l2_refill=misses,
-            l2_refill_demand=demand,
-            l2_refill_prefetch=prefetchable,
-            l2_writeback=streams.y if misses else 0,
-        )
-        est = self.perf.estimate(matrix, events, self.num_threads)
-        return PolicyChoice(
-            policy=policy, predicted_l2_misses=misses, predicted_seconds=est.seconds
-        )
-
     def recommend(
         self, matrix: CSRMatrix, schedule: RowSchedule | None = None
     ) -> Recommendation:
@@ -180,51 +280,16 @@ class SectorAdvisor:
         )
         num_cmgs = -(-self.num_threads // self.machine.cores_per_cmg)
         cls = classify(matrix, self.machine, max(self.way_options), num_cmgs)
-
-        baseline = self._choice(model, matrix, no_sector_cache())
-        candidates = [baseline]
-        for ways in self.way_options:
-            if ways < self.min_ways:
-                continue
-            candidates.append(self._choice(model, matrix, listing1_policy(ways)))
-        if self.consider_isolate_x and cls in (MatrixClass.CLASS3A, MatrixClass.CLASS3B):
-            for ways in self.way_options:
-                if ways < self.min_ways:
-                    continue
-                policy = isolate_x_policy(ways)
-                misses = _isolate_x_misses(model, matrix, self.machine, ways)
-                streams = stream_misses(matrix, self.machine.line_size)
-                events = CacheEvents(
-                    l1_refill=streams.total + matrix.nnz // 8,
-                    l2_refill=misses,
-                    l2_refill_demand=max(0, misses - streams.total),
-                    l2_refill_prefetch=min(misses, streams.total),
-                    l2_writeback=streams.y,
-                )
-                est = self.perf.estimate(matrix, events, self.num_threads)
-                candidates.append(
-                    PolicyChoice(policy, misses, est.seconds)
-                )
-        best = min(
-            candidates,
-            key=lambda c: (c.predicted_seconds, c.policy.l2_sector1_ways),
-        )
-        return Recommendation(
-            best=best,
-            baseline=baseline,
-            candidates=tuple(candidates),
+        streams = stream_misses(matrix, self.machine.line_size)
+        return recommend_from_predictions(
+            machine=self.machine,
+            num_threads=self.num_threads,
+            way_options=self.way_options,
+            consider_isolate_x=self.consider_isolate_x,
+            min_ways=self.min_ways,
             matrix_class=cls,
+            nnz=matrix.nnz,
+            streams=streams,
+            per_array_fn=lambda policy: model.predict(policy).per_array,
+            x_misses_fn=model.x_misses,
         )
-
-
-def _isolate_x_misses(model: MethodB, matrix: CSRMatrix, machine: A64FX, ways: int) -> int:
-    """Predicted misses for the Section-3.1 isolate-x policy.
-
-    ``x`` owns partition 0 alone, so its reuse distances need no scaling
-    (the third case of Section 3.2.2); everything else streams through
-    sector 1.
-    """
-    n0, _ = machine.l2.partition_lines(ways)
-    streams = stream_misses(matrix, machine.line_size)
-    x_misses = model.x_misses(1.0, n0)
-    return streams.total + x_misses

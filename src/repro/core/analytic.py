@@ -16,6 +16,7 @@ space available to it, and zero otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..spmv.csr import CSRMatrix
 
@@ -58,6 +59,61 @@ def stream_misses(matrix: CSRMatrix, line_size: int) -> StreamMisses:
         rowptr=_lines(matrix.rowptr_bytes, line_size),
         y=_lines(matrix.y_bytes, line_size),
     )
+
+
+def method_b_per_array(
+    matrix,
+    machine,
+    num_cmgs: int,
+    streams: StreamMisses,
+    s1: float,
+    s2: float,
+    x_misses: Callable[[float, int], int],
+    policy,
+) -> dict[str, int]:
+    """Per-array L2 miss counts of one policy under the Method-B envelope.
+
+    This is the single home of the Section-3.1/3.2.2 policy branching:
+    streamed arrays contribute their line counts exactly when they cannot
+    be retained in the space available to them, and the ``x`` term is
+    delegated to ``x_misses(scale, capacity_lines)`` — a reuse-profile
+    query (Method B proper), a sampled-profile query (ladder tier 1), or
+    the all-or-nothing fit test (tier 0 / degraded mode).  ``matrix`` is
+    anything exposing the CSR ``*_bytes`` properties (a ``CSRMatrix`` or
+    a ``MatrixDims``).  Zero entries are dropped, matching the wire
+    format.
+    """
+    line = machine.line_size
+    per_array: dict[str, int] = {}
+    if policy.l2_enabled:
+        n0, n1 = machine.l2.partition_lines(policy.l2_sector1_ways)
+        # matrix data streams through sector 1: misses unless retained
+        if streams.matrix_data // num_cmgs > n1:
+            per_array["values"] = streams.values
+            per_array["colidx"] = streams.colidx
+        # rowptr and y share sector 0 with x: stream misses unless the
+        # reusable data fits the partition (class-2 criterion)
+        reusable = (
+            matrix.x_bytes + (matrix.y_bytes + matrix.rowptr_bytes) // num_cmgs
+        )
+        if reusable > n0 * line:
+            per_array["rowptr"] = streams.rowptr
+            per_array["y"] = streams.y
+        per_array["x"] = x_misses(s1, n0)
+    else:
+        total = machine.l2.capacity_lines
+        working = (
+            matrix.x_bytes + (matrix.total_bytes - matrix.x_bytes) // num_cmgs
+        )
+        if working > total * line:
+            per_array["values"] = streams.values
+            per_array["colidx"] = streams.colidx
+            per_array["rowptr"] = streams.rowptr
+            per_array["y"] = streams.y
+            per_array["x"] = x_misses(s2, total)
+        else:
+            per_array["x"] = 0  # class (1): no capacity misses
+    return {k: v for k, v in per_array.items() if v}
 
 
 def method_b_scale_factors(matrix: CSRMatrix) -> tuple[float, float]:

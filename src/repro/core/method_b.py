@@ -34,7 +34,7 @@ from ..reuse.periodic import steady_state_reuse_distances
 from ..spmv.csr import CSRMatrix
 from ..spmv.schedule import RowSchedule, static_schedule
 from ..spmv.sector_policy import SectorPolicy
-from .analytic import method_b_scale_factors, stream_misses
+from .analytic import method_b_per_array, method_b_scale_factors, stream_misses
 from .method_a import MissPrediction
 from .trace import repeat_trace, x_only_trace
 
@@ -135,44 +135,16 @@ class MethodB:
     def predict(self, policy: SectorPolicy) -> MissPrediction:
         """Predicted L2 misses of one steady-state iteration."""
         policy.validate(self.machine)
-        streams = self._streams
-        line = self.machine.line_size
-        cmgs = self.num_cmgs_used
-        per_array: dict[str, int] = {}
-        if policy.l2_enabled:
-            n0, n1 = self.machine.l2.partition_lines(policy.l2_sector1_ways)
-            # matrix data streams through sector 1: misses unless retained
-            matrix_lines_per_cmg = streams.matrix_data // cmgs
-            if matrix_lines_per_cmg > n1:
-                per_array["values"] = streams.values
-                per_array["colidx"] = streams.colidx
-            # rowptr and y share sector 0 with x: stream misses unless the
-            # reusable data fits the partition (class-2 criterion)
-            reusable = (
-                self.matrix.x_bytes
-                + (self.matrix.y_bytes + self.matrix.rowptr_bytes) // cmgs
-            )
-            if reusable > n0 * line:
-                per_array["rowptr"] = streams.rowptr
-                per_array["y"] = streams.y
-            per_array["x"] = self.x_misses(self.s1, n0)
-        else:
-            total = self.machine.l2.capacity_lines
-            working = (
-                self.matrix.x_bytes
-                + (
-                    self.matrix.total_bytes - self.matrix.x_bytes
-                ) // cmgs
-            )
-            if working > total * line:
-                per_array["values"] = streams.values
-                per_array["colidx"] = streams.colidx
-                per_array["rowptr"] = streams.rowptr
-                per_array["y"] = streams.y
-                per_array["x"] = self.x_misses(self.s2, total)
-            else:
-                per_array["x"] = 0  # class (1): no capacity misses
-        per_array = {k: v for k, v in per_array.items() if v}
+        per_array = method_b_per_array(
+            self.matrix,
+            self.machine,
+            self.num_cmgs_used,
+            self._streams,
+            self.s1,
+            self.s2,
+            self.x_misses,
+            policy,
+        )
         return MissPrediction(
             l2_misses=sum(per_array.values()),
             per_array=per_array,

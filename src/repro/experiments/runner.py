@@ -21,6 +21,7 @@ from ..obs.schema import TRACE_SCHEMA_ID
 from ..obs.tracer import Tracer, installed
 from .common import ExperimentSetup, collection_records
 from .figure2 import figure2_series, render_figure2
+from .ladder import render_ladder, run_ladder
 from .figure3 import figure3_series, headline_numbers, render_figure3
 from .figure4 import class_summary, figure4_points, render_figure4
 from .figure5 import correlation, figure5_points, render_figure5
@@ -37,7 +38,10 @@ EXPERIMENTS = ("table1", "table2", "table3", "figure2", "figure3", "figure4", "f
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--exp", choices=EXPERIMENTS + ("all",), default="all")
+    # "ladder" is opt-in (not part of "all"): it explores the fidelity
+    # trade-off rather than reproducing a paper artifact
+    parser.add_argument("--exp", choices=EXPERIMENTS + ("all", "ladder"),
+                        default="all")
     parser.add_argument("--collection", choices=("tiny", "small", "full"), default="small")
     parser.add_argument("--limit", type=int, default=None, help="cap the matrix count")
     parser.add_argument("--cache", default=".repro_cache", help="'' disables caching")
@@ -61,8 +65,19 @@ def main(argv: list[str] | None = None) -> int:
         help="record a hierarchical span trace of the run, write it to PATH "
              "as JSON, and print a self-time report",
     )
+    parser.add_argument(
+        "--accuracy", type=float, default=None, metavar="BOUND",
+        help="fidelity-ladder accuracy SLO for --exp ladder (floored "
+             "relative error; omitted = legacy fixed fidelity)",
+    )
+    parser.add_argument(
+        "--max-tier", type=int, default=3, choices=(0, 1, 2, 3),
+        help="fidelity-ladder escalation cap for --exp ladder",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
+    if args.accuracy is not None and args.accuracy <= 0:
+        parser.error("--accuracy must be positive")
     if args.jobs < 1:
         parser.error("--jobs must be positive")
 
@@ -97,6 +112,15 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run(args: argparse.Namespace, cache: str | None, wanted: tuple[str, ...]) -> int:
+    if "ladder" in wanted:
+        setup = ExperimentSetup(scale=args.scale, num_threads=48)
+        rows = run_ladder(
+            args.collection, setup, accuracy=args.accuracy,
+            max_tier=args.max_tier, limit=args.limit, verbose=args.verbose,
+        )
+        print(render_ladder(rows, args.accuracy, args.max_tier))
+        print()
+
     if "table1" in wanted:
         print(render_table1(run_table1()))
         print()

@@ -1,0 +1,52 @@
+"""Method C: the fidelity ladder (tiered predictions with error bounds).
+
+Four tiers answer the same classify/predict/advise questions at
+increasing cost and fidelity — closed forms (tier 0), a SHARDS-sampled
+stack pass (tier 1), the exact single-period stack pass (tier 2, the
+historical default), and the set-associative cache simulation (tier 3,
+ground truth).  :class:`Ladder` picks the cheapest tier whose error bound
+satisfies a requested accuracy SLO and escalates until it is met.
+"""
+
+from .calibration import DEFAULT_CALIBRATION, LadderCalibration
+from .cost import DEFAULT_COST_MODELS, TierCostModel
+from .engine import TIERS, Ladder, LadderAnswer, tier2_apriori_bound
+from .tier0 import (
+    MatrixDims,
+    answer_task,
+    closed_advise,
+    closed_classify,
+    closed_predict,
+    dims_from_task,
+    predict_policy,
+    x_fit_misses,
+)
+from .tiers import (
+    SampledMethodB,
+    build_sim,
+    simulated_predict,
+    simulated_recommendation,
+)
+
+__all__ = [
+    "DEFAULT_CALIBRATION",
+    "DEFAULT_COST_MODELS",
+    "Ladder",
+    "LadderAnswer",
+    "LadderCalibration",
+    "MatrixDims",
+    "SampledMethodB",
+    "TIERS",
+    "TierCostModel",
+    "answer_task",
+    "build_sim",
+    "closed_advise",
+    "closed_classify",
+    "closed_predict",
+    "dims_from_task",
+    "predict_policy",
+    "simulated_predict",
+    "simulated_recommendation",
+    "tier2_apriori_bound",
+    "x_fit_misses",
+]

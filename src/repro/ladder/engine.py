@@ -1,0 +1,477 @@
+"""The fidelity ladder: SLO-aware tier selection and escalation.
+
+``Ladder.answer`` evaluates one classify/predict/advise request at the
+cheapest tier whose *a-priori* error bound could satisfy the requested
+accuracy SLO, then escalates tier by tier until the *posterior* bound
+(known once the tier's queries ran — tier 1's statistical bound depends
+on the sampled miss counts) actually meets it, returning the answer
+together with ``(tier, bound, cost)``:
+
+====  ===========================================  ==================
+tier  engine                                       bound
+====  ===========================================  ==================
+0     closed forms (:mod:`repro.ladder.tier0`)     calibrated + fit test
+1     SHARDS-sampled stack pass (:class:`SampledMethodB`)  statistical
+2     exact single-period stack pass (:class:`MethodB`)    calibrated model
+3     set-associative simulation (:mod:`repro.cachesim`)   0 (ground truth)
+====  ===========================================  ==================
+
+Bounds are floored relative errors against tier-3 ground truth (see
+:mod:`repro.ladder.calibration` for the metric and the composition).
+``classify`` is closed-form exact, so it always answers at tier 0 with
+bound 0.  With no SLO the ladder answers at ``min(2, max_tier)`` — the
+historical default fidelity — so legacy requests are byte-identical.
+
+Each tier evaluation runs under an ``obs`` span named ``ladder.tier<N>``,
+so per-tier self seconds flow into the service's per-phase metrics and
+the absence of a ``method_b.stack_pass`` span is observable evidence that
+a cheap tier answered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.advisor import SectorAdvisor, recommend_from_predictions
+from ..core.analytic import method_b_scale_factors, stream_misses
+from ..core.classification import MatrixClass, classify
+from ..core.method_b import MethodB
+from ..machine.a64fx import A64FX
+from ..obs.tracer import span as obs_span
+from ..spmv.csr import CSRMatrix
+from ..spmv.sector_policy import (
+    SectorPolicy,
+    listing1_policy,
+    no_sector_cache,
+)
+from .calibration import DEFAULT_CALIBRATION, LadderCalibration
+from .cost import DEFAULT_COST_MODELS, TierCostModel
+from .tier0 import (
+    MatrixDims,
+    closed_advise,
+    closed_classify,
+    closed_predict,
+    dims_from_task,
+    num_cmgs,
+    x_lines,
+)
+from .tiers import SampledMethodB, simulated_predict, simulated_recommendation
+
+TIERS = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class _QueryPoint:
+    """One x-pricing site of a request: its class and profile query.
+
+    ``scale``/``capacity`` are ``None`` when the shared branching prices x
+    as exactly zero (the retained no-partitioning case) — every analytic
+    tier then agrees by construction and the point contributes no
+    surrogate error.
+    """
+
+    cls_value: str
+    scale: float | None
+    capacity: int | None
+
+
+@dataclass(frozen=True)
+class LadderAnswer:
+    """One answered request: the wire result plus fidelity metadata."""
+
+    result: dict
+    endpoint: str
+    tier: int
+    error_bound: float
+    cost_seconds: float
+    predicted_cost_seconds: float
+    tiers_tried: tuple[int, ...]
+    tier_bounds: tuple[float, ...]
+    accuracy_slo: float | None
+    slo_met: bool
+
+    @property
+    def escalations(self) -> int:
+        return max(0, len(self.tiers_tried) - 1)
+
+    def fidelity(self) -> dict:
+        """JSON fidelity metadata (the service envelope's ``fidelity``)."""
+        return {
+            "tier": self.tier,
+            "error_bound": self.error_bound,
+            "accuracy_slo": self.accuracy_slo,
+            "slo_met": self.slo_met,
+            "cost_seconds": self.cost_seconds,
+            "predicted_cost_seconds": self.predicted_cost_seconds,
+            "tiers_tried": list(self.tiers_tried),
+            "tier_bounds": list(self.tier_bounds),
+            "escalations": self.escalations,
+        }
+
+
+@dataclass(frozen=True)
+class _Request:
+    """Normalized inputs of one ladder evaluation."""
+
+    endpoint: str
+    dims: MatrixDims
+    name: str
+    materialize: Callable[[], CSRMatrix]
+    policy_dicts: tuple[dict, ...] = ()
+    way_options: tuple[int, ...] = ()
+    consider_isolate_x: bool = True
+    min_ways: int = 4
+
+
+class Ladder:
+    """Four-tier prediction engine with cost estimates and error bounds."""
+
+    def __init__(
+        self,
+        setup,
+        calibration: LadderCalibration = DEFAULT_CALIBRATION,
+        cost_models: dict[int, TierCostModel] | None = None,
+        sampling_rate: float | None = None,
+    ) -> None:
+        self.setup = setup
+        self.machine: A64FX = setup.machine()
+        self.calibration = calibration
+        self.cost_models = dict(DEFAULT_COST_MODELS if cost_models is None
+                                else cost_models)
+        self.sampling_rate = (calibration.sampling_rate if sampling_rate is None
+                              else sampling_rate)
+
+    # -- public API ----------------------------------------------------
+    def answer(
+        self,
+        endpoint: str,
+        dims: MatrixDims,
+        materialize: Callable[[], CSRMatrix],
+        *,
+        name: str,
+        accuracy: float | None = None,
+        max_tier: int = 3,
+        policies: list[dict] | None = None,
+        way_options: list[int] | None = None,
+        consider_isolate_x: bool = True,
+        min_sector1_ways_with_prefetch: int = 4,
+    ) -> LadderAnswer:
+        """Answer one request at the cheapest SLO-satisfying tier.
+
+        ``accuracy`` is the floored-relative-error SLO (``None`` means
+        "the historical default fidelity": tier ``min(2, max_tier)``);
+        ``max_tier`` caps escalation.  ``policies`` (canonical policy
+        dicts) parameterize ``predict``; ``way_options`` & friends
+        parameterize ``classify``/``advise``.
+        """
+        if endpoint not in ("classify", "predict", "advise"):
+            raise ValueError(f"no ladder for endpoint {endpoint!r}")
+        if max_tier not in TIERS:
+            raise ValueError(f"max_tier must be one of {TIERS}")
+        if accuracy is not None and accuracy <= 0:
+            raise ValueError("accuracy SLO must be positive")
+        request = _Request(
+            endpoint=endpoint,
+            dims=dims,
+            name=name,
+            materialize=_memoize(materialize),
+            policy_dicts=tuple(policies or ()),
+            way_options=tuple(way_options or ()),
+            consider_isolate_x=consider_isolate_x,
+            min_ways=min_sector1_ways_with_prefetch,
+        )
+        if endpoint == "classify":
+            # closed-form exact: bound 0 satisfies every SLO at tier 0
+            started = time.perf_counter()
+            with obs_span("ladder.tier0", endpoint=endpoint):
+                result, _ = self._evaluate(0, request)
+            cost = time.perf_counter() - started
+            return LadderAnswer(
+                result=result, endpoint=endpoint, tier=0, error_bound=0.0,
+                cost_seconds=cost,
+                predicted_cost_seconds=self.predicted_cost(0, dims.nnz, 1),
+                tiers_tried=(0,), tier_bounds=(0.0,),
+                accuracy_slo=accuracy, slo_met=True,
+            )
+        return self._escalate(request, accuracy, max_tier)
+
+    def answer_task(self, task: dict, name: str,
+                    materialize: Callable[[], CSRMatrix]) -> LadderAnswer:
+        """Adapter from a canonical service task (see service.protocol)."""
+        endpoint = task["endpoint"]
+        dims = dims_from_task(task, self.machine)
+        kwargs: dict = {}
+        if endpoint == "predict":
+            kwargs["policies"] = task["policies"]
+        elif endpoint in ("classify", "advise"):
+            kwargs["way_options"] = task["way_options"]
+        if endpoint == "advise":
+            kwargs["consider_isolate_x"] = task["consider_isolate_x"]
+            kwargs["min_sector1_ways_with_prefetch"] = (
+                task["min_sector1_ways_with_prefetch"]
+            )
+        return self.answer(
+            endpoint, dims, materialize, name=name,
+            accuracy=task.get("accuracy"),
+            max_tier=task.get("max_tier", 3),
+            **kwargs,
+        )
+
+    def predicted_cost(self, tier: int, nnz: int, num_policies: int) -> float:
+        return self.cost_models[tier].predict_seconds(nnz, num_policies)
+
+    # -- bounds --------------------------------------------------------
+    def _query_points(self, request: _Request) -> tuple[_QueryPoint, ...]:
+        dims, machine = request.dims, self.machine
+        cmgs = num_cmgs(machine, self.setup.num_threads)
+        s1, s2 = method_b_scale_factors(dims)
+        line = machine.line_size
+
+        def point(ways: int, scale_override: float | None = None) -> _QueryPoint:
+            cls = classify(dims, machine, ways, cmgs).value
+            if ways > 0:
+                n0, _ = machine.l2.partition_lines(ways)
+                return _QueryPoint(cls, scale_override or s1, n0)
+            total = machine.l2.capacity_lines
+            working = dims.x_bytes + (dims.total_bytes - dims.x_bytes) // cmgs
+            if working > total * line:
+                return _QueryPoint(cls, s2, total)
+            return _QueryPoint(cls, None, None)
+
+        points = []
+        if request.endpoint == "predict":
+            for entry in request.policy_dicts:
+                policy = SectorPolicy.from_dict(entry)
+                points.append(point(policy.l2_sector1_ways))
+        else:  # advise: the candidate field's query points
+            points.append(point(no_sector_cache().l2_sector1_ways))
+            for ways in request.way_options:
+                if ways >= request.min_ways:
+                    points.append(point(listing1_policy(ways).l2_sector1_ways))
+            top_cls = classify(dims, machine, max(request.way_options), cmgs)
+            if request.consider_isolate_x and top_cls in (
+                MatrixClass.CLASS3A, MatrixClass.CLASS3B
+            ):
+                for ways in request.way_options:
+                    if ways >= request.min_ways:
+                        points.append(point(ways, scale_override=1.0))
+        return tuple(points)
+
+    def _floor(self, dims: MatrixDims) -> int:
+        return max(1, stream_misses(dims, self.machine.line_size).total)
+
+    def apriori_bound(self, tier: int, request: _Request) -> float:
+        """Worst-case bound of a tier before evaluating it."""
+        if tier >= 3:
+            return 0.0
+        cal = self.calibration
+        line = self.machine.line_size
+        worst = 0.0
+        for pt in self._query_points(request):
+            term = cal.model_term(pt.cls_value)
+            if pt.scale is not None:
+                if tier == 1:
+                    term += cal.tier1_apriori
+                elif tier == 0:
+                    deep = cal.deep_fit(
+                        x_lines(request.dims, line) * pt.scale, pt.capacity
+                    )
+                    term += cal.tier0_term(pt.cls_value, deep)
+            worst = max(worst, term)
+        return worst
+
+    def _posterior_bound(self, tier: int, request: _Request,
+                         model: SampledMethodB | None) -> float:
+        """Bound of a tier once its queries ran (tightens tier 1)."""
+        if tier != 1 or model is None:
+            return self.apriori_bound(tier, request)
+        cal = self.calibration
+        floor = self._floor(request.dims)
+        worst = 0.0
+        for pt in self._query_points(request):
+            term = cal.model_term(pt.cls_value)
+            if pt.scale is not None:
+                se = model.x_misses_error(pt.scale, pt.capacity)
+                term += cal.sampling_z * se / floor + cal.sampling_bias
+            worst = max(worst, term)
+        return worst
+
+    # -- escalation ----------------------------------------------------
+    def _escalate(self, request: _Request, accuracy: float | None,
+                  max_tier: int) -> LadderAnswer:
+        allowed = [t for t in TIERS if t <= max_tier]
+        if accuracy is None:
+            allowed = [min(2, max_tier)]
+        tried: list[int] = []
+        bounds: list[float] = []
+        total_cost = 0.0
+        result: dict = {}
+        posterior = 0.0
+        tier = allowed[-1]
+        for index, candidate in enumerate(allowed):
+            last = index == len(allowed) - 1
+            if (accuracy is not None and not last
+                    and self.apriori_bound(candidate, request) > accuracy):
+                continue  # this tier cannot satisfy the SLO: skip past it
+            started = time.perf_counter()
+            with obs_span(f"ladder.tier{candidate}", endpoint=request.endpoint):
+                result, model = self._evaluate(candidate, request)
+            total_cost += time.perf_counter() - started
+            posterior = self._posterior_bound(candidate, request, model)
+            tried.append(candidate)
+            bounds.append(posterior)
+            tier = candidate
+            if accuracy is None or posterior <= accuracy or last:
+                break
+        return LadderAnswer(
+            result=result,
+            endpoint=request.endpoint,
+            tier=tier,
+            error_bound=posterior,
+            cost_seconds=total_cost,
+            predicted_cost_seconds=self.predicted_cost(
+                tier, request.dims.nnz,
+                max(1, len(request.policy_dicts) or len(request.way_options)),
+            ),
+            tiers_tried=tuple(tried),
+            tier_bounds=tuple(bounds),
+            accuracy_slo=accuracy,
+            slo_met=accuracy is None or posterior <= accuracy,
+        )
+
+    # -- tier evaluation -----------------------------------------------
+    def _evaluate(
+        self, tier: int, request: _Request
+    ) -> tuple[dict, SampledMethodB | None]:
+        threads = self.setup.num_threads
+        if request.endpoint == "classify":
+            return closed_classify(
+                request.dims, self.machine, threads,
+                list(request.way_options), request.name,
+            ), None
+        if request.endpoint == "predict":
+            return self._evaluate_predict(tier, request)
+        return self._evaluate_advise(tier, request)
+
+    def _evaluate_predict(
+        self, tier: int, request: _Request
+    ) -> tuple[dict, SampledMethodB | None]:
+        threads = self.setup.num_threads
+        if tier == 0:
+            return closed_predict(
+                request.dims, self.machine, threads,
+                list(request.policy_dicts), request.name,
+            ), None
+        matrix = request.materialize()
+        if tier == 3:
+            return simulated_predict(
+                matrix, self.machine, self.setup.sim_config(),
+                list(request.policy_dicts), matrix.name,
+            ), None
+        if tier == 1:
+            model: SampledMethodB | MethodB = SampledMethodB(
+                matrix, self.machine, num_threads=threads,
+                rate=self.sampling_rate,
+            )
+        else:
+            model = MethodB(matrix, self.machine, num_threads=threads,
+                            iterations=self.setup.iterations)
+        predictions = []
+        for entry in request.policy_dicts:
+            prediction = model.predict(SectorPolicy.from_dict(entry))
+            predictions.append({
+                "policy": prediction.policy.to_dict(),
+                "l2_misses": int(prediction.l2_misses),
+                "per_array": {k: int(v)
+                              for k, v in prediction.per_array.items()},
+            })
+        result = {"name": matrix.name, "method": "B",
+                  "predictions": predictions}
+        return result, (model if tier == 1 else None)
+
+    def _evaluate_advise(
+        self, tier: int, request: _Request
+    ) -> tuple[dict, SampledMethodB | None]:
+        threads = self.setup.num_threads
+        if tier == 0:
+            return closed_advise(
+                request.dims, self.machine, threads,
+                list(request.way_options),
+                consider_isolate_x=request.consider_isolate_x,
+                min_sector1_ways_with_prefetch=request.min_ways,
+            ).to_dict(), None
+        matrix = request.materialize()
+        if tier == 2:
+            advisor = SectorAdvisor(
+                self.machine,
+                num_threads=threads,
+                way_options=tuple(request.way_options),
+                consider_isolate_x=request.consider_isolate_x,
+                min_sector1_ways_with_prefetch=request.min_ways,
+            )
+            return advisor.recommend(matrix).to_dict(), None
+        cmgs = num_cmgs(self.machine, threads)
+        cls = classify(matrix, self.machine, max(request.way_options), cmgs)
+        if tier == 3:
+            return simulated_recommendation(
+                matrix, self.machine, self.setup.sim_config(), threads,
+                tuple(request.way_options), request.consider_isolate_x,
+                request.min_ways, cls,
+            ).to_dict(), None
+        model = SampledMethodB(
+            matrix, self.machine, num_threads=threads, rate=self.sampling_rate
+        )
+        recommendation = recommend_from_predictions(
+            machine=self.machine,
+            num_threads=threads,
+            way_options=tuple(request.way_options),
+            consider_isolate_x=request.consider_isolate_x,
+            min_ways=request.min_ways,
+            matrix_class=cls,
+            nnz=matrix.nnz,
+            streams=stream_misses(matrix, self.machine.line_size),
+            per_array_fn=lambda policy: model.predict(policy).per_array,
+            x_misses_fn=model.x_misses,
+        )
+        return recommendation.to_dict(), model
+
+
+def _memoize(materialize: Callable[[], CSRMatrix]) -> Callable[[], CSRMatrix]:
+    cache: list[CSRMatrix] = []
+
+    def cached() -> CSRMatrix:
+        if not cache:
+            cache.append(materialize())
+        return cache[0]
+
+    return cached
+
+
+def tier2_apriori_bound(task: dict, machine: A64FX, setup,
+                        calibration: LadderCalibration = DEFAULT_CALIBRATION,
+                        ) -> float:
+    """Tier-2 bound of a canonical task from dims alone (event-loop cheap).
+
+    The daemon uses this to decide whether a cached tier-2 result (stored
+    under the plain request key by legacy and ladder requests alike)
+    satisfies a ladder request's SLO without any evaluation.  ``classify``
+    tasks are closed-form exact: bound 0.
+    """
+    endpoint = task["endpoint"]
+    if endpoint == "classify":
+        return 0.0
+    ladder = Ladder(setup, calibration=calibration)
+    dims = dims_from_task(task, machine)
+    request = _Request(
+        endpoint=endpoint,
+        dims=dims,
+        name="",
+        materialize=lambda: (_ for _ in ()).throw(RuntimeError("dims only")),
+        policy_dicts=tuple(task.get("policies") or ()),
+        way_options=tuple(task.get("way_options") or ()),
+        consider_isolate_x=task.get("consider_isolate_x", True),
+        min_ways=task.get("min_sector1_ways_with_prefetch", 4),
+    )
+    return ladder.apriori_bound(2, request)

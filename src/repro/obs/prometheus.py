@@ -94,6 +94,26 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         for reason, count in sorted(reasons.items()):
             w.sample(name, count, endpoint=endpoint, reason=reason)
 
+    ladder = snapshot.get("ladder", {})
+    name = w.family("ladder_answers_total", "counter",
+                    "Fidelity-ladder answers by endpoint and delivered tier.")
+    for endpoint, tiers in sorted(ladder.get("answers", {}).items()):
+        for tier, count in sorted(tiers.items()):
+            w.sample(name, count, endpoint=endpoint, tier=tier)
+    escalations = ladder.get("escalations", {})
+    if escalations:
+        name = w.family("ladder_escalations", "histogram",
+                        "Tiers climbed per fidelity-ladder answer.")
+        cumulative, total = 0, 0
+        for bound in ("0", "1", "2", "3"):
+            cumulative += int(escalations.get(bound, 0))
+            w.sample(f"{name}_bucket", cumulative, le=bound)
+        count = sum(int(v) for v in escalations.values())
+        w.sample(f"{name}_bucket", count, le="+Inf")
+        total = sum(int(k) * int(v) for k, v in escalations.items())
+        w.sample(f"{name}_sum", float(total))
+        w.sample(f"{name}_count", count)
+
     name = w.family("faults_injected_total", "counter",
                     "Injected faults fired, by site and kind.")
     for site_kind, count in sorted(snapshot.get("faults_injected", {}).items()):

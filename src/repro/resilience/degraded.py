@@ -2,237 +2,40 @@
 
 When the advisor daemon cannot reach its process pool — circuit breaker
 open, pool saturated, or a ``saturate`` fault injected — it still owes
-every request an answer.  The paper makes a cheap one available: all of
-Section 3.1 (the streaming-miss line counts and the class taxonomy) and
-the Section-3.2.2 scaling factors ``s1``/``s2`` are closed forms over
-``(num_rows, num_cols, nnz)`` — no trace, no stack pass, microseconds of
-arithmetic.  This module evaluates the miss model with the stack-pass
-term replaced by its analytic envelope:
+every request an answer.  The closed forms live in
+:mod:`repro.ladder.tier0` (they are the fidelity ladder's tier 0); this
+module is the resilience-facing surface over that one implementation, so
+degraded answers and ladder tier-0 answers can never drift apart.
 
-* the streamed arrays contribute exactly their line counts when they
-  cannot be retained (identically to the full Method B);
-* the ``x`` vector — whose misses Method B prices with a reuse-distance
-  profile — is priced by the fit criterion instead: scaling distances by
-  ``s`` against capacity ``C`` is the same comparison as unscaled
-  distances against ``C/s``, so ``x`` is approximated as fully retained
-  when ``s * x_lines <= C`` and fully streamed otherwise.
-
-``classify`` answers are *exact* (the taxonomy is already closed-form);
+``classify`` answers are *exact* (the taxonomy is closed-form);
 ``predict``/``advise`` answers are approximations — the response envelope
 carries ``"degraded": true`` plus a reason, and the daemon never writes
 them to the result cache.  ``sweep`` has no analytic surrogate (it
 measures the simulator) and degrades to a structured 503 instead.
-
-Everything here works on :class:`MatrixDims` — the three integers that
-determine every byte count — so named collection matrices only pay one
-materialization ever (dims are memoized) and inline matrices pay none.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..core.advisor import PolicyChoice, Recommendation
-from ..core.analytic import StreamMisses, method_b_scale_factors, stream_misses
-from ..core.classification import MatrixClass, classify
-from ..cachesim.events import CacheEvents
-from ..machine.a64fx import A64FX
-from ..machine.perfmodel import PerformanceModel
-from ..spmv.sector_policy import (
-    SectorPolicy,
-    isolate_x_policy,
-    listing1_policy,
-    no_sector_cache,
+from ..ladder.tier0 import (
+    MatrixDims,
+    answer_task,
+    closed_classify as degraded_classify,
+    closed_predict as degraded_predict,
+    dims_from_task,
+    predict_policy,
 )
+from ..ladder.tier0 import closed_advise as _closed_advise
+from ..machine.a64fx import A64FX
 
-# Mirrors repro.spmv.csr element sizes (8-byte values/rowptr/vectors,
-# 4-byte column indices); asserted against CSRMatrix in the tests.
-_VALUE_BYTES = 8
-_COLIDX_BYTES = 4
-_ROWPTR_BYTES = 8
-_VECTOR_BYTES = 8
-
-
-@dataclass(frozen=True)
-class MatrixDims:
-    """The three integers every closed-form term depends on.
-
-    Exposes the same ``*_bytes`` properties as
-    :class:`~repro.spmv.csr.CSRMatrix`, so :func:`repro.core.classification.classify`
-    and :func:`repro.core.analytic.stream_misses` accept it unchanged.
-    """
-
-    num_rows: int
-    num_cols: int
-    nnz: int
-
-    def __post_init__(self) -> None:
-        if self.num_rows < 0 or self.num_cols < 0 or self.nnz < 0:
-            raise ValueError("matrix dimensions must be non-negative")
-
-    @property
-    def values_bytes(self) -> int:
-        return _VALUE_BYTES * self.nnz
-
-    @property
-    def colidx_bytes(self) -> int:
-        return _COLIDX_BYTES * self.nnz
-
-    @property
-    def rowptr_bytes(self) -> int:
-        return _ROWPTR_BYTES * (self.num_rows + 1)
-
-    @property
-    def x_bytes(self) -> int:
-        return _VECTOR_BYTES * self.num_cols
-
-    @property
-    def y_bytes(self) -> int:
-        return _VECTOR_BYTES * self.num_rows
-
-    @property
-    def matrix_bytes(self) -> int:
-        return self.values_bytes + self.colidx_bytes + self.rowptr_bytes
-
-    @property
-    def total_bytes(self) -> int:
-        return self.matrix_bytes + self.x_bytes + self.y_bytes
-
-    @classmethod
-    def of(cls, matrix) -> "MatrixDims":
-        """Dims of anything CSR-shaped (a :class:`CSRMatrix`, typically)."""
-        return cls(int(matrix.num_rows), int(matrix.num_cols), int(matrix.nnz))
-
-
-def _num_cmgs(machine: A64FX, num_threads: int) -> int:
-    return -(-num_threads // machine.cores_per_cmg)
-
-
-def _x_lines(dims: MatrixDims, line: int) -> int:
-    return -(-dims.x_bytes // line)
-
-
-def _x_misses(dims: MatrixDims, scale: float, capacity_lines: int, line: int) -> int:
-    """Analytic surrogate of ``MethodB.x_misses``: all-or-nothing retention."""
-    lines = _x_lines(dims, line)
-    return 0 if lines * scale <= capacity_lines else lines
-
-
-def predict_policy(
-    dims: MatrixDims, machine: A64FX, num_threads: int, policy: SectorPolicy
-) -> dict[str, int]:
-    """Per-array L2 miss counts of one policy, stack pass replaced by fit tests.
-
-    The branching mirrors :meth:`repro.core.method_b.MethodB.predict`
-    term for term; only the x entry differs (fit criterion instead of the
-    reuse profile query).
-    """
-    policy.validate(machine)
-    streams = stream_misses(dims, machine.line_size)
-    s1, s2 = method_b_scale_factors(dims)
-    line = machine.line_size
-    cmgs = _num_cmgs(machine, num_threads)
-    per_array: dict[str, int] = {}
-    if policy.l2_enabled:
-        n0, n1 = machine.l2.partition_lines(policy.l2_sector1_ways)
-        if streams.matrix_data // cmgs > n1:
-            per_array["values"] = streams.values
-            per_array["colidx"] = streams.colidx
-        reusable = dims.x_bytes + (dims.y_bytes + dims.rowptr_bytes) // cmgs
-        if reusable > n0 * line:
-            per_array["rowptr"] = streams.rowptr
-            per_array["y"] = streams.y
-        per_array["x"] = _x_misses(dims, s1, n0, line)
-    else:
-        total = machine.l2.capacity_lines
-        working = dims.x_bytes + (dims.total_bytes - dims.x_bytes) // cmgs
-        if working > total * line:
-            per_array["values"] = streams.values
-            per_array["colidx"] = streams.colidx
-            per_array["rowptr"] = streams.rowptr
-            per_array["y"] = streams.y
-            per_array["x"] = _x_misses(dims, s2, total, line)
-        else:
-            per_array["x"] = 0
-    return {k: int(v) for k, v in per_array.items() if v}
-
-
-def degraded_classify(
-    dims: MatrixDims, machine: A64FX, num_threads: int,
-    way_options: list[int], name: str,
-) -> dict:
-    """The ``classify`` wire result — exact, the taxonomy is closed-form."""
-    cmgs = _num_cmgs(machine, num_threads)
-    return {
-        "name": name,
-        "num_cmgs": cmgs,
-        "classes": {
-            str(ways): classify(dims, machine, ways, cmgs).value
-            for ways in way_options
-        },
-    }
-
-
-def degraded_predict(
-    dims: MatrixDims, machine: A64FX, num_threads: int,
-    policies: list[dict], name: str,
-) -> dict:
-    """The ``predict`` wire result with analytic x terms (same shape)."""
-    predictions = []
-    for entry in policies:
-        policy = SectorPolicy.from_dict(entry)
-        per_array = predict_policy(dims, machine, num_threads, policy)
-        predictions.append({
-            "policy": policy.to_dict(),
-            "l2_misses": sum(per_array.values()),
-            "per_array": per_array,
-        })
-    return {"name": name, "method": "B", "predictions": predictions}
-
-
-def _choice(
-    dims: MatrixDims, machine: A64FX, num_threads: int,
-    perf: PerformanceModel, policy: SectorPolicy,
-) -> PolicyChoice:
-    """Mirror of ``SectorAdvisor._choice`` over analytic miss counts."""
-    streams = stream_misses(dims, machine.line_size)
-    per_array = predict_policy(dims, machine, num_threads, policy)
-    misses = sum(per_array.values())
-    prefetchable = sum(
-        per_array.get(a, 0) for a in ("values", "colidx", "rowptr", "y")
-    )
-    events = CacheEvents(
-        l1_refill=streams.total + dims.nnz // 8,
-        l2_refill=misses,
-        l2_refill_demand=per_array.get("x", 0),
-        l2_refill_prefetch=prefetchable,
-        l2_writeback=streams.y if misses else 0,
-    )
-    est = perf.estimate_from_counts(dims.nnz, events, num_threads)
-    return PolicyChoice(
-        policy=policy, predicted_l2_misses=misses, predicted_seconds=est.seconds
-    )
-
-
-def _isolate_x_choice(
-    dims: MatrixDims, machine: A64FX, num_threads: int,
-    perf: PerformanceModel, streams: StreamMisses, ways: int,
-) -> PolicyChoice:
-    n0, _ = machine.l2.partition_lines(ways)
-    misses = streams.total + _x_misses(dims, 1.0, n0, machine.line_size)
-    events = CacheEvents(
-        l1_refill=streams.total + dims.nnz // 8,
-        l2_refill=misses,
-        l2_refill_demand=max(0, misses - streams.total),
-        l2_refill_prefetch=min(misses, streams.total),
-        l2_writeback=streams.y,
-    )
-    est = perf.estimate_from_counts(dims.nnz, events, num_threads)
-    return PolicyChoice(
-        policy=isolate_x_policy(ways),
-        predicted_l2_misses=misses,
-        predicted_seconds=est.seconds,
-    )
+__all__ = [
+    "MatrixDims",
+    "answer_task",
+    "degraded_advise",
+    "degraded_classify",
+    "degraded_predict",
+    "dims_from_task",
+    "predict_policy",
+]
 
 
 def degraded_advise(
@@ -243,101 +46,9 @@ def degraded_advise(
     consider_isolate_x: bool = True,
     min_sector1_ways_with_prefetch: int = 4,
 ) -> dict:
-    """An approximate ``advise`` wire result (``Recommendation`` shape).
-
-    The candidate field, ranking rule and tie-break mirror
-    :meth:`repro.core.advisor.SectorAdvisor.recommend`; only the miss
-    counts feeding the performance model are the analytic surrogates.
-    """
-    if not way_options:
-        raise ValueError("way_options must not be empty")
-    perf = PerformanceModel(machine)
-    streams = stream_misses(dims, machine.line_size)
-    cls = classify(dims, machine, max(way_options), _num_cmgs(machine, num_threads))
-    min_ways = min_sector1_ways_with_prefetch
-
-    baseline = _choice(dims, machine, num_threads, perf, no_sector_cache())
-    candidates = [baseline]
-    for ways in way_options:
-        if ways < min_ways:
-            continue
-        candidates.append(
-            _choice(dims, machine, num_threads, perf, listing1_policy(ways))
-        )
-    if consider_isolate_x and cls in (MatrixClass.CLASS3A, MatrixClass.CLASS3B):
-        for ways in way_options:
-            if ways < min_ways:
-                continue
-            candidates.append(
-                _isolate_x_choice(dims, machine, num_threads, perf, streams, ways)
-            )
-    best = min(
-        candidates,
-        key=lambda c: (c.predicted_seconds, c.policy.l2_sector1_ways),
-    )
-    return Recommendation(
-        best=best,
-        baseline=baseline,
-        candidates=tuple(candidates),
-        matrix_class=cls,
+    """An approximate ``advise`` wire result (``Recommendation`` shape)."""
+    return _closed_advise(
+        dims, machine, num_threads, way_options,
+        consider_isolate_x=consider_isolate_x,
+        min_sector1_ways_with_prefetch=min_sector1_ways_with_prefetch,
     ).to_dict()
-
-
-# ----------------------------------------------------------------------
-# canonical-task adapter (what the daemon calls)
-# ----------------------------------------------------------------------
-
-#: (collection, scale, name) -> MatrixDims; named specs are materialized
-#: once ever to learn their dims, inline matrices never are.
-_named_dims: dict[tuple[str, int, str], MatrixDims] = {}
-
-
-def dims_from_task(task: dict, machine: A64FX) -> MatrixDims:
-    """Dims of a canonical task's matrix without a pool evaluation."""
-    spec = task["matrix"]
-    if spec["kind"] == "csr":
-        rowptr = spec["rowptr"]
-        nnz = int(rowptr[-1]) if rowptr else 0
-        return MatrixDims(spec["num_rows"], spec["num_cols"], nnz)
-    if spec["kind"] == "coo":
-        return MatrixDims(spec["num_rows"], spec["num_cols"], len(spec["rows"]))
-    key = (spec["collection"], task["setup"]["scale"], spec["name"])
-    dims = _named_dims.get(key)
-    if dims is None:
-        from ..matrices.collection import collection
-
-        for candidate in collection(spec["collection"], machine=machine):
-            if candidate.name == spec["name"]:
-                dims = MatrixDims.of(candidate.materialize())
-                break
-        else:
-            raise KeyError(f"matrix {spec['name']!r} not in the "
-                           f"{spec['collection']!r} collection")
-        _named_dims[key] = dims
-    return dims
-
-
-def answer_task(task: dict, machine: A64FX, name: str) -> dict | None:
-    """The degraded wire result of a canonical task, or ``None``.
-
-    ``None`` means the endpoint has no analytic surrogate (``sweep``);
-    the daemon turns that into a structured 503.
-    """
-    endpoint = task["endpoint"]
-    if endpoint == "sweep":
-        return None
-    dims = dims_from_task(task, machine)
-    num_threads = task["setup"]["num_threads"]
-    if endpoint == "classify":
-        return degraded_classify(dims, machine, num_threads,
-                                 task["way_options"], name)
-    if endpoint == "predict":
-        return degraded_predict(dims, machine, num_threads,
-                                task["policies"], name)
-    if endpoint == "advise":
-        return degraded_advise(
-            dims, machine, num_threads, task["way_options"],
-            consider_isolate_x=task["consider_isolate_x"],
-            min_sector1_ways_with_prefetch=task["min_sector1_ways_with_prefetch"],
-        )
-    raise ValueError(f"unknown endpoint {endpoint!r}")

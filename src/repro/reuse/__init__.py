@@ -6,13 +6,20 @@ from .histogram import ReuseProfile, partition_profiles, scale_distances
 from .kim import reuse_distances_kim
 from .naive import COLD, reuse_distances_naive
 from .periodic import steady_state_reuse_distances
-from .sampling import SampledProfile, sample_reuse_distances
+from .sampling import (
+    SampledProfile,
+    SpatialSampledProfile,
+    sample_reuse_distances,
+    spatial_sample_mask,
+    spatial_sample_profile,
+)
 
 __all__ = [
     "COLD",
     "FenwickTree",
     "ReuseProfile",
     "SampledProfile",
+    "SpatialSampledProfile",
     "compute_prev",
     "hit_mask",
     "miss_count",
@@ -21,6 +28,8 @@ __all__ = [
     "reuse_distances_kim",
     "reuse_distances_naive",
     "sample_reuse_distances",
+    "spatial_sample_mask",
+    "spatial_sample_profile",
     "partition_profiles",
     "scale_distances",
     "steady_state_reuse_distances",

@@ -60,7 +60,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--saturation-depth", type=int, default=64,
                         help="queue depth at which requests degrade instead "
                              "of queueing (0 disables)")
+    parser.add_argument("--default-accuracy", type=float, default=None,
+                        metavar="BOUND",
+                        help="fidelity-ladder accuracy SLO injected into "
+                             "model requests that carry none (floored "
+                             "relative error, e.g. 0.5; unset keeps the "
+                             "legacy fixed-fidelity behaviour)")
+    parser.add_argument("--max-tier", type=int, default=None,
+                        choices=(0, 1, 2, 3),
+                        help="fidelity-ladder tier cap injected into model "
+                             "requests that carry none")
     args = parser.parse_args(argv)
+    if args.default_accuracy is not None and args.default_accuracy <= 0:
+        parser.error("--default-accuracy must be positive")
     if args.jobs < 1:
         parser.error("--jobs must be positive")
     fault_plan = None
@@ -90,6 +102,8 @@ def main(argv: list[str] | None = None) -> int:
         breaker_half_open_probes=args.breaker_probes,
         degraded_mode=not args.no_degraded,
         saturation_queue_depth=args.saturation_depth or None,
+        default_accuracy=args.default_accuracy,
+        default_max_tier=args.max_tier,
     )
     try:
         asyncio.run(run_server(config, host=args.host, port=args.port))

@@ -39,6 +39,7 @@ from urllib.parse import parse_qs
 from ..analysis.report import canonical_json
 from ..experiments.common import cache_entry_path
 from ..experiments.pool import fork_executor
+from ..ladder.engine import tier2_apriori_bound
 from ..obs.prometheus import render_prometheus
 from ..resilience import faults
 from ..resilience.breaker import CircuitBreaker
@@ -94,6 +95,11 @@ class ServiceConfig:
     #: queue depth at which new evaluations degrade instead of queueing
     #: (None disables natural-saturation degradation)
     saturation_queue_depth: int | None = 64
+    #: accuracy SLO injected into classify/predict/advise requests that
+    #: carry none (None keeps the legacy fixed-fidelity behaviour)
+    default_accuracy: float | None = None
+    #: fidelity-ladder tier cap injected into requests that carry none
+    default_max_tier: int | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -110,6 +116,10 @@ class ServiceConfig:
             raise ValueError("saturation_queue_depth must be positive (or None)")
         if self.fault_plan is not None and not self.allow_fault_injection:
             raise ValueError("fault_plan requires allow_fault_injection")
+        if self.default_accuracy is not None and self.default_accuracy <= 0:
+            raise ValueError("default_accuracy must be positive")
+        if self.default_max_tier is not None and not 0 <= self.default_max_tier <= 3:
+            raise ValueError("default_max_tier must be between 0 and 3")
 
 
 class _EvaluationError(Exception):
@@ -234,6 +244,14 @@ class LocalityService:
             if not self.config.test_hooks:
                 task.pop("x_test_sleep", None)
                 task.pop("x_test_crash", None)
+            if endpoint != "sweep":
+                # daemon-wide ladder defaults fill in only what the request
+                # left unsaid; they don't enter the cache key (every tier
+                # answers the same question)
+                if "accuracy" not in task and self.config.default_accuracy is not None:
+                    task["accuracy"] = self.config.default_accuracy
+                if "max_tier" not in task and self.config.default_max_tier is not None:
+                    task["max_tier"] = self.config.default_max_tier
             key = request_key(task)
             plan = (faults.FaultPlan.from_dict(task["faults"])
                     if "faults" in task else None)
@@ -243,7 +261,9 @@ class LocalityService:
             return exc.status, _error_payload(endpoint, "RequestError", str(exc))
 
         try:
-            result, cached, trace = await self._resolve(endpoint, task, key, plan)
+            result, cached, trace, fidelity = await self._resolve(
+                endpoint, task, key, plan
+            )
         except _DegradedService as exc:
             result = self._degraded_result(task)
             if result is None:
@@ -280,6 +300,8 @@ class LocalityService:
             self.metrics.cache_served[endpoint][cached] += 1
         response = {"ok": True, "endpoint": endpoint, "key": key,
                     "cached": cached, "result": result}
+        if fidelity is not None:
+            response["fidelity"] = fidelity
         if task.get("trace"):
             # best-effort: null when the result came from a cache tier or
             # piggybacked on another request's in-flight evaluation
@@ -288,11 +310,13 @@ class LocalityService:
 
     async def _resolve(
         self, endpoint: str, task: dict, key: str, plan: faults.FaultPlan | None
-    ) -> tuple[dict, str | None, dict | None]:
+    ) -> tuple[dict, str | None, dict | None, dict | None]:
         """Resolve a key via cache, coalescing, or a fresh evaluation.
 
-        Returns ``(result, cache_tier, span_tree)``; the span tree is only
-        non-None for a fresh evaluation of a ``"trace": true`` task.
+        Returns ``(result, cache_tier, span_tree, fidelity)``; the span
+        tree is only non-None for a fresh evaluation of a ``"trace":
+        true`` task, and fidelity only for ladder requests (see
+        :meth:`_resolve_ladder`).
 
         ``plan`` is the request's own fault plan (None for normal
         requests, which still consult the daemon-wide ambient plan at the
@@ -302,6 +326,8 @@ class LocalityService:
         join another request's in-flight future: their perturbed outcome
         must not leak into healthy responses.
         """
+        if task.get("accuracy") is not None or task.get("max_tier") is not None:
+            return await self._resolve_ladder(endpoint, task, key, plan)
         disk_path, disk_format = self._disk_entry(task, key)
         corrupt_rule = self._fire(plan, "cache.disk_read") if disk_path else None
         result, tier = self.cache.get(key, disk_path,
@@ -311,14 +337,14 @@ class LocalityService:
             # so an open breaker or a saturated queue does not refuse them
             if tier == "disk":
                 self.cache.promote(key, canonical_json(result).encode())
-            return result, tier, None
+            return result, tier, None, None
 
         chaos = plan is not None
         if not chaos:
             pending = self._inflight.get(key)
             if pending is not None:
                 self.metrics.coalesced[endpoint] += 1
-                return await asyncio.shield(pending), "coalesced", None
+                return await asyncio.shield(pending), "coalesced", None, None
 
         await self._admit(endpoint, plan)
         breaker = self.breakers[endpoint]
@@ -356,7 +382,90 @@ class LocalityService:
                 # sweeps and the daemon share one disk cache
                 disk_text=json.dumps(result) if disk_format == "record" else None,
             )
-        return result, None, payload.get("trace")
+        return result, None, payload.get("trace"), None
+
+    async def _resolve_ladder(
+        self, endpoint: str, task: dict, key: str, plan: faults.FaultPlan | None
+    ) -> tuple[dict, str | None, dict | None, dict]:
+        """Resolve a fidelity-ladder request (``accuracy``/``max_tier`` set).
+
+        Cache policy: tier-2 answers live under the *plain* request key —
+        byte-identical to legacy results, so ladder and legacy requests
+        warm one entry — and a cached one serves any SLO the tier-2 bound
+        satisfies.  Tier-3 answers live under the suffixed ``<key>.t3``
+        (a different wire payload: ``"method": "sim"``, simulated counts).
+        Tier-0/1 answers are cheap approximations: recomputing beats
+        caching, and they must never shadow an exact entry.  Ladder
+        requests skip coalescing — two requests with different SLOs
+        legitimately need different evaluations, and fidelity metadata is
+        per-request.
+        """
+        accuracy = task.get("accuracy")
+        disk_path, _ = self._disk_entry(task, key)
+        if accuracy is None or self._tier2_bound(task) <= accuracy:
+            corrupt_rule = self._fire(plan, "cache.disk_read") if disk_path else None
+            result, tier = self.cache.get(key, disk_path,
+                                          corrupt_read=corrupt_rule is not None)
+            if result is not None:
+                if tier == "disk":
+                    self.cache.promote(key, canonical_json(result).encode())
+                return result, tier, None, self._cached_fidelity(2, task)
+        t3_key = f"{key}.t3"
+        t3_path = (self.cache.cache_dir / f"{t3_key}.{endpoint}.json"
+                   if self.cache.cache_dir is not None else None)
+        result, tier = self.cache.get(t3_key, t3_path)
+        if result is not None:
+            if tier == "disk":
+                self.cache.promote(t3_key, canonical_json(result).encode())
+            return result, tier, None, self._cached_fidelity(3, task)
+
+        await self._admit(endpoint, plan)
+        breaker = self.breakers[endpoint]
+        try:
+            payload = await self._evaluate(endpoint, task)
+            result = payload["result"]
+            breaker.record_success()
+        except _EvaluationError as exc:
+            if exc.status >= 500:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+            raise
+        self.metrics.observe_phases(endpoint, payload.get("phase_seconds", {}))
+        fidelity = payload.get("fidelity") or {}
+        answered = fidelity.get("tier")
+        if answered is not None:
+            self.metrics.observe_ladder(endpoint, answered,
+                                        fidelity.get("escalations", 0))
+        if plan is None:
+            if answered == 2:
+                self.cache.put(key, canonical_json(result).encode(), disk_path)
+            elif answered == 3:
+                self.cache.put(t3_key, canonical_json(result).encode(), t3_path)
+        return result, None, payload.get("trace"), fidelity
+
+    def _tier2_bound(self, task: dict) -> float:
+        """The tier-2 a-priori bound of a task (inf when indeterminable)."""
+        try:
+            setup = setup_from_task(task)
+            return tier2_apriori_bound(task, setup.machine(), setup)
+        except Exception:  # noqa: BLE001 - fall through to a fresh evaluation
+            return float("inf")
+
+    def _cached_fidelity(self, tier: int, task: dict) -> dict:
+        accuracy = task.get("accuracy")
+        bound = 0.0 if tier == 3 else self._tier2_bound(task)
+        return {
+            "tier": tier,
+            "error_bound": bound,
+            "accuracy_slo": accuracy,
+            "slo_met": accuracy is None or bound <= accuracy,
+            "cost_seconds": 0.0,
+            "predicted_cost_seconds": 0.0,
+            "tiers_tried": [],
+            "tier_bounds": [],
+            "escalations": 0,
+        }
 
     def _fire(self, plan: faults.FaultPlan | None, site: str):
         """Fire a parent-side fault site against the request plan (or the

@@ -174,24 +174,29 @@ class ServiceClient:
     # -- endpoints -----------------------------------------------------
     # `faults` ships a repro.resilience.plan/v1 object with the request
     # (chaos testing; the daemon refuses it without --allow-fault-injection)
+    # `accuracy` is a fidelity-ladder error-bound SLO and `max_tier` caps
+    # escalation (0..3); responses then carry a "fidelity" object
     def classify(self, matrix=None, *, name=None, collection=None,
                  way_options=None, timeout=None, trace=None, faults=None,
-                 **setup) -> dict:
+                 accuracy=None, max_tier=None, **setup) -> dict:
         return self._model("classify", matrix, name, collection, setup,
                            {"way_options": way_options, "timeout": timeout,
-                            "trace": trace, "faults": faults})
+                            "trace": trace, "faults": faults,
+                            "accuracy": accuracy, "max_tier": max_tier})
 
     def predict(self, matrix=None, *, name=None, collection=None,
                 policies=None, timeout=None, trace=None, faults=None,
-                **setup) -> dict:
+                accuracy=None, max_tier=None, **setup) -> dict:
         return self._model("predict", matrix, name, collection, setup,
                            {"policies": policies, "timeout": timeout,
-                            "trace": trace, "faults": faults})
+                            "trace": trace, "faults": faults,
+                            "accuracy": accuracy, "max_tier": max_tier})
 
     def advise(self, matrix=None, *, name=None, collection=None,
                way_options=None, consider_isolate_x=None,
                min_sector1_ways_with_prefetch=None, timeout=None,
-               trace=None, faults=None, **setup) -> dict:
+               trace=None, faults=None, accuracy=None, max_tier=None,
+               **setup) -> dict:
         return self._model("advise", matrix, name, collection, setup, {
             "way_options": way_options,
             "consider_isolate_x": consider_isolate_x,
@@ -199,6 +204,8 @@ class ServiceClient:
             "timeout": timeout,
             "trace": trace,
             "faults": faults,
+            "accuracy": accuracy,
+            "max_tier": max_tier,
         })
 
     def sweep(self, matrix=None, *, name=None, collection=None,

@@ -39,6 +39,11 @@ class ServiceMetrics:
         self.cache_served: dict[str, Counter] = defaultdict(Counter)
         #: endpoint -> reason -> requests answered from the degraded path
         self.degraded: dict[str, Counter] = defaultdict(Counter)
+        #: endpoint -> tier (as str) -> ladder answers delivered at that tier
+        self.ladder_answers: dict[str, Counter] = defaultdict(Counter)
+        #: escalations-per-answer -> ladder answers (the histogram of how
+        #: many extra tiers each SLO-carrying request had to climb)
+        self.ladder_escalations: Counter = Counter()
         #: "site:kind" -> injected faults fired (parent-side sites plus
         #: per-request worker plans; ambient worker-side fires are only
         #: visible through their injected outcomes)
@@ -73,6 +78,11 @@ class ServiceMetrics:
         self.requests[endpoint][status] += 1
         self.latency[endpoint].observe(seconds)
 
+    def observe_ladder(self, endpoint: str, tier: int, escalations: int) -> None:
+        """Account one fidelity-ladder answer (delivered tier + climbs)."""
+        self.ladder_answers[endpoint][str(tier)] += 1
+        self.ladder_escalations[int(escalations)] += 1
+
     def observe_phases(self, endpoint: str, phases: dict) -> None:
         """Fold one evaluation's per-phase self seconds into the totals."""
         counter = self.phase_seconds[endpoint]
@@ -93,6 +103,12 @@ class ServiceMetrics:
             "coalesced": dict(self.coalesced),
             "cache_served": {ep: dict(c) for ep, c in sorted(self.cache_served.items())},
             "degraded": {ep: dict(c) for ep, c in sorted(self.degraded.items())},
+            "ladder": {
+                "answers": {ep: {tier: c[tier] for tier in sorted(c)}
+                            for ep, c in sorted(self.ladder_answers.items())},
+                "escalations": {str(k): self.ladder_escalations[k]
+                                for k in sorted(self.ladder_escalations)},
+            },
             "faults_injected": {k: self.faults_injected[k]
                                 for k in sorted(self.faults_injected)},
             "breakers": {ep: breaker.snapshot()

@@ -217,6 +217,27 @@ def normalize_request(endpoint: str, payload: object) -> dict:
         )
     # sweep needs nothing beyond the setup: it measures the full grid
 
+    if endpoint == "sweep":
+        _require("accuracy" not in payload and "max_tier" not in payload,
+                 "sweep has no fidelity ladder (it measures the simulator)")
+    else:
+        accuracy = payload.get("accuracy")
+        if accuracy is not None:
+            try:
+                accuracy = float(accuracy)
+            except (TypeError, ValueError):
+                raise RequestError("accuracy must be a number") from None
+            _require(accuracy > 0, "accuracy must be positive")
+            task["accuracy"] = accuracy
+        max_tier = payload.get("max_tier")
+        if max_tier is not None:
+            try:
+                max_tier = int(max_tier)
+            except (TypeError, ValueError):
+                raise RequestError("max_tier must be an integer") from None
+            _require(0 <= max_tier <= 3, "max_tier must be between 0 and 3")
+            task["max_tier"] = max_tier
+
     timeout = payload.get("timeout")
     if timeout is not None:
         try:
@@ -254,10 +275,15 @@ def request_key(task: dict) -> str:
     execution, not the computation a correct evaluation performs, so
     requests differing only in those share one result.  (Fault-carrying
     requests never *write* the cache — the key only lets them read what a
-    healthy request stored.)
+    healthy request stored.)  The fidelity-ladder flags ``accuracy`` and
+    ``max_tier`` are excluded too: every tier answers the *same* question,
+    so a ladder request whose SLO a cached exact (tier-2) result satisfies
+    should hit that entry, and a ladder answer that escalated to tier 2
+    warms the cache for legacy requests (the daemon decides per tier what
+    to read and write — see :mod:`repro.service.app`).
     """
     keyed = {k: v for k, v in task.items()
-             if k not in ("timeout", "trace", "faults")}
+             if k not in ("timeout", "trace", "faults", "accuracy", "max_tier")}
     digest = hashlib.sha256(canonical_json(["v1", keyed]).encode()).hexdigest()
     return digest[:32]
 

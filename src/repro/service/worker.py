@@ -27,7 +27,7 @@ from ..experiments.common import measure_matrix
 from ..obs.tracer import Tracer, installed
 from ..resilience import faults
 from ..spmv.sector_policy import SectorPolicy
-from .protocol import matrix_from_task, setup_from_task
+from .protocol import matrix_from_task, matrix_name, setup_from_task
 
 
 def evaluate(task: dict) -> dict:
@@ -59,13 +59,15 @@ def evaluate(task: dict) -> dict:
                 with installed(tracer), tracer.span(
                     "evaluate", endpoint=task.get("endpoint", "")
                 ):
-                    result = _dispatch(task)
+                    result, fidelity = _dispatch(task)
         tree = tracer.tree()
         payload = {
             "result": result,
             "elapsed_seconds": time.perf_counter() - started,
             "phase_seconds": tree.self_seconds_by_name(),
         }
+        if fidelity is not None:
+            payload["fidelity"] = fidelity
         if want_trace:
             payload["trace"] = tree.to_dict()
         if plan is not None:
@@ -93,8 +95,25 @@ def _test_hooks(task: dict) -> None:
         os._exit(2)  # hard worker death: exercises BrokenProcessPool handling
 
 
-def _dispatch(task: dict) -> dict:
+def _dispatch(task: dict) -> tuple[dict, dict | None]:
+    """Run one task; returns ``(result, fidelity_or_None)``.
+
+    Tasks carrying the fidelity-ladder flags (``accuracy``/``max_tier``)
+    route through :class:`repro.ladder.Ladder` — the matrix is only
+    materialized if an escalated tier needs it — and come back with
+    fidelity metadata.  Legacy tasks take the historical direct paths
+    (byte-identical results, no metadata).
+    """
     setup = setup_from_task(task)
+
+    if task.get("accuracy") is not None or task.get("max_tier") is not None:
+        from ..ladder import Ladder
+
+        answer = Ladder(setup).answer_task(
+            task, matrix_name(task), lambda: matrix_from_task(task)
+        )
+        return answer.result, answer.fidelity()
+
     machine = setup.machine()
     matrix = matrix_from_task(task)
     endpoint = task["endpoint"]
@@ -108,7 +127,7 @@ def _dispatch(task: dict) -> dict:
                 str(ways): classify(matrix, machine, ways, num_cmgs).value
                 for ways in task["way_options"]
             },
-        }
+        }, None
 
     if endpoint == "predict":
         model = MethodB(matrix, machine, num_threads=setup.num_threads,
@@ -121,7 +140,7 @@ def _dispatch(task: dict) -> dict:
                 "l2_misses": int(prediction.l2_misses),
                 "per_array": {k: int(v) for k, v in prediction.per_array.items()},
             })
-        return {"name": matrix.name, "method": "B", "predictions": predictions}
+        return {"name": matrix.name, "method": "B", "predictions": predictions}, None
 
     if endpoint == "advise":
         advisor = SectorAdvisor(
@@ -131,9 +150,9 @@ def _dispatch(task: dict) -> dict:
             consider_isolate_x=task["consider_isolate_x"],
             min_sector1_ways_with_prefetch=task["min_sector1_ways_with_prefetch"],
         )
-        return advisor.recommend(matrix).to_dict()
+        return advisor.recommend(matrix).to_dict(), None
 
     if endpoint == "sweep":
-        return measure_matrix(matrix, setup).to_dict()
+        return measure_matrix(matrix, setup).to_dict(), None
 
     raise ValueError(f"unknown endpoint {endpoint!r}")

@@ -1,0 +1,132 @@
+"""Fidelity-ladder flags over the wire: SLOs, caching tiers, metrics.
+
+The daemon contract under test: ``accuracy`` / ``max_tier`` request
+flags route evaluation through the ladder and attach a ``fidelity``
+object to the envelope; the request key excludes both flags, so ladder
+and legacy requests warm the *same* plain cache entry (served to a
+ladder request only when the tier-2 bound satisfies its SLO) while
+tier-3 answers live under a suffixed key; the per-tier answer counters
+and the escalation histogram surface in ``/metrics`` (JSON and
+Prometheus).
+"""
+
+import pytest
+
+from repro.matrices import banded
+from repro.obs.prometheus import parse_prometheus_text
+from repro.service import ServiceError, matrix_payload
+
+from .conftest import SETUP
+
+#: Class-1 matrices under the conftest setup (scale 16, 8 threads):
+#: tier-0 bound 0.70, tier-2 bound 0.65.
+TIER0_SLO = 1.0       # satisfied by tier 0
+TIER2_SLO = 0.68      # satisfied by a cached tier-2 answer, not by tier 0
+SIM_ONLY_SLO = 0.5    # below every analytic bound: only tier 3 qualifies
+
+
+def test_loose_slo_is_answered_without_a_stack_pass(client):
+    """First ladder request of this daemon: tier 0, no stack pass ever."""
+    matrix = banded(620, 20, 5, seed=31)
+    envelope = client.predict(matrix, accuracy=TIER0_SLO, **SETUP)
+    fidelity = envelope["fidelity"]
+    assert fidelity["tier"] == 0
+    assert fidelity["slo_met"] is True
+    assert fidelity["accuracy_slo"] == TIER0_SLO
+    assert fidelity["error_bound"] <= TIER0_SLO
+    metrics = client.metrics()
+    assert metrics["ladder"]["answers"]["predict"]["0"] >= 1
+    phases = metrics["evaluation_phase_seconds"].get("predict", {})
+    assert not [k for k in phases if "stack_pass" in k]
+    assert any(k.startswith("ladder.tier0") for k in phases)
+
+
+def test_legacy_and_ladder_requests_share_the_plain_cache_entry(client):
+    matrix = banded(640, 22, 5, seed=32)
+    legacy = client.predict(matrix, **SETUP)
+    assert legacy["cached"] is None
+    assert "fidelity" not in legacy
+    served = client.predict(matrix, accuracy=TIER2_SLO, **SETUP)
+    assert served["key"] == legacy["key"]
+    assert served["cached"] == "memory"
+    assert served["result"] == legacy["result"]
+    fidelity = served["fidelity"]
+    assert fidelity["tier"] == 2
+    assert fidelity["slo_met"] is True
+    assert fidelity["cost_seconds"] == 0.0
+    assert fidelity["tiers_tried"] == []
+
+
+def test_tight_slo_bypasses_the_plain_cache_and_simulates(client):
+    matrix = banded(660, 24, 5, seed=33)
+    client.predict(matrix, **SETUP)  # warm the plain (tier-2) entry
+    first = client.predict(matrix, accuracy=SIM_ONLY_SLO, **SETUP)
+    # the cached tier-2 answer's bound cannot satisfy the SLO: evaluate
+    assert first["cached"] is None
+    assert first["fidelity"]["tier"] == 3
+    assert first["fidelity"]["error_bound"] == 0.0
+    assert first["fidelity"]["slo_met"] is True
+    # the simulated answer is cached under its own (suffixed) key
+    second = client.predict(matrix, accuracy=SIM_ONLY_SLO, **SETUP)
+    assert second["cached"] == "memory"
+    assert second["result"] == first["result"]
+    assert second["fidelity"]["tier"] == 3
+
+
+def test_max_tier_cap_over_the_wire(client):
+    matrix = banded(680, 26, 5, seed=34)
+    envelope = client.predict(matrix, max_tier=0, **SETUP)
+    fidelity = envelope["fidelity"]
+    assert fidelity["tier"] == 0
+    assert fidelity["accuracy_slo"] is None
+    assert fidelity["slo_met"] is True  # no SLO: the cap is the contract
+    capped = client.predict(matrix, accuracy=SIM_ONLY_SLO, max_tier=2, **SETUP)
+    assert capped["fidelity"]["tier"] == 2
+    assert capped["fidelity"]["slo_met"] is False
+
+
+def test_advise_and_classify_carry_fidelity(client):
+    matrix = banded(700, 28, 5, seed=35)
+    advised = client.advise(matrix, accuracy=TIER0_SLO, **SETUP)
+    assert advised["fidelity"]["tier"] == 0
+    assert "best" in advised["result"]
+    classified = client.classify(matrix, accuracy=SIM_ONLY_SLO, **SETUP)
+    assert classified["fidelity"]["tier"] == 0
+    assert classified["fidelity"]["error_bound"] == 0.0
+    assert classified["fidelity"]["slo_met"] is True
+
+
+def test_sweep_rejects_ladder_flags(client):
+    matrix = banded(600, 20, 5, seed=36)
+    payload = {"matrix": matrix_payload(matrix), "setup": dict(SETUP),
+               "accuracy": 0.5}
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/sweep", payload)
+    assert excinfo.value.status == 400
+    assert "ladder" in excinfo.value.error.get("message", "")
+
+
+def test_invalid_ladder_flags_are_client_errors(client):
+    matrix = banded(600, 20, 5, seed=37)
+    for bad in ({"accuracy": -1.0}, {"accuracy": 0.0}, {"max_tier": 4},
+                {"max_tier": -1}):
+        with pytest.raises(ServiceError) as excinfo:
+            client.predict(matrix, **dict(SETUP, **bad))
+        assert excinfo.value.status == 400
+
+
+def test_ladder_metrics_families_in_prometheus(client):
+    metrics = client.metrics()
+    answers = metrics["ladder"]["answers"]
+    assert answers["predict"]["0"] >= 1
+    assert answers["predict"]["3"] >= 1
+    escalations = metrics["ladder"]["escalations"]
+    assert sum(escalations.values()) >= 1
+    text = client.metrics(format="prometheus")
+    parsed = parse_prometheus_text(text)
+    totals = parsed["repro_ladder_answers_total"]
+    by_label = {(lbl["endpoint"], lbl["tier"]): v for lbl, v in totals}
+    assert by_label[("predict", "0")] >= 1
+    buckets = parsed["repro_ladder_escalations_bucket"]
+    counts = [v for lbl, v in buckets]
+    assert counts == sorted(counts)  # cumulative histogram is monotone
