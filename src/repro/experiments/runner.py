@@ -22,6 +22,7 @@ from ..obs.tracer import Tracer, installed
 from .common import ExperimentSetup, collection_records
 from .figure2 import figure2_series, render_figure2
 from .ladder import render_ladder, run_ladder
+from .optimize import render_optimize, run_optimize
 from .figure3 import figure3_series, headline_numbers, render_figure3
 from .figure4 import class_summary, figure4_points, render_figure4
 from .figure5 import correlation, figure5_points, render_figure5
@@ -38,9 +39,11 @@ EXPERIMENTS = ("table1", "table2", "table3", "figure2", "figure3", "figure4", "f
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    # "ladder" is opt-in (not part of "all"): it explores the fidelity
-    # trade-off rather than reproducing a paper artifact
-    parser.add_argument("--exp", choices=EXPERIMENTS + ("all", "ladder"),
+    # "ladder" and "optimize" are opt-in (not part of "all"): they explore
+    # the fidelity trade-off / reordering search rather than reproducing a
+    # paper artifact
+    parser.add_argument("--exp",
+                        choices=EXPERIMENTS + ("all", "ladder", "optimize"),
                         default="all")
     parser.add_argument("--collection", choices=("tiny", "small", "full"), default="small")
     parser.add_argument("--limit", type=int, default=None, help="cap the matrix count")
@@ -74,10 +77,22 @@ def main(argv: list[str] | None = None) -> int:
         "--max-tier", type=int, default=3, choices=(0, 1, 2, 3),
         help="fidelity-ladder escalation cap for --exp ladder",
     )
+    parser.add_argument(
+        "--budget", type=float, default=30.0, metavar="SECONDS",
+        help="reordering-search cost budget for --exp optimize",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="reordering-search tie-break seed for --exp optimize",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.accuracy is not None and args.accuracy <= 0:
         parser.error("--accuracy must be positive")
+    if args.budget <= 0:
+        parser.error("--budget must be positive")
+    if args.seed < 0:
+        parser.error("--seed must be non-negative")
     if args.jobs < 1:
         parser.error("--jobs must be positive")
 
@@ -119,6 +134,18 @@ def _run(args: argparse.Namespace, cache: str | None, wanted: tuple[str, ...]) -
             max_tier=args.max_tier, limit=args.limit, verbose=args.verbose,
         )
         print(render_ladder(rows, args.accuracy, args.max_tier))
+        print()
+
+    if "optimize" in wanted:
+        from ..optimize import SearchConfig
+
+        setup = ExperimentSetup(scale=args.scale, num_threads=48)
+        config = SearchConfig(budget_seconds=args.budget, seed=args.seed)
+        rows = run_optimize(
+            args.collection, setup, config,
+            limit=args.limit, verbose=args.verbose,
+        )
+        print(render_optimize(rows, config))
         print()
 
     if "table1" in wanted:

@@ -256,7 +256,9 @@ def answer_task(task: dict, machine: A64FX, name: str) -> dict | None:
     structured 503.
     """
     endpoint = task["endpoint"]
-    if endpoint == "sweep":
+    if endpoint in ("sweep", "optimize"):
+        # sweep measures the simulator; optimize needs the real pattern
+        # (closed forms are permutation-invariant) — neither degrades
         return None
     dims = dims_from_task(task, machine)
     num_threads = task["setup"]["num_threads"]

@@ -114,6 +114,23 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         w.sample(f"{name}_sum", float(total))
         w.sample(f"{name}_count", count)
 
+    optimize = snapshot.get("optimize", {})
+    name = w.family("optimize_strategies_total", "counter",
+                    "Reordering-search candidate outcomes by strategy "
+                    "label and terminal status.")
+    for label, statuses in sorted(optimize.get("strategies", {}).items()):
+        for status, count in sorted(statuses.items()):
+            w.sample(name, count, strategy=label, status=status)
+    improvement = optimize.get("improvement", {})
+    if improvement.get("count"):
+        name = w.family("optimize_predicted_improvement", "histogram",
+                        "Confirmed predicted L2-miss improvement per "
+                        "fresh reordering search (fraction of baseline).")
+        for bound, cumulative in improvement.get("buckets", {}).items():
+            w.sample(f"{name}_bucket", cumulative, le=bound)
+        w.sample(f"{name}_sum", float(improvement.get("sum_seconds", 0.0)))
+        w.sample(f"{name}_count", improvement.get("count", 0))
+
     name = w.family("faults_injected_total", "counter",
                     "Injected faults fired, by site and kind.")
     for site_kind, count in sorted(snapshot.get("faults_injected", {}).items()):

@@ -1,0 +1,55 @@
+"""Locality-optimizing reordering search (the ``/optimize`` engine).
+
+A budgeted search over row/column permutation strategies (identity, RCM,
+degree sort, row blocking, greedy hypergraph-style column clustering)
+that minimizes *predicted* L2 misses: candidates are screened with cheap
+tier-0/1 fidelity-ladder answers (:mod:`repro.ladder`) under a
+deterministic cost budget, losers are pruned early, and the winner is
+confirmed with an exact tier-2 before/after prediction.
+"""
+
+from .permutations import (
+    compose_permutations,
+    identity_permutation,
+    inverse_permutation,
+    is_identity,
+    permutation_fingerprint,
+    validate_permutation,
+)
+from .search import (
+    OPTIMIZE_VOLATILE_FIELDS,
+    OptimizeResult,
+    SearchConfig,
+    optimize,
+    optimize_fingerprint,
+    optimize_task,
+)
+from .strategies import (
+    DEFAULT_STRATEGIES,
+    ROW_BLOCK_GRID,
+    BuildCostModel,
+    Candidate,
+    candidates_for,
+    first_touch_columns,
+)
+
+__all__ = [
+    "BuildCostModel",
+    "Candidate",
+    "DEFAULT_STRATEGIES",
+    "OPTIMIZE_VOLATILE_FIELDS",
+    "OptimizeResult",
+    "ROW_BLOCK_GRID",
+    "SearchConfig",
+    "candidates_for",
+    "compose_permutations",
+    "first_touch_columns",
+    "identity_permutation",
+    "inverse_permutation",
+    "is_identity",
+    "optimize",
+    "optimize_fingerprint",
+    "optimize_task",
+    "permutation_fingerprint",
+    "validate_permutation",
+]

@@ -1,0 +1,75 @@
+"""Permutation utilities shared by the reordering strategies.
+
+Everything here speaks the *gather* convention used by
+:meth:`repro.spmv.csr.CSRMatrix.permute`: ``perm[i]`` is the **original**
+index placed at new position ``i``.  Under that convention, permuting by
+``p`` and then by ``q`` is one gather by ``compose(p, q) = p[q]``, and
+``inverse(p)`` is the scatter that undoes it —
+``permute(inverse(p))`` after ``permute(p)`` is the identity (the
+round-trip property the optimizer's tests pin down).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def identity_permutation(n: int) -> np.ndarray:
+    """The identity gather of length ``n``."""
+    if n < 0:
+        raise ValueError("permutation length must be non-negative")
+    return np.arange(n, dtype=np.int64)
+
+
+def validate_permutation(perm: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Check that ``perm`` is a permutation (optionally of length ``n``).
+
+    Returns the validated ``int64`` array; raises ``ValueError`` on
+    anything that is not a bijection over ``range(len(perm))``.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.ndim != 1:
+        raise ValueError("a permutation must be one-dimensional")
+    if n is not None and perm.shape[0] != n:
+        raise ValueError(f"permutation has length {perm.shape[0]}, expected {n}")
+    size = perm.shape[0]
+    seen = np.zeros(size, dtype=bool)
+    if size:
+        if perm.min() < 0 or perm.max() >= size:
+            raise ValueError("permutation entries out of range")
+        seen[perm] = True
+        if not seen.all():
+            raise ValueError("permutation entries are not distinct")
+    return perm
+
+
+def inverse_permutation(perm: np.ndarray) -> np.ndarray:
+    """The inverse gather: ``inverse(p)[p[i]] == i``."""
+    perm = validate_permutation(perm)
+    inv = np.empty(perm.shape[0], dtype=np.int64)
+    inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return inv
+
+
+def compose_permutations(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """The single gather equivalent to gathering by ``first`` then ``second``.
+
+    ``A[first][second] == A[compose(first, second)]`` element-wise, i.e.
+    ``compose(first, second)[i] = first[second[i]]``.
+    """
+    first = validate_permutation(first)
+    second = validate_permutation(second, first.shape[0])
+    return first[second]
+
+
+def is_identity(perm: np.ndarray) -> bool:
+    perm = np.asarray(perm, dtype=np.int64)
+    return bool(np.array_equal(perm, np.arange(perm.shape[0], dtype=np.int64)))
+
+
+def permutation_fingerprint(perm: np.ndarray) -> str:
+    """A short stable digest of a permutation (search-trace labelling)."""
+    perm = np.ascontiguousarray(perm, dtype=np.int64)
+    return hashlib.sha256(perm.tobytes()).hexdigest()[:12]

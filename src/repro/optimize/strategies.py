@@ -1,0 +1,227 @@
+"""Reordering strategies: candidate permutations for the locality search.
+
+Each strategy builds a ``(row_perm, col_perm)`` gather pair (see
+:mod:`repro.optimize.permutations`) aimed at shrinking the reuse
+distances of the ``x`` vector — the only SpMV array whose misses a
+permutation can change (values/colidx/rowptr/y stream regardless of
+order, which is why the search objective ranks candidates by *predicted*
+misses rather than re-deriving locality proxies):
+
+``identity``
+    The baseline; always present so the search can never regress.
+``rcm``
+    Reverse Cuthill-McKee (:mod:`repro.matrices.rcm`), applied
+    symmetrically.  Recovers banded structure hidden by a bad ordering —
+    the Alappat et al. preconditioning the paper runs without.
+``degree_sort``
+    Rows by descending nonzero count, columns by descending reference
+    count.  Packs the hot columns into few leading cache lines (the
+    OSKI-style cheap tuning step of arXiv 1203.2739).
+``row_block``
+    Rows grouped by their quantized mean column (one candidate per
+    ``block_cols`` grid value): consecutive rows then touch the same
+    column window, turning far x reuses into near ones.
+``hypergraph``
+    Greedy net-cut clustering over the column-net hypergraph
+    (Akbudak/Kayaaslan/Aykanat, arXiv 1202.3856): rows are placed in
+    max-gain order, where gain counts a row's nonzeros in already-opened
+    column nets; columns are then renumbered in first-touch order for
+    line-level spatial locality.
+
+Strategies are deterministic given ``(matrix, seed)`` — the seed only
+breaks heap ties in the hypergraph ordering — so the search trace is
+reproducible across the service's fork pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..matrices.rcm import rcm_permutation
+from ..spmv.csr import CSRMatrix
+from .permutations import identity_permutation
+
+#: Registry order == deterministic candidate evaluation order.
+DEFAULT_STRATEGIES = ("identity", "rcm", "degree_sort", "row_block", "hypergraph")
+
+#: ``row_block`` candidate grid: column-window widths (in x elements).
+ROW_BLOCK_GRID = (256, 4096)
+
+
+@dataclass(frozen=True)
+class BuildCostModel:
+    """Affine predicted cost of constructing one candidate permutation.
+
+    Feeds the search's deterministic budget accounting (same idea as
+    :class:`repro.ladder.cost.TierCostModel`): wall seconds are never
+    part of admission decisions, so traces replay identically.
+    """
+
+    base_seconds: float
+    per_nonzero_seconds: float
+
+    def predict_seconds(self, nnz: int) -> float:
+        return self.base_seconds + self.per_nonzero_seconds * nnz
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One concrete permutation candidate of the search."""
+
+    label: str
+    strategy: str
+    params: dict = field(default_factory=dict)
+    build: Callable[[CSRMatrix, int], tuple[np.ndarray, np.ndarray]] = None
+    cost: BuildCostModel = BuildCostModel(0.0, 0.0)
+
+    def applicable(self, matrix: CSRMatrix) -> bool:
+        if self.strategy == "rcm":
+            return matrix.num_rows == matrix.num_cols
+        return True
+
+
+def _identity(matrix: CSRMatrix, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    return (identity_permutation(matrix.num_rows),
+            identity_permutation(matrix.num_cols))
+
+
+def _rcm(matrix: CSRMatrix, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    perm = rcm_permutation(matrix)  # symmetrizes the pattern internally
+    return perm, perm.copy()
+
+
+def _degree_sort(matrix: CSRMatrix, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    row_perm = np.argsort(-matrix.row_lengths, kind="stable").astype(np.int64)
+    col_degree = np.bincount(matrix.colidx, minlength=matrix.num_cols)
+    col_perm = np.argsort(-col_degree, kind="stable").astype(np.int64)
+    return row_perm, col_perm
+
+
+def _row_block(block_cols: int):
+    def build(matrix: CSRMatrix, seed: int) -> tuple[np.ndarray, np.ndarray]:
+        lengths = matrix.row_lengths
+        sums = np.add.reduceat(
+            matrix.colidx.astype(np.int64), matrix.rowptr[:-1],
+        ) if matrix.nnz else np.zeros(matrix.num_rows, dtype=np.int64)
+        sums[lengths == 0] = 0
+        mean_col = np.where(lengths > 0, sums // np.maximum(lengths, 1), 0)
+        key = mean_col // block_cols
+        row_perm = np.argsort(key, kind="stable").astype(np.int64)
+        return row_perm, identity_permutation(matrix.num_cols)
+
+    return build
+
+
+def _permuted_colidx_stream(matrix: CSRMatrix, row_order: np.ndarray) -> np.ndarray:
+    """Column indices in nonzero-visit order under a new row order."""
+    lengths = matrix.row_lengths[row_order]
+    new_ptr = np.zeros(matrix.num_rows + 1, dtype=np.int64)
+    np.cumsum(lengths, out=new_ptr[1:])
+    starts = matrix.rowptr[row_order]
+    idx = np.repeat(starts - new_ptr[:-1], lengths) + np.arange(matrix.nnz)
+    return matrix.colidx[idx].astype(np.int64)
+
+
+def first_touch_columns(matrix: CSRMatrix, row_order: np.ndarray) -> np.ndarray:
+    """Columns in first-touch order under ``row_order`` (untouched last).
+
+    Renumbering x by first touch packs columns referenced together into
+    the same cache lines — the spatial-locality half of the clustering.
+    """
+    stream = _permuted_colidx_stream(matrix, row_order)
+    uniq, first = np.unique(stream, return_index=True)
+    touched = uniq[np.argsort(first, kind="stable")]
+    untouched = np.setdiff1d(
+        np.arange(matrix.num_cols, dtype=np.int64), uniq, assume_unique=True
+    )
+    return np.concatenate([touched, untouched]) if untouched.size else touched
+
+
+def _hypergraph(matrix: CSRMatrix, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    n, nnz = matrix.num_rows, matrix.nnz
+    if n == 0 or nnz == 0:
+        return (identity_permutation(n), identity_permutation(matrix.num_cols))
+    rowptr, colidx = matrix.rowptr, matrix.colidx
+    # column nets: rows referencing each column (the CSC row lists)
+    rows_of = np.repeat(np.arange(n, dtype=np.int64), matrix.row_lengths)
+    by_col = np.argsort(colidx, kind="stable")
+    net_rows = rows_of[by_col]
+    net_ptr = np.zeros(matrix.num_cols + 1, dtype=np.int64)
+    np.add.at(net_ptr, colidx.astype(np.int64) + 1, 1)
+    np.cumsum(net_ptr, out=net_ptr)
+
+    degree = matrix.row_lengths
+    tie = np.random.default_rng(seed).permutation(n)  # deterministic tie-break
+    gain = np.zeros(n, dtype=np.int64)
+    placed = np.zeros(n, dtype=bool)
+    opened = np.zeros(matrix.num_cols, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    heap: list[tuple[int, int, int]] = []
+    restarts = np.argsort(-degree, kind="stable")
+    restart_pos = 0
+    for filled in range(n):
+        row = -1
+        while heap:
+            neg_gain, _, r = heapq.heappop(heap)
+            if not placed[r] and -neg_gain == gain[r]:
+                row = r
+                break
+        if row < 0:  # new cluster: densest unplaced row
+            while placed[restarts[restart_pos]]:
+                restart_pos += 1
+            row = int(restarts[restart_pos])
+        placed[row] = True
+        order[filled] = row
+        for c in colidx[rowptr[row]:rowptr[row + 1]]:
+            if opened[c]:
+                continue  # the net contributes to each member's gain once
+            opened[c] = True
+            for r2 in net_rows[net_ptr[c]:net_ptr[c + 1]]:
+                if not placed[r2]:
+                    r2 = int(r2)
+                    gain[r2] += 1
+                    heapq.heappush(heap, (-gain[r2], int(tie[r2]), r2))
+    return order, first_touch_columns(matrix, order)
+
+
+def candidates_for(strategies: tuple[str, ...] | list[str]) -> list[Candidate]:
+    """The candidate list of a strategy selection, in evaluation order.
+
+    ``identity`` is always first (it anchors the baseline screen) even
+    when the caller forgot to request it.  Unknown names raise
+    ``ValueError`` — the service normalizer turns that into a 400.
+    """
+    unknown = [s for s in strategies if s not in DEFAULT_STRATEGIES]
+    if unknown:
+        raise ValueError(
+            f"unknown strategies {unknown} (expected a subset of "
+            f"{list(DEFAULT_STRATEGIES)})"
+        )
+    wanted = ["identity"] + [s for s in DEFAULT_STRATEGIES
+                             if s != "identity" and s in strategies]
+    out: list[Candidate] = []
+    for name in wanted:
+        if name == "identity":
+            out.append(Candidate("identity", "identity", {}, _identity,
+                                 BuildCostModel(1e-5, 0.0)))
+        elif name == "rcm":
+            out.append(Candidate("rcm", "rcm", {}, _rcm,
+                                 BuildCostModel(1e-3, 2e-6)))
+        elif name == "degree_sort":
+            out.append(Candidate("degree_sort", "degree_sort", {}, _degree_sort,
+                                 BuildCostModel(1e-4, 3e-8)))
+        elif name == "row_block":
+            for block_cols in ROW_BLOCK_GRID:
+                out.append(Candidate(
+                    f"row_block/b{block_cols}", "row_block",
+                    {"block_cols": block_cols}, _row_block(block_cols),
+                    BuildCostModel(1e-4, 3e-8),
+                ))
+        elif name == "hypergraph":
+            out.append(Candidate("hypergraph", "hypergraph", {}, _hypergraph,
+                                 BuildCostModel(2e-3, 4e-6)))
+    return out

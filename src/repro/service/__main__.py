@@ -70,9 +70,15 @@ def main(argv: list[str] | None = None) -> int:
                         choices=(0, 1, 2, 3),
                         help="fidelity-ladder tier cap injected into model "
                              "requests that carry none")
+    parser.add_argument("--max-optimize-budget", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="largest budget_seconds an /optimize request "
+                             "may ask for (400 above it)")
     args = parser.parse_args(argv)
     if args.default_accuracy is not None and args.default_accuracy <= 0:
         parser.error("--default-accuracy must be positive")
+    if args.max_optimize_budget <= 0:
+        parser.error("--max-optimize-budget must be positive")
     if args.jobs < 1:
         parser.error("--jobs must be positive")
     fault_plan = None
@@ -104,6 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         saturation_queue_depth=args.saturation_depth or None,
         default_accuracy=args.default_accuracy,
         default_max_tier=args.max_tier,
+        max_optimize_budget_seconds=args.max_optimize_budget,
     )
     try:
         asyncio.run(run_server(config, host=args.host, port=args.port))

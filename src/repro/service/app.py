@@ -100,6 +100,9 @@ class ServiceConfig:
     default_accuracy: float | None = None
     #: fidelity-ladder tier cap injected into requests that carry none
     default_max_tier: int | None = None
+    #: largest ``budget_seconds`` an ``/optimize`` request may ask for —
+    #: admission control for the most expensive endpoint (400 above it)
+    max_optimize_budget_seconds: float = 120.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -120,6 +123,8 @@ class ServiceConfig:
             raise ValueError("default_accuracy must be positive")
         if self.default_max_tier is not None and not 0 <= self.default_max_tier <= 3:
             raise ValueError("default_max_tier must be between 0 and 3")
+        if self.max_optimize_budget_seconds <= 0:
+            raise ValueError("max_optimize_budget_seconds must be positive")
 
 
 class _EvaluationError(Exception):
@@ -244,14 +249,19 @@ class LocalityService:
             if not self.config.test_hooks:
                 task.pop("x_test_sleep", None)
                 task.pop("x_test_crash", None)
-            if endpoint != "sweep":
+            if endpoint not in ("sweep", "optimize"):
                 # daemon-wide ladder defaults fill in only what the request
                 # left unsaid; they don't enter the cache key (every tier
-                # answers the same question)
+                # answers the same question).  optimize is excluded: its
+                # screening tiers are fixed by the search and its accuracy
+                # (confirmation SLO) is part of the cached search config
                 if "accuracy" not in task and self.config.default_accuracy is not None:
                     task["accuracy"] = self.config.default_accuracy
                 if "max_tier" not in task and self.config.default_max_tier is not None:
                     task["max_tier"] = self.config.default_max_tier
+            if endpoint == "optimize":
+                cap = self.config.max_optimize_budget_seconds
+                _require_budget(task["budget_seconds"], cap)
             key = request_key(task)
             plan = (faults.FaultPlan.from_dict(task["faults"])
                     if "faults" in task else None)
@@ -326,7 +336,9 @@ class LocalityService:
         join another request's in-flight future: their perturbed outcome
         must not leak into healthy responses.
         """
-        if task.get("accuracy") is not None or task.get("max_tier") is not None:
+        if endpoint != "optimize" and (
+            task.get("accuracy") is not None or task.get("max_tier") is not None
+        ):
             return await self._resolve_ladder(endpoint, task, key, plan)
         disk_path, disk_format = self._disk_entry(task, key)
         corrupt_rule = self._fire(plan, "cache.disk_read") if disk_path else None
@@ -337,14 +349,16 @@ class LocalityService:
             # so an open breaker or a saturated queue does not refuse them
             if tier == "disk":
                 self.cache.promote(key, canonical_json(result).encode())
-            return result, tier, None, None
+            return result, tier, None, _embedded_fidelity(endpoint, result)
 
         chaos = plan is not None
         if not chaos:
             pending = self._inflight.get(key)
             if pending is not None:
                 self.metrics.coalesced[endpoint] += 1
-                return await asyncio.shield(pending), "coalesced", None, None
+                result = await asyncio.shield(pending)
+                return (result, "coalesced", None,
+                        _embedded_fidelity(endpoint, result))
 
         await self._admit(endpoint, plan)
         breaker = self.breakers[endpoint]
@@ -373,6 +387,11 @@ class LocalityService:
             if future is not None:
                 self._inflight.pop(key, None)
         self.metrics.observe_phases(endpoint, payload.get("phase_seconds", {}))
+        if endpoint == "optimize":
+            # counts per-strategy outcomes, the predicted-improvement
+            # histogram, and the search's ladder answers (asserting "no
+            # exact pass until confirmation" straight off /metrics)
+            self.metrics.observe_optimize(result)
         if not chaos:
             self.cache.put(
                 key,
@@ -382,7 +401,7 @@ class LocalityService:
                 # sweeps and the daemon share one disk cache
                 disk_text=json.dumps(result) if disk_format == "record" else None,
             )
-        return result, None, payload.get("trace"), None
+        return result, None, payload.get("trace"), _embedded_fidelity(endpoint, result)
 
     async def _resolve_ladder(
         self, endpoint: str, task: dict, key: str, plan: faults.FaultPlan | None
@@ -627,6 +646,22 @@ class LocalityService:
         self._executor.shutdown(wait=True, cancel_futures=True)
         if self.config.fault_plan is not None:
             faults.install(self._previous_plan)
+
+
+def _require_budget(budget_seconds: float, cap: float) -> None:
+    if budget_seconds > cap:
+        raise RequestError(
+            f"budget_seconds {budget_seconds:g} exceeds the daemon cap "
+            f"{cap:g} (raise --max-optimize-budget to allow it)"
+        )
+
+
+def _embedded_fidelity(endpoint: str, result: dict) -> dict | None:
+    """Optimize results carry their search fidelity inline; surface it in
+    the envelope like ladder answers do (cached and coalesced included)."""
+    if endpoint == "optimize" and isinstance(result, dict):
+        return result.get("fidelity")
+    return None
 
 
 def _error_payload(endpoint: str, error_type: str, message: str) -> dict:

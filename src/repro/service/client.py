@@ -214,6 +214,23 @@ class ServiceClient:
                            {"timeout": timeout, "trace": trace,
                             "faults": faults})
 
+    def optimize(self, matrix=None, *, name=None, collection=None,
+                 strategies=None, budget_seconds=None, seed=None,
+                 accuracy=None, timeout=None, trace=None, faults=None,
+                 **setup) -> dict:
+        """Run the reordering search; the result carries the winning
+        permutation pair plus tier-2-confirmed before/after predictions.
+
+        ``accuracy`` here is the *confirmation* SLO (the search always
+        screens at tiers 0/1); ``max_tier`` is not accepted.
+        """
+        return self._model("optimize", matrix, name, collection, setup,
+                           {"strategies": strategies,
+                            "budget_seconds": budget_seconds,
+                            "seed": seed, "accuracy": accuracy,
+                            "timeout": timeout, "trace": trace,
+                            "faults": faults})
+
     # -- operations ----------------------------------------------------
     def metrics(self, format: str | None = None) -> dict | str:
         """The ``/metrics`` snapshot; text exposition for ``format="prometheus"``."""

@@ -19,7 +19,12 @@ from typing import Callable
 # here because service code and its tests import it from this module
 from ..obs.histogram import LATENCY_BUCKETS, LatencyHistogram
 
-__all__ = ["LATENCY_BUCKETS", "LatencyHistogram", "ServiceMetrics"]
+__all__ = ["IMPROVEMENT_BUCKETS", "LATENCY_BUCKETS", "LatencyHistogram",
+           "ServiceMetrics"]
+
+#: predicted-improvement histogram boundaries (fraction of baseline
+#: misses removed; 1.0 would mean every L2 miss optimized away)
+IMPROVEMENT_BUCKETS = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0)
 
 
 class ServiceMetrics:
@@ -48,6 +53,10 @@ class ServiceMetrics:
         #: per-request worker plans; ambient worker-side fires are only
         #: visible through their injected outcomes)
         self.faults_injected: Counter = Counter()
+        #: optimize: strategy label -> terminal status -> searches
+        self.optimize_strategies: dict[str, Counter] = defaultdict(Counter)
+        #: optimize: confirmed predicted improvement per fresh search
+        self.optimize_improvement = LatencyHistogram(buckets=IMPROVEMENT_BUCKETS)
         #: endpoint -> cumulative worker-side self seconds per span name
         self.phase_seconds: dict[str, Counter] = defaultdict(Counter)
         self.latency: dict[str, LatencyHistogram] = defaultdict(LatencyHistogram)
@@ -83,6 +92,25 @@ class ServiceMetrics:
         self.ladder_answers[endpoint][str(tier)] += 1
         self.ladder_escalations[int(escalations)] += 1
 
+    def observe_optimize(self, result: dict) -> None:
+        """Account one fresh reordering search (its wire result dict).
+
+        Per-strategy terminal statuses, the confirmed predicted
+        improvement, and the search's ladder answers — the latter folded
+        into ``ladder_answers["optimize"]`` so the "screens at tier 0/1,
+        exact only at confirmation" invariant is assertable straight off
+        ``/metrics`` (at most two tier-2 entries per search).
+        """
+        for entry in result.get("strategies", ()):
+            self.optimize_strategies[entry["label"]][entry["status"]] += 1
+        confirmation = result.get("confirmation", {})
+        if "improvement" in confirmation:
+            self.optimize_improvement.observe(float(confirmation["improvement"]))
+        counter = self.ladder_answers["optimize"]
+        for tier, count in result.get("fidelity", {}).get(
+                "ladder_answers", {}).items():
+            counter[str(tier)] += int(count)
+
     def observe_phases(self, endpoint: str, phases: dict) -> None:
         """Fold one evaluation's per-phase self seconds into the totals."""
         counter = self.phase_seconds[endpoint]
@@ -108,6 +136,11 @@ class ServiceMetrics:
                             for ep, c in sorted(self.ladder_answers.items())},
                 "escalations": {str(k): self.ladder_escalations[k]
                                 for k in sorted(self.ladder_escalations)},
+            },
+            "optimize": {
+                "strategies": {label: dict(c) for label, c
+                               in sorted(self.optimize_strategies.items())},
+                "improvement": self.optimize_improvement.snapshot(),
             },
             "faults_injected": {k: self.faults_injected[k]
                                 for k in sorted(self.faults_injected)},

@@ -41,7 +41,7 @@ from ..spmv.csr import CSRMatrix
 from ..spmv.sector_policy import SectorPolicy
 
 #: The model-serving endpoints (metrics/health/shutdown are transport-level).
-ENDPOINTS = ("classify", "predict", "advise", "sweep")
+ENDPOINTS = ("classify", "predict", "advise", "sweep", "optimize")
 
 #: Advisor defaults mirroring :class:`repro.core.SectorAdvisor`.
 ADVISE_WAY_OPTIONS = (2, 3, 4, 5, 6)
@@ -215,11 +215,53 @@ def normalize_request(endpoint: str, payload: object) -> dict:
         task["min_sector1_ways_with_prefetch"] = int(
             payload.get("min_sector1_ways_with_prefetch", 4)
         )
+    elif endpoint == "optimize":
+        from ..optimize.strategies import DEFAULT_STRATEGIES
+
+        strategies = payload.get("strategies", list(DEFAULT_STRATEGIES))
+        _require(isinstance(strategies, (list, tuple)) and strategies,
+                 "'strategies' must be a non-empty list")
+        _require(all(isinstance(s, str) for s in strategies),
+                 "'strategies' must contain strategy names")
+        unknown = [s for s in strategies if s not in DEFAULT_STRATEGIES]
+        _require(not unknown,
+                 f"unknown strategies {unknown} (expected a subset of "
+                 f"{list(DEFAULT_STRATEGIES)})")
+        # canonical order + dedup: the search evaluates in registry order
+        # regardless of request order, so equal selections key equally
+        task["strategies"] = [s for s in DEFAULT_STRATEGIES if s in strategies]
+        try:
+            budget = float(payload.get("budget_seconds", 30.0))
+        except (TypeError, ValueError):
+            raise RequestError("budget_seconds must be a number") from None
+        _require(budget > 0, "budget_seconds must be positive")
+        task["budget_seconds"] = budget
+        try:
+            seed = int(payload.get("seed", 0))
+        except (TypeError, ValueError):
+            raise RequestError("seed must be an integer") from None
+        _require(seed >= 0, "seed must be non-negative")
+        task["seed"] = seed
     # sweep needs nothing beyond the setup: it measures the full grid
 
     if endpoint == "sweep":
         _require("accuracy" not in payload and "max_tier" not in payload,
                  "sweep has no fidelity ladder (it measures the simulator)")
+    elif endpoint == "optimize":
+        # the search fixes its own screening tiers; only the confirmation
+        # accuracy is negotiable
+        _require("max_tier" not in payload,
+                 "optimize does not accept max_tier (the search screens at "
+                 "tiers 0/1 and confirms at tier 2; use 'accuracy' to "
+                 "loosen the confirmation)")
+        accuracy = payload.get("accuracy")
+        if accuracy is not None:
+            try:
+                accuracy = float(accuracy)
+            except (TypeError, ValueError):
+                raise RequestError("accuracy must be a number") from None
+            _require(accuracy > 0, "accuracy must be positive")
+            task["accuracy"] = accuracy
     else:
         accuracy = payload.get("accuracy")
         if accuracy is not None:
@@ -280,10 +322,15 @@ def request_key(task: dict) -> str:
     so a ladder request whose SLO a cached exact (tier-2) result satisfies
     should hit that entry, and a ladder answer that escalated to tier 2
     warms the cache for legacy requests (the daemon decides per tier what
-    to read and write — see :mod:`repro.service.app`).
+    to read and write — see :mod:`repro.service.app`).  ``optimize`` is
+    the exception: its ``accuracy`` shapes the *search* (the confirmation
+    tier is part of the result), so it stays in the key alongside the
+    strategies/budget/seed search config.
     """
-    keyed = {k: v for k, v in task.items()
-             if k not in ("timeout", "trace", "faults", "accuracy", "max_tier")}
+    excluded = ("timeout", "trace", "faults")
+    if task.get("endpoint") != "optimize":
+        excluded += ("accuracy", "max_tier")
+    keyed = {k: v for k, v in task.items() if k not in excluded}
     digest = hashlib.sha256(canonical_json(["v1", keyed]).encode()).hexdigest()
     return digest[:32]
 

@@ -106,6 +106,15 @@ def _dispatch(task: dict) -> tuple[dict, dict | None]:
     """
     setup = setup_from_task(task)
 
+    if task["endpoint"] == "optimize":
+        # dispatched before the ladder branch: optimize's "accuracy" is a
+        # confirmation SLO consumed by the search itself, not a request to
+        # answer the whole task through the ladder
+        from ..optimize import optimize_task
+
+        result = optimize_task(task)
+        return result, result["fidelity"]
+
     if task.get("accuracy") is not None or task.get("max_tier") is not None:
         from ..ladder import Ladder
 

@@ -1,0 +1,127 @@
+"""Property tests for the permutation utilities (gather convention)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrices import random_uniform
+from repro.optimize import (
+    compose_permutations,
+    identity_permutation,
+    inverse_permutation,
+    is_identity,
+    permutation_fingerprint,
+    validate_permutation,
+)
+
+
+@st.composite
+def permutation(draw, max_n=40):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    return np.array(draw(st.permutations(range(n))), dtype=np.int64)
+
+
+@st.composite
+def two_permutations(draw, max_n=40):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    first = np.array(draw(st.permutations(range(n))), dtype=np.int64)
+    second = np.array(draw(st.permutations(range(n))), dtype=np.int64)
+    return first, second
+
+
+@settings(max_examples=50)
+@given(permutation())
+def test_inverse_is_an_involution(perm):
+    np.testing.assert_array_equal(
+        inverse_permutation(inverse_permutation(perm)), perm
+    )
+
+
+@settings(max_examples=50)
+@given(permutation())
+def test_compose_with_inverse_is_identity(perm):
+    inv = inverse_permutation(perm)
+    assert is_identity(compose_permutations(perm, inv))
+    assert is_identity(compose_permutations(inv, perm))
+
+
+@settings(max_examples=50)
+@given(two_permutations())
+def test_compose_matches_double_gather(perms):
+    # the defining property: A[first][second] == A[compose(first, second)]
+    first, second = perms
+    values = np.arange(first.size) * 7 + 3
+    np.testing.assert_array_equal(
+        values[first][second], values[compose_permutations(first, second)]
+    )
+
+
+@settings(max_examples=25)
+@given(permutation())
+def test_validate_accepts_every_bijection(perm):
+    validate_permutation(perm)
+    validate_permutation(perm, perm.size)
+
+
+def test_validate_rejects_non_bijections():
+    with pytest.raises(ValueError):
+        validate_permutation(np.array([0, 0, 2]))  # duplicate
+    with pytest.raises(ValueError):
+        validate_permutation(np.array([0, 3]))  # out of range
+    with pytest.raises(ValueError):
+        validate_permutation(np.array([0, 1]), 3)  # wrong length
+
+
+def test_identity_helpers():
+    ident = identity_permutation(6)
+    assert is_identity(ident)
+    assert not is_identity(np.array([1, 0]))
+    np.testing.assert_array_equal(inverse_permutation(ident), ident)
+
+
+def test_fingerprint_is_content_addressed():
+    perm = np.array([2, 0, 1], dtype=np.int64)
+    assert permutation_fingerprint(perm) == permutation_fingerprint(perm.copy())
+    assert (permutation_fingerprint(perm)
+            != permutation_fingerprint(identity_permutation(3)))
+
+
+# -- CSR permutation round trips -----------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_csr_permute_preserves_nnz_and_values(seed):
+    rng = np.random.default_rng(seed)
+    matrix = random_uniform(30, 4, seed=seed % 997)
+    perm = rng.permutation(matrix.num_rows).astype(np.int64)
+    permuted = matrix.permute(perm, perm)
+    assert permuted.nnz == matrix.nnz
+    np.testing.assert_allclose(
+        np.sort(permuted.values), np.sort(matrix.values)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_csr_permute_then_inverse_is_identity(seed):
+    rng = np.random.default_rng(seed)
+    matrix = random_uniform(25, 3, seed=seed % 991)
+    perm = rng.permutation(matrix.num_rows).astype(np.int64)
+    inv = inverse_permutation(perm)
+    roundtrip = matrix.permute(perm, perm).permute(inv, inv)
+    np.testing.assert_array_equal(roundtrip.to_dense(), matrix.to_dense())
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_csr_permute_is_a_gather(seed):
+    rng = np.random.default_rng(seed)
+    matrix = random_uniform(20, 3, seed=seed % 983)
+    rows = rng.permutation(matrix.num_rows).astype(np.int64)
+    cols = rng.permutation(matrix.num_cols).astype(np.int64)
+    np.testing.assert_array_equal(
+        matrix.permute(rows, cols).to_dense(),
+        matrix.to_dense()[np.ix_(rows, cols)],
+    )

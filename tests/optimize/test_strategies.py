@@ -1,0 +1,84 @@
+"""Candidate builders: every strategy yields a valid reordering."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import banded, random_uniform
+from repro.optimize import (
+    BuildCostModel,
+    DEFAULT_STRATEGIES,
+    ROW_BLOCK_GRID,
+    candidates_for,
+    first_touch_columns,
+    validate_permutation,
+)
+
+
+def shuffled_band(n=200, seed=0):
+    base = banded(n, 8, 4, seed=seed)
+    perm = np.random.default_rng(seed).permutation(n).astype(np.int64)
+    return base.permute(perm, perm)
+
+
+def test_candidates_for_default_registry():
+    labels = [c.label for c in candidates_for(DEFAULT_STRATEGIES)]
+    assert labels[0] == "identity"
+    # row_block expands to one candidate per grid point
+    for block_cols in ROW_BLOCK_GRID:
+        assert f"row_block/b{block_cols}" in labels
+    assert len(labels) == len(set(labels))
+
+
+def test_candidates_for_identity_always_present():
+    labels = [c.label for c in candidates_for(("rcm",))]
+    assert labels[0] == "identity"
+
+
+def test_candidates_for_rejects_unknown_strategy():
+    with pytest.raises(ValueError, match="bogus"):
+        candidates_for(("identity", "bogus"))
+
+
+def test_rcm_inapplicable_to_rectangular():
+    rect = random_uniform(20, 3, seed=1, num_cols=40)
+    by_label = {c.label: c for c in candidates_for(DEFAULT_STRATEGIES)}
+    assert not by_label["rcm"].applicable(rect)
+    assert by_label["identity"].applicable(rect)
+    assert by_label["degree_sort"].applicable(rect)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_every_builder_yields_valid_permutations(seed):
+    matrix = shuffled_band(seed=3)
+    for candidate in candidates_for(DEFAULT_STRATEGIES):
+        row_perm, col_perm = candidate.build(matrix, seed)
+        validate_permutation(row_perm, matrix.num_rows)
+        validate_permutation(col_perm, matrix.num_cols)
+        permuted = matrix.permute(row_perm, col_perm)
+        assert permuted.nnz == matrix.nnz, candidate.label
+        np.testing.assert_allclose(
+            np.sort(permuted.values), np.sort(matrix.values),
+            err_msg=candidate.label,
+        )
+
+
+def test_builders_are_seed_deterministic():
+    matrix = shuffled_band(seed=5)
+    for candidate in candidates_for(DEFAULT_STRATEGIES):
+        first = candidate.build(matrix, 11)
+        second = candidate.build(matrix, 11)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+
+def test_first_touch_columns_is_a_permutation():
+    matrix = shuffled_band(seed=9)
+    row_order = np.arange(matrix.num_rows, dtype=np.int64)
+    cols = first_touch_columns(matrix, row_order)
+    validate_permutation(cols, matrix.num_cols)
+
+
+def test_build_cost_model_scales_with_nnz():
+    model = BuildCostModel(base_seconds=1e-3, per_nonzero_seconds=1e-6)
+    assert model.predict_seconds(0) == pytest.approx(1e-3)
+    assert model.predict_seconds(10_000) > model.predict_seconds(100)

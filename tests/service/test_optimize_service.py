@@ -1,0 +1,150 @@
+"""``POST /optimize`` over the wire: search, cache keys, metrics.
+
+The daemon contract under test: an inline class-3 matrix comes back
+with a tier-2-confirmed strictly positive improvement and a fidelity
+object proving the screens ran at tiers 0/1; the search config
+(strategies, budget, seed, accuracy) is part of the cache key; the
+daemon budget cap and the ``max_tier`` flag are 400s; the per-strategy
+and improvement metric families surface in ``/metrics``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentSetup
+from repro.matrices import banded
+from repro.obs import parse_prometheus_text
+from repro.optimize import SearchConfig, optimize, optimize_fingerprint
+from repro.service import ServiceError, matrix_payload
+
+#: 1/64 machine scale, one CMG: class 3 reachable with small matrices.
+SETUP = {"scale": 64, "num_threads": 8}
+
+
+def shuffled_band():
+    base = banded(12_000, 24, 6, seed=3)
+    perm = np.random.default_rng(7).permutation(base.num_rows).astype(np.int64)
+    return dataclasses.replace(base.permute(perm, perm), name="shuffled_band")
+
+
+@pytest.fixture(scope="module")
+def gated_matrix():
+    """Clean band: the tier-0 gate makes its searches nearly free."""
+    return banded(2_000, 16, 4, seed=2)
+
+
+def test_optimize_confirms_a_class3_improvement(client):
+    envelope = client.optimize(shuffled_band(), seed=0, **SETUP)
+    assert envelope["ok"] and envelope["cached"] is None
+    result = envelope["result"]
+    confirmation = result["confirmation"]
+    assert confirmation["tier"] == 2
+    assert confirmation["improvement"] > 0
+    assert confirmation["after_misses"] < confirmation["before_misses"]
+    assert result["winner"]["label"] != "identity"
+    assert sorted(result["winner"]["row_perm"]) == list(range(12_000))
+
+
+def test_screens_are_cheap_exact_only_at_confirmation(client):
+    # rides on the module cache entry warmed by the test above
+    envelope = client.optimize(shuffled_band(), seed=0, **SETUP)
+    fidelity = envelope["fidelity"]
+    assert fidelity["ladder_answers"]["2"] == 2
+    assert fidelity["ladder_answers"]["1"] >= 1
+    assert not fidelity["gated"]
+    # the daemon-wide counters agree: every search pays one tier-0 gate
+    # and at most the two confirmation passes at tier 2
+    answers = client.metrics()["ladder"]["answers"]["optimize"]
+    assert 0 < answers["2"] <= 2 * answers["0"]
+
+
+def test_search_is_deterministic_across_the_pool(client):
+    """The forked worker and an in-process search agree byte for byte."""
+    envelope = client.optimize(shuffled_band(), seed=0, **SETUP)
+    local = optimize(
+        shuffled_band(),
+        ExperimentSetup(scale=64, num_threads=8),
+        SearchConfig(seed=0),
+    ).to_dict()
+    # the daemon names inline matrices by content fingerprint; everything
+    # else — permutation, trace, confirmation — must match byte for byte
+    local["name"] = envelope["result"]["name"]
+    assert (optimize_fingerprint(envelope["result"])
+            == optimize_fingerprint(local))
+
+
+def test_cache_round_trip_keeps_fidelity(client, gated_matrix):
+    fresh = client.optimize(gated_matrix, **SETUP)
+    assert fresh["cached"] is None
+    assert fresh["fidelity"]["gated"]
+    again = client.optimize(gated_matrix, **SETUP)
+    assert again["cached"] == "memory"
+    assert again["key"] == fresh["key"]
+    assert again["result"] == fresh["result"]
+    # fidelity is embedded in the result, so cache hits still carry it
+    assert again["fidelity"] == fresh["fidelity"]
+
+
+def test_search_config_is_part_of_the_key(client, gated_matrix):
+    base = client.optimize(gated_matrix, **SETUP)
+    seeded = client.optimize(gated_matrix, seed=1, **SETUP)
+    budgeted = client.optimize(gated_matrix, budget_seconds=15.0, **SETUP)
+    narrowed = client.optimize(gated_matrix, strategies=["identity", "rcm"],
+                               **SETUP)
+    keys = {base["key"], seeded["key"], budgeted["key"], narrowed["key"]}
+    assert len(keys) == 4
+
+
+def test_strategies_are_canonicalized_in_the_key(client, gated_matrix):
+    forward = client.optimize(gated_matrix, strategies=["identity", "rcm"],
+                              **SETUP)
+    reversed_ = client.optimize(gated_matrix, strategies=["rcm", "identity"],
+                                **SETUP)
+    assert reversed_["key"] == forward["key"]
+    assert reversed_["cached"] == "memory"
+
+
+def test_budget_above_the_daemon_cap_is_rejected(client, gated_matrix):
+    with pytest.raises(ServiceError) as excinfo:
+        client.optimize(gated_matrix, budget_seconds=1e6, **SETUP)
+    assert excinfo.value.status == 400
+    assert "cap" in str(excinfo.value)
+
+
+def test_max_tier_is_rejected_for_optimize(client, gated_matrix):
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/optimize", {
+            "matrix": matrix_payload(gated_matrix),
+            "setup": SETUP, "max_tier": 2,
+        })
+    assert excinfo.value.status == 400
+    assert "max_tier" in str(excinfo.value)
+
+
+def test_unknown_strategy_is_a_400(client, gated_matrix):
+    with pytest.raises(ServiceError) as excinfo:
+        client.optimize(gated_matrix, strategies=["identity", "bogus"],
+                        **SETUP)
+    assert excinfo.value.status == 400
+
+
+def test_metric_families_surface(client, gated_matrix):
+    client.optimize(gated_matrix, **SETUP)  # ensure at least one search
+    metrics = client.metrics()
+    strategies = metrics["optimize"]["strategies"]
+    assert strategies["identity"].get("winner", 0) >= 1
+    assert metrics["optimize"]["improvement"]["count"] >= 1
+
+    text = client.metrics(format="prometheus")
+    families = parse_prometheus_text(text)  # raises on malformed exposition
+    assert any(
+        labels.get("strategy") == "identity" and value >= 1
+        for labels, value in families["repro_optimize_strategies_total"]
+    )
+    assert "repro_optimize_predicted_improvement_bucket" in families
+    assert any(
+        value >= 1
+        for _, value in families["repro_optimize_predicted_improvement_count"]
+    )
