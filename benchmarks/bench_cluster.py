@@ -1,0 +1,332 @@
+"""Sharded advisor cluster round-trips (gateway + replicas vs. one daemon).
+
+Runs the in-process :class:`repro.cluster.ClusterHarness` (consistent-hash
+gateway in front of N replica daemons) and measures what the sharding
+actually buys and costs:
+
+* **warm batch throughput** — a full collection streamed through
+  ``POST /batch``, every answer a memory-tier hit on its owning replica;
+* **gateway overhead** — warm single-request latency through the gateway
+  vs. straight to a replica (one extra HTTP hop + ring lookup);
+* **scaling** — warm throughput of gateway + 3 replicas vs. a single
+  daemon.  The >= 2x assertion only runs with >= 4 cores: on a 1-core
+  container every replica shares the same CPU and the measurement is
+  scheduler contention, not sharding.
+
+Script mode feeds CI and the committed ``BENCH_cluster.json``::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --json BENCH_cluster.json
+    PYTHONPATH=src python benchmarks/bench_cluster.py --check
+
+``--check`` is the correctness gauntlet (core-count independent):
+routed answers byte-identical to a direct single daemon, a replica
+killed mid-burst loses zero requests, and after a cache-cold restart the
+rebalanced keys are served by peer warm-cache fill, not re-evaluation.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import pytest
+
+from repro.analysis.report import canonical_json
+from repro.cluster import ClusterHarness
+from repro.matrices.collection import collection
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+SETUP = {"num_threads": 8, "scale": 16}
+REPLICAS = 3
+WINDOW = 8
+MATRICES = 8  # of the 12 in the "tiny" collection
+
+
+def _names(limit=MATRICES):
+    return [spec.name for spec in collection("tiny")[:limit]]
+
+
+def _items(names):
+    return [{"name": name, "collection": "tiny"} for name in names]
+
+
+def _batch(client, names, window=WINDOW):
+    """One streamed batch; returns (per-item lines, summary dict)."""
+    lines = list(client.batch("advise", _items(names), window=window,
+                              setup=SETUP))
+    return lines[:-1], lines[-1]["batch"]
+
+
+def _direct_answers(names, tmp_dir):
+    """name -> (key, canonical result JSON) from one plain daemon."""
+    config = ServiceConfig(jobs=1, cache_dir=str(tmp_dir))
+    with ServiceThread(config) as (host, port):
+        client = ServiceClient(host, port, timeout=120.0)
+        answers = {}
+        for name in names:
+            envelope = client.advise(name=name, collection="tiny", **SETUP)
+            answers[name] = (envelope["key"],
+                            canonical_json(envelope["result"]))
+        client.close()
+    return answers
+
+
+# -- pytest benches ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    cache_root = tmp_path_factory.mktemp("bench_cluster_cache")
+    with ClusterHarness(replicas=REPLICAS, jobs=1,
+                        cache_root=cache_root) as harness:
+        client = harness.client(timeout=120.0)
+        _batch(client, _names())  # prime every replica's memory tier
+        yield harness, client
+        client.close()
+
+
+def test_bench_cluster_warm_batch(benchmark, cluster):
+    """Warm matrices/second of a streamed batch across the ring."""
+    _, client = cluster
+    names = _names()
+    lines, summary = benchmark(lambda: _batch(client, names))
+    assert summary["errors"] == 0
+    assert all(line["cached"] == "memory" for line in lines)
+    elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["replicas"] = REPLICAS
+    benchmark.extra_info["window"] = WINDOW
+    benchmark.extra_info["matrices_per_second"] = len(names) / elapsed
+
+
+def test_bench_gateway_overhead(benchmark, cluster):
+    """Warm single-request latency through the gateway vs. to a replica."""
+    harness, client = cluster
+    name = _names()[0]
+    envelope = benchmark(
+        lambda: client.advise(name=name, collection="tiny", **SETUP)
+    )
+    assert envelope["cached"] == "memory"
+    # direct hit on the owning replica for the overhead delta
+    owner = harness.gateway.membership.owner(envelope["key"])
+    direct = ServiceClient(owner.host, owner.port, timeout=120.0)
+    reps = 20
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        direct.advise(name=name, collection="tiny", **SETUP)
+    direct_seconds = (time.perf_counter() - t0) / reps
+    direct.close()
+    benchmark.extra_info["direct_seconds"] = direct_seconds
+    benchmark.extra_info["gateway_overhead_seconds"] = (
+        benchmark.stats.stats.mean - direct_seconds
+    )
+
+
+def test_bench_cluster_scaling(benchmark, cluster, tmp_path):
+    """Warm throughput of gateway + replicas vs. one daemon.
+
+    Only asserted with the cores to earn it (see the module docstring);
+    elsewhere the measured ratio still lands in ``extra_info``.
+    """
+    _, client = cluster
+    names = _names()
+    _, summary = benchmark(lambda: _batch(client, names))
+    assert summary["errors"] == 0
+    cluster_rps = len(names) / benchmark.stats.stats.mean
+
+    config = ServiceConfig(jobs=1, cache_dir=str(tmp_path / "single"))
+    with ServiceThread(config) as (host, port):
+        single = ServiceClient(host, port, timeout=120.0)
+        for name in names:  # prime
+            single.advise(name=name, collection="tiny", **SETUP)
+        t0 = time.perf_counter()
+        for name in names:
+            single.advise(name=name, collection="tiny", **SETUP)
+        single_rps = len(names) / (time.perf_counter() - t0)
+        single.close()
+
+    scaling = cluster_rps / single_rps
+    benchmark.extra_info["cluster_rps"] = cluster_rps
+    benchmark.extra_info["single_rps"] = single_rps
+    benchmark.extra_info["scaling"] = scaling
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"scaling assertion needs >= 4 cores, host has {cores}")
+    assert scaling >= 2.0, (
+        f"{REPLICAS} replicas gained only {scaling:.2f}x over one daemon "
+        f"on a {cores}-core host"
+    )
+
+
+# -- script mode: correctness gauntlet + JSON emitter --------------------
+
+
+def _check_cluster(tmp_root, window=4):
+    """Byte identity, kill-mid-burst, and peer-fill proof; returns stats."""
+    names = _names()
+    direct = _direct_answers(names, tmp_root / "direct")
+    stats = {}
+    with ClusterHarness(replicas=REPLICAS, jobs=1,
+                        cache_root=tmp_root / "cluster",
+                        gateway_config={"probe_interval_seconds": 0.3},
+                        ) as harness:
+        client = harness.client(timeout=120.0)
+
+        # 1. routed answers are byte-identical to the single daemon's
+        lines, summary = _batch(client, names, window=window)
+        assert summary["errors"] == 0, summary
+        for line in lines:
+            key, expected = direct[line["name"]]
+            assert line["key"] == key, (line["name"], line["key"], key)
+            assert canonical_json(line["result"]) == expected, line["name"]
+        stats["byte_identical"] = len(lines)
+
+        # 2. kill a replica mid-burst: the stream still yields every
+        # answer (failover re-routes the dead replica's keys), and the
+        # answers still match the single daemon byte for byte
+        stream = client.batch("advise", _items(names), window=window,
+                              setup=SETUP)
+        got = []
+        for line in stream:
+            got.append(line)
+            if len(got) == 2:
+                harness.kill_replica(0)
+        *item_lines, tail = got
+        assert tail["batch"]["errors"] == 0, tail
+        assert len(item_lines) == len(names)
+        for line in item_lines:
+            key, expected = direct[line["name"]]
+            assert line["key"] == key
+            assert canonical_json(line["result"]) == expected, line["name"]
+        metrics = client.metrics()
+        assert metrics["exhausted"] == 0, metrics
+        stats["killed_mid_burst_lost"] = metrics["exhausted"]
+        stats["failovers"] = metrics["failovers"]
+
+        # a full pass while the replica is down: the interim owners now
+        # evaluate and cache the remapped keys (a warm mid-burst batch
+        # can finish before the kill bites, so step 2 may not have)
+        lines, summary = _batch(client, names, window=window)
+        assert summary["errors"] == 0, summary
+
+        # 3. cache-cold restart: keys remapping home again must be
+        # served by peer warm-cache fill from the interim owners
+        harness.restart_replica(0, clear_cache=True)
+        deadline = time.monotonic() + 15.0
+        while client.metrics()["membership"]["alive"] < REPLICAS:
+            assert time.monotonic() < deadline, "replica never readmitted"
+            time.sleep(0.2)
+        lines, summary = _batch(client, names, window=window)
+        assert summary["errors"] == 0, summary
+        peer_served = sum(line["cached"] == "peer" for line in lines)
+        peer_fill = {}
+        for index in range(REPLICAS):
+            for outcome, count in harness.replica_client(index).metrics()[
+                    "peer_fill"].items():
+                peer_fill[outcome] = peer_fill.get(outcome, 0) + count
+        assert peer_served > 0, "no rebalanced key was peer-filled"
+        assert peer_fill.get("hit", 0) >= peer_served, peer_fill
+        stats["peer_served"] = peer_served
+        stats["peer_fill"] = peer_fill
+        client.close()
+    return stats
+
+
+def _measure_throughput(tmp_root):
+    """Warm requests/second: one daemon vs. gateway + replicas."""
+    names = _names()
+    results = {}
+
+    config = ServiceConfig(jobs=1, cache_dir=str(tmp_root / "single_bench"))
+    with ServiceThread(config) as (host, port):
+        single = ServiceClient(host, port, timeout=120.0)
+        for name in names:
+            single.advise(name=name, collection="tiny", **SETUP)
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            for name in names:
+                single.advise(name=name, collection="tiny", **SETUP)
+            best = min(best, time.perf_counter() - t0)
+        results["single_warm_rps"] = len(names) / best
+        single.close()
+
+    with ClusterHarness(replicas=REPLICAS, jobs=1,
+                        cache_root=tmp_root / "cluster_bench") as harness:
+        client = harness.client(timeout=120.0)
+        t0 = time.perf_counter()
+        _batch(client, names)
+        results["cluster_cold_seconds"] = time.perf_counter() - t0
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            lines, summary = _batch(client, names)
+            assert summary["errors"] == 0
+            best = min(best, time.perf_counter() - t0)
+        results["cluster_warm_rps"] = len(names) / best
+        client.close()
+
+    results["scaling"] = (
+        results["cluster_warm_rps"] / results["single_warm_rps"]
+    )
+    return results
+
+
+def main(argv=None):
+    import tempfile
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write throughput + correctness measurements here",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="correctness-only smoke mode: byte identity, kill-mid-burst "
+             "zero lost, peer-fill proof; skip timing",
+    )
+    args = parser.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    payload = {"replicas": REPLICAS, "window": WINDOW,
+               "matrices": MATRICES, "cores": cores}
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+        tmp_root = Path(tmp)
+        if args.check:
+            checks = _check_cluster(tmp_root)
+            payload["checks"] = checks
+            print(
+                f"OK: {checks['byte_identical']} routed answers byte-"
+                f"identical to one daemon; mid-burst kill lost "
+                f"{checks['killed_mid_burst_lost']} of {MATRICES} "
+                f"({checks['failovers']} failover(s)); "
+                f"{checks['peer_served']} rebalanced key(s) peer-filled"
+            )
+            if not args.json:
+                return 0
+        timings = _measure_throughput(tmp_root)
+        payload.update(timings)
+    scaling_asserted = cores >= 4
+    payload["scaling_asserted"] = scaling_asserted
+    if scaling_asserted:
+        assert payload["scaling"] >= 2.0, (
+            f"cluster gained only {payload['scaling']:.2f}x over one "
+            f"daemon on a {cores}-core host"
+        )
+    print(
+        f"warm rps: single {payload['single_warm_rps']:.0f}, "
+        f"cluster {payload['cluster_warm_rps']:.0f} "
+        f"({payload['scaling']:.2f}x, "
+        f"{'asserted' if scaling_asserted else f'not asserted on {cores} core(s)'})"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

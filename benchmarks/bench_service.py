@@ -29,12 +29,44 @@ def service(tmp_path_factory):
         client = ServiceClient(host, port, timeout=120.0)
         for seed in range(_WARM_POOL):
             client.advise(_matrix(seed), num_threads=8)
+        client.advise(name="banded_001", collection="tiny", num_threads=8)
         yield client
 
 
 def test_advise_warm_cache_latency(benchmark, service):
     matrix = _matrix(0)
     envelope = benchmark(lambda: service.advise(matrix, num_threads=8))
+    assert envelope["cached"] == "memory"
+
+
+def test_advise_named_warm_latency_keepalive(benchmark, service):
+    """Warm hit by collection reference over the pooled connection.
+
+    Name-based requests skip the inline-matrix serialization, so the
+    round-trip is the protocol floor — the regime where keep-alive
+    matters most.
+    """
+    envelope = benchmark(
+        lambda: service.advise(name="banded_001", collection="tiny",
+                               num_threads=8)
+    )
+    assert envelope["cached"] == "memory"
+
+
+def test_advise_named_warm_latency_without_keepalive(benchmark, service):
+    """The same warm hit paying a fresh TCP connection per request.
+
+    ``close()`` drops the pooled keep-alive connection before every call,
+    so the delta against ``test_advise_named_warm_latency_keepalive`` is
+    exactly what connection reuse saves on the interactive path.
+    """
+
+    def reconnect_each_time():
+        service.close()
+        return service.advise(name="banded_001", collection="tiny",
+                              num_threads=8)
+
+    envelope = benchmark(reconnect_each_time)
     assert envelope["cached"] == "memory"
 
 

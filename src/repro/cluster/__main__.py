@@ -1,0 +1,140 @@
+"""``python -m repro.cluster`` starts the gateway (and, optionally,
+replica daemons it manages).
+
+Examples::
+
+    # front three already-running daemons
+    python -m repro.cluster --replica 127.0.0.1:8787 \
+        --replica 127.0.0.1:8788 --replica 127.0.0.1:8789
+
+    # spawn 3 replicas (ephemeral ports, per-replica cache dirs under
+    # --cache) plus the gateway, all torn down together
+    python -m repro.cluster --spawn 3 --jobs 2 --cache .repro_cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+from .gateway import GatewayConfig, run_gateway
+
+_ANNOUNCE = re.compile(r"repro-service listening on http://([^:]+):(\d+)")
+
+
+def _spawn_replicas(count: int, jobs: int, cache: str | None,
+                    extra: list[str]) -> tuple[list, list[tuple[str, int]]]:
+    processes, addresses = [], []
+    for index in range(count):
+        argv = [sys.executable, "-m", "repro.service", "--port", "0",
+                "--jobs", str(jobs)]
+        cache_dir = ""
+        if cache:
+            cache_dir = str(Path(cache) / f"replica-{index}")
+        argv += ["--cache", cache_dir]
+        argv += extra
+        process = subprocess.Popen(argv, stdout=subprocess.PIPE, text=True,
+                                   env=dict(os.environ))
+        line = process.stdout.readline()
+        match = _ANNOUNCE.search(line)
+        if match is None:
+            process.terminate()
+            for other in processes:
+                other.terminate()
+            raise RuntimeError(f"replica {index} did not announce: {line!r}")
+        processes.append(process)
+        addresses.append((match.group(1), int(match.group(2))))
+        print(f"replica {index} on http://{match.group(1)}:{match.group(2)} "
+              f"(cache: {cache_dir or 'disabled'})", flush=True)
+    return processes, addresses
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.cluster",
+                                     description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8786,
+                        help="0 binds an ephemeral port (announced on stdout)")
+    parser.add_argument("--replica", action="append", default=[],
+                        metavar="HOST:PORT",
+                        help="an already-running replica daemon (repeatable)")
+    parser.add_argument("--spawn", type=int, default=0, metavar="N",
+                        help="spawn N replica daemons on ephemeral ports")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="pool workers per spawned replica")
+    parser.add_argument("--cache", default=".repro_cache",
+                        help="cache root for spawned replicas (each gets "
+                             "<cache>/replica-<i>; '' disables disk caching)")
+    parser.add_argument("--vnodes", type=int, default=64,
+                        help="virtual nodes per replica on the hash ring")
+    parser.add_argument("--probe-interval", type=float, default=2.0,
+                        help="seconds between health/breaker probe rounds")
+    parser.add_argument("--probe-timeout", type=float, default=2.0)
+    parser.add_argument("--fail-after", type=int, default=1,
+                        help="consecutive failed probes that eject a replica")
+    parser.add_argument("--peer-window", type=float, default=120.0,
+                        help="seconds remapped keys carry warm-cache peer "
+                             "hints after a membership change")
+    parser.add_argument("--no-peer-fill", action="store_true",
+                        help="never attach peer hints (rebalances re-evaluate)")
+    parser.add_argument("--batch-window", type=int, default=8,
+                        help="default in-flight window for /batch")
+    parser.add_argument("--forward-timeout", type=float, default=300.0,
+                        help="per-forward ceiling in seconds")
+    args = parser.parse_args(argv)
+    if not args.replica and args.spawn < 1:
+        parser.error("give at least one --replica or --spawn N")
+    if args.spawn < 0:
+        parser.error("--spawn must be non-negative")
+    if args.jobs < 1:
+        parser.error("--jobs must be positive")
+
+    replicas: list[tuple[str, int]] = []
+    for spec in args.replica:
+        host, _, port = spec.rpartition(":")
+        try:
+            replicas.append((host or "127.0.0.1", int(port)))
+        except ValueError:
+            parser.error(f"--replica expects HOST:PORT, got {spec!r}")
+
+    processes: list = []
+    if args.spawn:
+        processes, spawned = _spawn_replicas(
+            args.spawn, args.jobs, args.cache or None, []
+        )
+        replicas += spawned
+
+    config = GatewayConfig(
+        replicas=tuple(replicas),
+        vnodes=args.vnodes,
+        probe_interval_seconds=args.probe_interval,
+        probe_timeout_seconds=args.probe_timeout,
+        fail_after=args.fail_after,
+        peer_window_seconds=args.peer_window,
+        peer_fill=not args.no_peer_fill,
+        forward_timeout_seconds=args.forward_timeout,
+        batch_window=args.batch_window,
+    )
+    try:
+        asyncio.run(run_gateway(config, host=args.host, port=args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,636 @@
+"""The cluster gateway: consistent-hash routing over replica daemons.
+
+One gateway fronts N advisor replicas (each a plain ``repro.service``
+daemon).  Per model request it:
+
+1. validates the payload with the *same* :func:`normalize_request` the
+   replicas use (a 400 never costs a replica round trip) and computes
+   the canonical sha256 request key;
+2. consistent-hash routes the key to its owner replica
+   (:class:`~repro.cluster.ring.HashRing` over the live membership);
+3. relays the replica's response **verbatim** — routed answers are
+   byte-identical to a direct single-daemon call;
+4. on a connection failure, ejects the replica from the ring on the
+   spot and fails over to the next node in the key's preference
+   sequence — a replica killed mid-burst loses zero requests;
+5. while a rebalance window is open, attaches a ``peer`` hint naming
+   the key's *previous* owner, so the newly-responsible replica can
+   warm-fill from the peer's cache (``/cache/peek``) instead of
+   re-evaluating.
+
+Membership is driven by the existing health surface: a background loop
+probes every replica's ``/healthz`` and breaker state
+(:mod:`repro.cluster.membership`); an open breaker or a failed probe
+ejects, recovery re-admits with bounded key remapping.  The gateway is
+the single source of membership truth — replicas hold no cluster state,
+so there is no split brain to reconcile.
+
+``POST /batch`` streams a whole collection sweep back as NDJSON with a
+bounded in-flight window (:mod:`repro.cluster.batch`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from urllib.parse import parse_qs
+
+from ..experiments.pool import (
+    register_parent_socket,
+    unregister_parent_socket,
+)
+from ..obs.histogram import LatencyHistogram
+from ..service.httpd import (
+    ParsedRequest,
+    PayloadTooLarge,
+    finish_chunked_response,
+    read_request,
+    request_bytes,
+    respond,
+    start_chunked_response,
+    write_chunk,
+)
+from ..service.protocol import (
+    ENDPOINTS,
+    RequestError,
+    normalize_request,
+    request_key,
+)
+from .batch import BatchItem, normalize_batch
+from .membership import MembershipController
+from .ring import DEFAULT_VNODES
+
+__all__ = ["ClusterGateway", "GatewayConfig", "GatewayThread",
+           "render_gateway_prometheus", "run_gateway"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway tunables (CLI flags map 1:1)."""
+
+    #: replica daemons as ``(host, port)`` pairs
+    replicas: tuple = ()
+    vnodes: int = DEFAULT_VNODES
+    #: seconds between health/breaker probe rounds (0 disables the loop —
+    #: tests drive probes by hand; data-path ejection still works)
+    probe_interval_seconds: float = 2.0
+    probe_timeout_seconds: float = 2.0
+    #: consecutive failed probes that eject a replica
+    fail_after: int = 1
+    #: seconds after a membership change during which remapped keys carry
+    #: a peer hint toward their previous owner's warm cache
+    peer_window_seconds: float = 120.0
+    #: attach peer hints at all (off = rebalances re-evaluate)
+    peer_fill: bool = True
+    #: per-forward ceiling; requests may carry their own smaller timeout
+    forward_timeout_seconds: float = 300.0
+    #: default and per-request in-flight window for /batch
+    batch_window: int = 8
+    max_body_bytes: int = 256 * 2**20
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ValueError("at least one replica is required")
+        if self.fail_after < 1:
+            raise ValueError("fail_after must be positive")
+        if self.batch_window < 1:
+            raise ValueError("batch_window must be positive")
+        if self.forward_timeout_seconds <= 0:
+            raise ValueError("forward_timeout_seconds must be positive")
+
+
+class GatewayMetrics:
+    """Counters behind the gateway's ``/metrics``."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        #: endpoint -> replica node -> forwards that got an HTTP response
+        self.routed: dict[str, Counter] = defaultdict(Counter)
+        #: forwards retried on the next preference node after a dead socket
+        self.failovers = 0
+        #: requests for which every candidate replica failed (the
+        #: zero-lost-requests invariant asserts this stays 0 while any
+        #: replica lives)
+        self.exhausted = 0
+        #: requests refused because the ring was empty
+        self.no_replicas = 0
+        #: forwarded requests that carried a peer warm-fill hint
+        self.peer_hints = 0
+        self.bad_requests = 0
+        self.batches = 0
+        self.batch_items = Counter()      # status -> items
+        self.batch_inflight_peak = 0
+        self.latency: dict[str, LatencyHistogram] = defaultdict(LatencyHistogram)
+
+    def snapshot(self, membership: MembershipController) -> dict:
+        return {
+            "uptime_seconds": time.monotonic() - self.started,
+            "routed": {ep: dict(c) for ep, c in sorted(self.routed.items())},
+            "failovers": self.failovers,
+            "exhausted": self.exhausted,
+            "no_replicas": self.no_replicas,
+            "peer_hints": self.peer_hints,
+            "bad_requests": self.bad_requests,
+            "batch": {
+                "batches": self.batches,
+                "items": dict(self.batch_items),
+                "inflight_peak": self.batch_inflight_peak,
+            },
+            "latency_seconds": {
+                ep: hist.snapshot() for ep, hist in sorted(self.latency.items())
+            },
+            "membership": membership.snapshot(),
+        }
+
+
+class ClusterGateway:
+    """Transport-agnostic gateway logic: route, fail over, stream."""
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.config = config
+        self.membership = MembershipController(
+            [tuple(r) for r in config.replicas],
+            vnodes=config.vnodes,
+            fail_after=config.fail_after,
+            peer_window_seconds=config.peer_window_seconds,
+        )
+        self.metrics = GatewayMetrics()
+        self.shutdown_event = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def route_task(
+        self, endpoint: str, payload: dict, task: dict, key: str
+    ) -> tuple[int, bytes]:
+        """Forward one validated request to its owner, failing over along
+        the key's preference sequence; returns the relayed response."""
+        timeout = min(float(task.get("timeout", self.config.forward_timeout_seconds)),
+                      self.config.forward_timeout_seconds) + 5.0
+        tried: set[str] = set()
+        while True:
+            candidates = [r for r in self.membership.preference(key)
+                          if r.node not in tried]
+            if not candidates:
+                if tried:
+                    self.metrics.exhausted += 1
+                    return 503, _error_bytes(
+                        endpoint, "NoReplicaAnswered",
+                        f"all {len(tried)} candidate replicas failed for "
+                        f"key {key}",
+                    )
+                self.metrics.no_replicas += 1
+                return 503, _error_bytes(
+                    endpoint, "NoReplicas",
+                    "no live replicas in the ring; retry after the next "
+                    "probe round",
+                )
+            replica = candidates[0]
+            body = json.dumps(payload).encode()
+            if self.config.peer_fill:
+                peer = self.membership.peer_for(key)
+                if peer is not None and peer.node != replica.node:
+                    hinted = dict(payload)
+                    hinted["peer"] = {"host": peer.host, "port": peer.port}
+                    body = json.dumps(hinted).encode()
+                    self.metrics.peer_hints += 1
+            try:
+                status, response = await request_bytes(
+                    replica.host, replica.port, "POST", f"/{endpoint}",
+                    body, timeout,
+                )
+            except (OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError, ConnectionError,
+                    ValueError) as exc:
+                # a dead socket ejects the replica immediately; the key's
+                # next preference node takes the retry (evaluations are
+                # idempotent and cached, so a duplicate is at most one
+                # extra cache lookup on the failed node's side)
+                tried.add(replica.node)
+                self.membership.mark_down(
+                    replica.node, f"{type(exc).__name__}: {exc}"
+                )
+                self.metrics.failovers += 1
+                continue
+            self.metrics.routed[endpoint][replica.node] += 1
+            return status, response
+
+    async def _handle_model(self, endpoint: str, body: bytes) -> tuple[int, dict | bytes]:
+        started = time.perf_counter()
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.metrics.bad_requests += 1
+            return 400, _error_payload(endpoint, "BadJSON", str(exc))
+        try:
+            task = normalize_request(endpoint, payload)
+        except RequestError as exc:
+            self.metrics.bad_requests += 1
+            return exc.status, _error_payload(endpoint, "RequestError", str(exc))
+        status, response = await self.route_task(
+            endpoint, payload, task, request_key(task)
+        )
+        self.metrics.latency[endpoint].observe(time.perf_counter() - started)
+        return status, response
+
+    # ------------------------------------------------------------------
+    # batch streaming
+    # ------------------------------------------------------------------
+    async def _stream_batch(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            payload = json.loads(body.decode() or "{}")
+            spec = normalize_batch(payload, self.config.batch_window)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.metrics.bad_requests += 1
+            await respond(writer, 400,
+                          _error_payload("batch", "BadJSON", str(exc)),
+                          close=True)
+            return
+        except RequestError as exc:
+            self.metrics.bad_requests += 1
+            await respond(writer, exc.status,
+                          _error_payload("batch", "RequestError", str(exc)),
+                          close=True)
+            return
+
+        self.metrics.batches += 1
+        started = time.perf_counter()
+        await start_chunked_response(writer)
+        window = asyncio.Semaphore(spec.window)
+        lines: asyncio.Queue = asyncio.Queue(maxsize=spec.window)
+        inflight = 0
+        counts = Counter()
+
+        async def run_item(item: BatchItem) -> None:
+            nonlocal inflight
+            async with window:
+                inflight += 1
+                self.metrics.batch_inflight_peak = max(
+                    self.metrics.batch_inflight_peak, inflight
+                )
+                try:
+                    line = await self._batch_line(spec.endpoint, item)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    # every task must queue exactly one line — a swallowed
+                    # exception here would leave the consumer awaiting a
+                    # line that never comes and stall the whole stream
+                    line = {"index": item.index, "name": item.name,
+                            "key": item.key, "ok": False,
+                            "error": {"type": type(exc).__name__,
+                                      "message": str(exc)}}
+                finally:
+                    inflight -= 1
+                # the semaphore is held until the line is *queued* into a
+                # window-bounded queue: a client that stops reading stalls
+                # the queue, which stalls the semaphore, which stops new
+                # replica work — backpressure, not buffering
+                await lines.put(line)
+
+        invalid = [item for item in spec.items if item.error is not None]
+        tasks = [asyncio.ensure_future(run_item(item))
+                 for item in spec.valid_items]
+        try:
+            for item in invalid:
+                counts["invalid"] += 1
+                await write_chunk(writer, _ndjson({
+                    "index": item.index, "ok": False,
+                    "error": {"type": "RequestError", "message": item.error},
+                }))
+            for _ in range(len(tasks)):
+                line = await lines.get()
+                counts["ok" if line.get("ok") else "error"] += 1
+                await write_chunk(writer, _ndjson(line))
+            summary = {
+                "batch": {
+                    "endpoint": spec.endpoint,
+                    "total": len(spec.items),
+                    "ok": counts["ok"],
+                    "errors": counts["error"] + counts["invalid"],
+                    "window": spec.window,
+                    "elapsed_seconds": time.perf_counter() - started,
+                }
+            }
+            await write_chunk(writer, _ndjson(summary))
+            await finish_chunked_response(writer)
+        except (ConnectionError, OSError):
+            # client went away mid-stream: stop paying for its batch
+            for task in tasks:
+                task.cancel()
+            raise
+        finally:
+            for status, n in counts.items():
+                self.metrics.batch_items[status] += n
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _batch_line(self, endpoint: str, item: BatchItem) -> dict:
+        """One item through the normal routed path, as its NDJSON line."""
+        status, response = await self.route_task(
+            endpoint, item.payload, item.task, item.key
+        )
+        try:
+            envelope = json.loads(response)
+        except json.JSONDecodeError:
+            envelope = {"ok": False, "error": {
+                "type": "BadReplicaResponse",
+                "message": f"replica answered {status} with a non-JSON body",
+            }}
+        envelope["index"] = item.index
+        envelope.setdefault("key", item.key)
+        envelope["name"] = item.name
+        if status >= 400:
+            envelope["ok"] = False
+        return envelope
+
+    # ------------------------------------------------------------------
+    # HTTP surface
+    # ------------------------------------------------------------------
+    async def handle_request(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict | str | bytes, bool]:
+        path, _, query_string = target.partition("?")
+        path = path.rstrip("/") or "/"
+        if method == "GET":
+            if path == "/healthz":
+                alive = len(self.membership.alive)
+                return 200, {
+                    "ok": alive > 0,
+                    "status": "healthy" if alive else "no live replicas",
+                    "role": "gateway",
+                    "replicas": {"alive": alive,
+                                 "total": len(self.membership.replicas)},
+                }, False
+            if path == "/metrics":
+                fmt = (parse_qs(query_string).get("format") or ["json"])[-1]
+                if fmt not in ("json", "prometheus"):
+                    return 400, _error_payload(
+                        "metrics", "BadFormat",
+                        f"unknown metrics format {fmt!r} "
+                        "(expected 'json' or 'prometheus')",
+                    ), False
+                snapshot = self.metrics.snapshot(self.membership)
+                if fmt == "prometheus":
+                    return 200, render_gateway_prometheus(snapshot), False
+                return 200, snapshot, False
+            return 404, _error_payload(path, "NotFound",
+                                       f"no such path {path!r}"), False
+        if method != "POST":
+            return 405, _error_payload(path, "MethodNotAllowed",
+                                       f"{method} not supported"), False
+        if path == "/shutdown":
+            return 200, {"ok": True, "status": "shutting down"}, True
+        endpoint = path.lstrip("/")
+        if endpoint not in ENDPOINTS:
+            return 404, _error_payload(endpoint, "NotFound",
+                                       f"no such endpoint {endpoint!r}"), False
+        status, payload = await self._handle_model(endpoint, body)
+        return status, payload, False
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        shutdown = False
+        # in thread mode the gateway shares its process with replica
+        # daemons whose pool workers fork at arbitrary moments; register
+        # the accepted socket so those workers close their inherited copy
+        # (see repro.experiments.pool.register_parent_socket)
+        conn_sock = writer.get_extra_info("socket")
+        if conn_sock is not None:
+            register_parent_socket(conn_sock)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader,
+                                                 self.config.max_body_bytes)
+                except PayloadTooLarge as exc:
+                    await respond(writer, 413,
+                                  _error_payload(exc.target, "PayloadTooLarge",
+                                                 str(exc)),
+                                  close=True)
+                    return
+                if request is None:
+                    return
+                if request.malformed:
+                    await respond(writer, 400,
+                                  _error_payload("", "BadRequest",
+                                                 "malformed request line"),
+                                  close=True)
+                    return
+                path = request.target.partition("?")[0].rstrip("/")
+                if request.method == "POST" and path == "/batch":
+                    await self._stream_batch(writer, request.body)
+                    return  # a stream always closes the connection
+                status, payload, shutdown = await self.handle_request(
+                    request.method, request.target, request.body
+                )
+                close = request.close or shutdown
+                await respond(writer, status, payload, close=close)
+                if close:
+                    return
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # loop teardown cancels handlers parked on an idle keep-alive
+            # socket; exiting cleanly here keeps the streams machinery
+            # from logging the cancellation as an error
+            pass
+        finally:
+            if conn_sock is not None:
+                unregister_parent_socket(conn_sock)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+            if shutdown:
+                self.shutdown_event.set()
+
+    async def probe_loop(self) -> None:
+        """Background membership maintenance (see module docstring)."""
+        interval = self.config.probe_interval_seconds
+        if interval <= 0:
+            return
+        while not self.shutdown_event.is_set():
+            await self.membership.probe_all(self.config.probe_timeout_seconds)
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self.shutdown_event.wait(), interval)
+
+
+def _error_payload(endpoint: str, error_type: str, message: str) -> dict:
+    return {"ok": False, "endpoint": endpoint,
+            "error": {"type": error_type, "message": message}}
+
+
+def _error_bytes(endpoint: str, error_type: str, message: str) -> bytes:
+    return json.dumps(_error_payload(endpoint, error_type, message)).encode()
+
+
+def _ndjson(payload: dict) -> bytes:
+    return json.dumps(payload).encode() + b"\n"
+
+
+def render_gateway_prometheus(snapshot: dict, prefix: str = "repro_gateway") -> str:
+    """Prometheus text exposition of the gateway snapshot."""
+    from ..obs.prometheus import _Writer
+
+    w = _Writer(prefix)
+    name = w.family("uptime_seconds", "gauge", "Gateway uptime.")
+    w.sample(name, float(snapshot.get("uptime_seconds", 0.0)))
+    name = w.family("routed_total", "counter",
+                    "Forwards answered, by endpoint and replica.")
+    for endpoint, replicas in sorted(snapshot.get("routed", {}).items()):
+        for replica, count in sorted(replicas.items()):
+            w.sample(name, count, endpoint=endpoint, replica=replica)
+    name = w.family("failovers_total", "counter",
+                    "Forwards retried on the next replica after a dead socket.")
+    w.sample(name, snapshot.get("failovers", 0))
+    name = w.family("requests_exhausted_total", "counter",
+                    "Requests every candidate replica failed (lost work).")
+    w.sample(name, snapshot.get("exhausted", 0))
+    name = w.family("peer_hints_total", "counter",
+                    "Forwards carrying a warm-cache peer hint.")
+    w.sample(name, snapshot.get("peer_hints", 0))
+    name = w.family("bad_requests_total", "counter",
+                    "Requests rejected at the gateway without a forward.")
+    w.sample(name, snapshot.get("bad_requests", 0))
+    batch = snapshot.get("batch", {})
+    name = w.family("batches_total", "counter", "Batch requests accepted.")
+    w.sample(name, batch.get("batches", 0))
+    name = w.family("batch_items_total", "counter",
+                    "Batch items streamed, by terminal status.")
+    for status, count in sorted(batch.get("items", {}).items()):
+        w.sample(name, count, status=status)
+    name = w.family("batch_inflight_peak", "gauge",
+                    "Peak concurrent in-flight batch items.")
+    w.sample(name, batch.get("inflight_peak", 0))
+    membership = snapshot.get("membership", {})
+    name = w.family("replica_up", "gauge",
+                    "Replica liveness in the ring (1 = in, 0 = ejected).")
+    for node, state in sorted(membership.get("replicas", {}).items()):
+        w.sample(name, 1 if state.get("healthy") else 0, replica=node)
+    name = w.family("membership_changes_total", "counter",
+                    "Ring membership transitions, by kind.")
+    w.sample(name, membership.get("ejections", 0), kind="ejection")
+    w.sample(name, membership.get("readmissions", 0), kind="readmission")
+    name = w.family("request_latency_seconds", "histogram",
+                    "Gateway round-trip latency by endpoint.")
+    for endpoint, hist in sorted(snapshot.get("latency_seconds", {}).items()):
+        for bound, cumulative in hist.get("buckets", {}).items():
+            w.sample(f"{name}_bucket", cumulative, endpoint=endpoint, le=bound)
+        w.sample(f"{name}_sum", float(hist.get("sum_seconds", 0.0)),
+                 endpoint=endpoint)
+        w.sample(f"{name}_count", hist.get("count", 0), endpoint=endpoint)
+    return "\n".join(w.lines) + "\n"
+
+
+async def run_gateway(
+    config: GatewayConfig,
+    host: str = "127.0.0.1",
+    port: int = 8786,
+    ready=None,
+    announce: bool = True,
+) -> None:
+    """Run the gateway until ``/shutdown`` or SIGINT/SIGTERM.
+
+    Mirrors :func:`repro.service.app.run_server`: ``port=0`` binds an
+    ephemeral port announced on stdout as ``repro-gateway listening on
+    http://HOST:PORT``.
+    """
+    gateway = ClusterGateway(config)
+    server = await asyncio.start_server(gateway.handle_connection, host, port)
+    # same fork hygiene as run_server: replica evaluator workers forked in
+    # this process must not keep the gateway port alive after shutdown
+    listeners = list(server.sockets)
+    for sock in listeners:
+        register_parent_socket(sock)
+    actual_port = server.sockets[0].getsockname()[1]
+    if announce:
+        print(f"repro-gateway listening on http://{host}:{actual_port}",
+              flush=True)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(sig, gateway.shutdown_event.set)
+    prober = asyncio.ensure_future(gateway.probe_loop())
+    if ready is not None:
+        ready(gateway, host, actual_port, loop)
+    try:
+        async with server:
+            await gateway.shutdown_event.wait()
+    finally:
+        for sock in listeners:
+            unregister_parent_socket(sock)
+        prober.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await prober
+
+
+class GatewayThread:
+    """An in-process gateway on a background thread (tests, benches).
+
+    >>> with GatewayThread(GatewayConfig(replicas=((h1, p1), (h2, p2)))) \\
+    ...         as (host, port):
+    ...     ServiceClient(host, port).health()
+    """
+
+    def __init__(
+        self,
+        config: GatewayConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.config = config
+        self._host = host
+        self._port = port
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.gateway: ClusterGateway | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.address: tuple[str, int] | None = None
+
+    def _on_ready(self, gateway, host, port, loop) -> None:
+        self.gateway = gateway
+        self.address = (host, port)
+        self._loop = loop
+        self._ready.set()
+
+    def start(self) -> tuple[str, int]:
+        if self._thread is not None:
+            raise RuntimeError("gateway thread already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(
+                run_gateway(self.config, self._host, self._port,
+                            ready=self._on_ready, announce=False)
+            ),
+            name="repro-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("gateway thread failed to start")
+        return self.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self.gateway is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.gateway.shutdown_event.set)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,247 @@
+"""Ring membership driven by replica health probes and breaker state.
+
+The gateway owns the one authoritative membership view — replicas never
+gossip, so there is no split brain to reconcile.  A background probe
+loop polls every *configured* replica:
+
+* ``GET /healthz`` must answer ``{"ok": true}`` within the probe
+  timeout, and
+* the ``/metrics`` breaker snapshot must show **no open breaker** — an
+  open breaker means the replica's own pool is refusing evaluations, so
+  routing fresh keys at it only manufactures degraded answers.
+
+``fail_after`` consecutive bad probes eject a replica from the ring;
+one clean probe re-admits it.  The data path can also call
+:meth:`MembershipController.mark_down` the moment a forward fails, so a
+killed replica leaves the ring mid-burst instead of waiting out the
+probe interval.
+
+Every ring change snapshots the *previous* ring for
+``peer_window_seconds``: while the window is open,
+:meth:`MembershipController.peer_for` answers "which *live* node owned
+this key before the last rebalance?" — the peer a freshly-responsible
+replica should ask for a warm copy (``/cache/peek``) before paying for
+an evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..resilience.breaker import OPEN
+from .ring import DEFAULT_VNODES, HashRing
+
+__all__ = ["MembershipController", "Replica", "probe_replica"]
+
+
+@dataclass
+class Replica:
+    """One configured replica and its probe ledger."""
+
+    host: str
+    port: int
+    healthy: bool = True
+    consecutive_failures: int = 0
+    probes: int = 0
+    last_error: str | None = None
+    #: breaker states seen on the last successful /metrics probe
+    breaker_states: dict = field(default_factory=dict)
+
+    @property
+    def node(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+async def probe_replica(host: str, port: int, timeout: float = 2.0) -> dict:
+    """One health probe: ``/healthz`` liveness plus breaker states.
+
+    Returns ``{"ok": bool, "breakers": {endpoint: state}, "error": ...}``;
+    never raises.
+    """
+    import asyncio
+
+    from ..service.httpd import request_json
+
+    try:
+        status, health = await request_json(host, port, "GET", "/healthz",
+                                            timeout=timeout)
+        if status != 200 or not health.get("ok"):
+            return {"ok": False, "breakers": {},
+                    "error": f"/healthz answered {status}: {health}"}
+        status, metrics = await request_json(host, port, "GET", "/metrics",
+                                             timeout=timeout)
+        if status != 200:
+            return {"ok": False, "breakers": {},
+                    "error": f"/metrics answered {status}"}
+    except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError,
+            json.JSONDecodeError, ConnectionError, ValueError) as exc:
+        return {"ok": False, "breakers": {},
+                "error": f"{type(exc).__name__}: {exc}"}
+    breakers = {
+        endpoint: snap.get("state", "closed")
+        for endpoint, snap in metrics.get("breakers", {}).items()
+    }
+    return {"ok": True, "breakers": breakers, "error": None}
+
+
+class MembershipController:
+    """The gateway's authoritative replica set and its hash ring."""
+
+    def __init__(
+        self,
+        replicas: list[tuple[str, int]],
+        vnodes: int = DEFAULT_VNODES,
+        fail_after: int = 1,
+        peer_window_seconds: float = 120.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not replicas:
+            raise ValueError("at least one replica is required")
+        if fail_after < 1:
+            raise ValueError("fail_after must be positive")
+        self.replicas = [Replica(host, port) for host, port in replicas]
+        by_node: dict[str, Replica] = {}
+        for replica in self.replicas:
+            if replica.node in by_node:
+                raise ValueError(f"duplicate replica {replica.node}")
+            by_node[replica.node] = replica
+        self._by_node = by_node
+        self.fail_after = fail_after
+        self.peer_window_seconds = peer_window_seconds
+        self._clock = clock
+        self.ring = HashRing((r.node for r in self.replicas), vnodes=vnodes)
+        self._previous_ring: HashRing | None = None
+        self._changed_at: float | None = None
+        self.events: list[dict] = []
+        self.ejections = 0
+        self.readmissions = 0
+
+    # -- views ---------------------------------------------------------
+    @property
+    def alive(self) -> list[Replica]:
+        return [r for r in self.replicas if r.healthy]
+
+    def replica_for(self, node: str) -> Replica:
+        return self._by_node[node]
+
+    def owner(self, key: str) -> Replica | None:
+        node = self.ring.owner(key)
+        return None if node is None else self._by_node[node]
+
+    def preference(self, key: str) -> list[Replica]:
+        """Owner-first failover sequence of live replicas for a key."""
+        return [self._by_node[node] for node in self.ring.preference(key)]
+
+    def peer_for(self, key: str) -> Replica | None:
+        """The live previous-epoch owner of a key, during the rebalance
+        window — the warm peer a remapped key should ``/cache/peek``."""
+        if self._previous_ring is None or self._changed_at is None:
+            return None
+        if self._clock() - self._changed_at > self.peer_window_seconds:
+            return None
+        current = self.ring.owner(key)
+        previous = self._previous_ring.owner(key)
+        if previous is None or previous == current:
+            return None
+        replica = self._by_node.get(previous)
+        if replica is None or not replica.healthy:
+            return None
+        return replica
+
+    # -- transitions ---------------------------------------------------
+    def _record(self, event: str, replica: Replica, detail: str | None) -> None:
+        self.events.append({
+            "event": event,
+            "replica": replica.node,
+            "detail": detail,
+            "at_seconds": self._clock(),
+        })
+
+    def _eject(self, replica: Replica, reason: str) -> None:
+        if not replica.healthy:
+            return
+        replica.healthy = False
+        self._previous_ring = self.ring.copy()
+        self._changed_at = self._clock()
+        self.ring.remove(replica.node)
+        self.ejections += 1
+        self._record("ejected", replica, reason)
+
+    def _readmit(self, replica: Replica) -> None:
+        if replica.healthy:
+            return
+        replica.healthy = True
+        replica.consecutive_failures = 0
+        self._previous_ring = self.ring.copy()
+        self._changed_at = self._clock()
+        self.ring.add(replica.node)
+        self.readmissions += 1
+        self._record("readmitted", replica, None)
+
+    def mark_down(self, node: str, reason: str = "forward failed") -> None:
+        """Data-path ejection: a forward to this replica just failed."""
+        replica = self._by_node.get(node)
+        if replica is None:
+            return
+        replica.consecutive_failures += 1
+        replica.last_error = reason
+        self._eject(replica, reason)
+
+    def observe_probe(self, replica: Replica, probe: dict) -> None:
+        """Fold one :func:`probe_replica` result into the membership."""
+        replica.probes += 1
+        open_breakers = sorted(
+            endpoint for endpoint, state in probe.get("breakers", {}).items()
+            if state == OPEN
+        )
+        if probe.get("ok") and not open_breakers:
+            replica.consecutive_failures = 0
+            replica.last_error = None
+            replica.breaker_states = dict(probe.get("breakers", {}))
+            self._readmit(replica)
+            return
+        reason = (f"open breakers: {open_breakers}" if probe.get("ok")
+                  else probe.get("error") or "probe failed")
+        replica.consecutive_failures += 1
+        replica.last_error = reason
+        replica.breaker_states = dict(probe.get("breakers", {}))
+        if replica.consecutive_failures >= self.fail_after:
+            self._eject(replica, reason)
+
+    async def probe_all(self, timeout: float = 2.0) -> None:
+        """Probe every configured replica once, concurrently."""
+        import asyncio
+
+        probes = await asyncio.gather(*(
+            probe_replica(r.host, r.port, timeout) for r in self.replicas
+        ))
+        for replica, probe in zip(self.replicas, probes):
+            self.observe_probe(replica, probe)
+
+    # -- observability -------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "replicas": {
+                r.node: {
+                    "healthy": r.healthy,
+                    "consecutive_failures": r.consecutive_failures,
+                    "probes": r.probes,
+                    "last_error": r.last_error,
+                    "breakers": dict(r.breaker_states),
+                }
+                for r in self.replicas
+            },
+            "alive": len(self.alive),
+            "total": len(self.replicas),
+            "ejections": self.ejections,
+            "readmissions": self.readmissions,
+            "events": self.events[-32:],
+            "ownership": self.ring.ownership_shares(1024),
+            "peer_window_open": (
+                self._changed_at is not None
+                and self._clock() - self._changed_at <= self.peer_window_seconds
+            ),
+        }

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing as mp
+import os
 import signal
 import time
 import traceback
@@ -53,8 +54,41 @@ from .common import (
 )
 
 
+# Sockets registered by in-process daemons (advisor service, cluster
+# gateway): listeners *and* accepted per-connection sockets.  A forked
+# worker inherits every open fd, so a daemon socket stays alive in the
+# kernel even after the daemon itself closes it (or dies), unless workers
+# close their inherited copies.  The two failure modes are symmetric:
+#
+# * an inherited *listener* keeps completing TCP handshakes into a backlog
+#   nobody accepts from — a black-hole port;
+# * an inherited *accepted connection* suppresses the FIN/RST a client is
+#   waiting on when the daemon dies mid-request — its ``readline`` then
+#   blocks forever instead of failing over.
+#
+# Daemons register both kinds here; the worker initializer closes whatever
+# was inherited.  Guarded only by the GIL: a socket registered concurrently
+# with a fork is at worst missed by that one worker, which is the
+# pre-registry status quo.
+_PARENT_SOCKETS: list = []
+
+
+def register_parent_socket(sock) -> None:
+    """Record a daemon socket (listener or accepted connection) for
+    forked workers to close."""
+    _PARENT_SOCKETS.append(sock)
+
+
+def unregister_parent_socket(sock) -> None:
+    """Drop a closed daemon socket from the fork registry."""
+    try:
+        _PARENT_SOCKETS.remove(sock)
+    except ValueError:
+        pass
+
+
 def _worker_signal_reset() -> None:
-    """Detach a forked worker from the parent's signal plumbing.
+    """Detach a forked worker from the parent's signal plumbing and fds.
 
     A forked worker inherits the parent's Python-level signal handlers
     *and* its ``signal.set_wakeup_fd`` pipe.  When the advisor daemon's
@@ -64,10 +98,29 @@ def _worker_signal_reset() -> None:
     own shutdown callback — cleanly stopping the daemon because one of
     its children was told to exit.  Restore default dispositions and drop
     the wakeup fd so signals aimed at a worker stay in that worker.
+
+    It also inherits any daemon sockets open at fork time (see
+    :data:`_PARENT_SOCKETS`): listeners, which must be closed so a later
+    daemon shutdown actually releases its port instead of leaving a
+    kernel-side listener that accepts connections nobody will ever
+    answer; and accepted connections, which must be closed so a daemon
+    death actually resets its in-flight requests instead of leaving
+    clients blocked on a socket the kernel still counts as open.
     """
     signal.set_wakeup_fd(-1)
     for sig in (signal.SIGINT, signal.SIGTERM):
         signal.signal(sig, signal.SIG_DFL)
+    while _PARENT_SOCKETS:
+        sock = _PARENT_SOCKETS.pop()
+        # asyncio hands out TransportSocket wrappers without close();
+        # closing the inherited fd directly works for those and for
+        # plain sockets alike
+        try:
+            fd = sock.fileno()
+            if fd >= 0:
+                os.close(fd)
+        except OSError:  # pragma: no cover - close of a dead fd
+            pass
 
 
 def fork_executor(jobs: int) -> ProcessPoolExecutor:

@@ -19,6 +19,7 @@ from pathlib import Path
 from ..obs.report import render_report
 from ..obs.schema import TRACE_SCHEMA_ID
 from ..obs.tracer import Tracer, installed
+from .cluster import render_cluster, run_cluster
 from .common import ExperimentSetup, collection_records
 from .figure2 import figure2_series, render_figure2
 from .ladder import render_ladder, run_ladder
@@ -39,11 +40,12 @@ EXPERIMENTS = ("table1", "table2", "table3", "figure2", "figure3", "figure4", "f
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    # "ladder" and "optimize" are opt-in (not part of "all"): they explore
-    # the fidelity trade-off / reordering search rather than reproducing a
-    # paper artifact
+    # "ladder", "optimize" and "cluster" are opt-in (not part of "all"):
+    # they explore the fidelity trade-off / reordering search / sharded
+    # service rather than reproducing a paper artifact
     parser.add_argument("--exp",
-                        choices=EXPERIMENTS + ("all", "ladder", "optimize"),
+                        choices=EXPERIMENTS + ("all", "ladder", "optimize",
+                                               "cluster"),
                         default="all")
     parser.add_argument("--collection", choices=("tiny", "small", "full"), default="small")
     parser.add_argument("--limit", type=int, default=None, help="cap the matrix count")
@@ -85,6 +87,14 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=0,
         help="reordering-search tie-break seed for --exp optimize",
     )
+    parser.add_argument(
+        "--replicas", type=int, default=3,
+        help="replica daemons behind the gateway for --exp cluster",
+    )
+    parser.add_argument(
+        "--window", type=int, default=8,
+        help="batch in-flight window for --exp cluster",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.accuracy is not None and args.accuracy <= 0:
@@ -95,6 +105,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--seed must be non-negative")
     if args.jobs < 1:
         parser.error("--jobs must be positive")
+    if args.replicas < 1:
+        parser.error("--replicas must be positive")
+    if args.window < 1:
+        parser.error("--window must be positive")
 
     cache = args.cache or None
     wanted = EXPERIMENTS if args.exp == "all" else (args.exp,)
@@ -146,6 +160,15 @@ def _run(args: argparse.Namespace, cache: str | None, wanted: tuple[str, ...]) -
             limit=args.limit, verbose=args.verbose,
         )
         print(render_optimize(rows, config))
+        print()
+
+    if "cluster" in wanted:
+        setup = ExperimentSetup(scale=args.scale, num_threads=48)
+        summary = run_cluster(
+            args.collection, setup, replicas=args.replicas,
+            window=args.window, limit=args.limit, verbose=args.verbose,
+        )
+        print(render_cluster(summary))
         print()
 
     if "table1" in wanted:

@@ -131,6 +131,33 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         w.sample(f"{name}_sum", float(improvement.get("sum_seconds", 0.0)))
         w.sample(f"{name}_count", improvement.get("count", 0))
 
+    name = w.family("peer_fill_total", "counter",
+                    "Warm-cache fills attempted against a peer replica, "
+                    "by outcome.")
+    for outcome, count in sorted(snapshot.get("peer_fill", {}).items()):
+        w.sample(name, count, outcome=outcome)
+
+    name = w.family("cache_peek_total", "counter",
+                    "/cache/peek requests served to peer replicas, "
+                    "by outcome.")
+    for outcome, count in sorted(snapshot.get("cache_peek", {}).items()):
+        w.sample(name, count, outcome=outcome)
+
+    gc = snapshot.get("gc", {})
+    name = w.family("cache_gc_sweeps_total", "counter",
+                    "Disk-cache GC sweeps run by the daemon.")
+    w.sample(name, gc.get("sweeps", 0))
+    name = w.family("cache_gc_deleted_total", "counter",
+                    "Disk-cache entries deleted by GC.")
+    w.sample(name, gc.get("deleted", 0))
+    name = w.family("cache_gc_deleted_bytes_total", "counter",
+                    "Disk-cache bytes reclaimed by GC.")
+    w.sample(name, gc.get("deleted_bytes", 0))
+    name = w.family("cache_gc_quarantined", "gauge",
+                    "Quarantine files present and preserved at the last "
+                    "GC sweep.")
+    w.sample(name, gc.get("quarantined", 0))
+
     name = w.family("faults_injected_total", "counter",
                     "Injected faults fired, by site and kind.")
     for site_kind, count in sorted(snapshot.get("faults_injected", {}).items()):

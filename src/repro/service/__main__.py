@@ -74,7 +74,25 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="SECONDS",
                         help="largest budget_seconds an /optimize request "
                              "may ask for (400 above it)")
+    parser.add_argument("--peer-timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="ceiling on one /cache/peek round trip to a "
+                             "peer replica before evaluating locally")
+    parser.add_argument("--gc-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="run a disk-cache GC sweep this often (off by "
+                             "default; needs --gc-max-age and/or "
+                             "--gc-max-bytes)")
+    parser.add_argument("--gc-max-age", type=float, default=None,
+                        metavar="SECONDS",
+                        help="GC: delete cache entries older than this")
+    parser.add_argument("--gc-max-bytes", type=int, default=None,
+                        help="GC: then delete oldest entries until the "
+                             "cache directory fits this budget")
     args = parser.parse_args(argv)
+    if args.gc_interval is not None and args.gc_max_age is None \
+            and args.gc_max_bytes is None:
+        parser.error("--gc-interval needs --gc-max-age and/or --gc-max-bytes")
     if args.default_accuracy is not None and args.default_accuracy <= 0:
         parser.error("--default-accuracy must be positive")
     if args.max_optimize_budget <= 0:
@@ -111,6 +129,10 @@ def main(argv: list[str] | None = None) -> int:
         default_accuracy=args.default_accuracy,
         default_max_tier=args.max_tier,
         max_optimize_budget_seconds=args.max_optimize_budget,
+        peer_timeout_seconds=args.peer_timeout,
+        gc_interval_seconds=args.gc_interval,
+        gc_max_age_seconds=args.gc_max_age,
+        gc_max_bytes=args.gc_max_bytes,
     )
     try:
         asyncio.run(run_server(config, host=args.host, port=args.port))

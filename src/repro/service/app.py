@@ -17,9 +17,16 @@ structured error; a worker that *dies* breaks the pool, which is
 rebuilt, counted in ``/metrics``, and surfaced as a 500 — subsequent
 requests succeed.
 
-The HTTP layer is deliberately minimal (HTTP/1.1, ``Connection:
-close``): the repo is stdlib-only, and the service's unit of work is a
-model evaluation, not a socket.
+The HTTP layer is deliberately minimal (HTTP/1.1 with keep-alive via
+:mod:`repro.service.httpd`): the repo is stdlib-only, and the service's
+unit of work is a model evaluation, not a socket — but the warm path is
+a dictionary lookup, so connection reuse matters there.
+
+Cluster hooks (see :mod:`repro.cluster`): ``POST /cache/peek`` answers
+"do *you* have this key?" from the cache tiers only — no pool, no
+breaker — and a request carrying a ``"peer"`` hint (attached by the
+gateway after a membership change) asks that previous owner over the
+same endpoint before paying for an evaluation.
 """
 
 from __future__ import annotations
@@ -38,14 +45,19 @@ from urllib.parse import parse_qs
 
 from ..analysis.report import canonical_json
 from ..experiments.common import cache_entry_path
-from ..experiments.pool import fork_executor
+from ..experiments.pool import (
+    fork_executor,
+    register_parent_socket,
+    unregister_parent_socket,
+)
 from ..ladder.engine import tier2_apriori_bound
 from ..obs.prometheus import render_prometheus
 from ..resilience import faults
 from ..resilience.breaker import CircuitBreaker
 from ..resilience.degraded import answer_task as degraded_answer
 from ..resilience.faults import FaultPlan
-from .cache import TieredResultCache
+from .cache import TieredResultCache, gc_sweep
+from .httpd import PayloadTooLarge, read_request, request_json, respond
 from .metrics import ServiceMetrics
 from .protocol import (
     ENDPOINTS,
@@ -56,11 +68,6 @@ from .protocol import (
     setup_from_task,
 )
 from .worker import evaluate
-
-_REASONS = {200: "OK", 400: "Bad Request", 403: "Forbidden",
-            404: "Not Found", 405: "Method Not Allowed",
-            413: "Payload Too Large", 500: "Internal Server Error",
-            503: "Service Unavailable", 504: "Gateway Timeout"}
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,17 @@ class ServiceConfig:
     #: largest ``budget_seconds`` an ``/optimize`` request may ask for —
     #: admission control for the most expensive endpoint (400 above it)
     max_optimize_budget_seconds: float = 120.0
+    #: ceiling on one ``/cache/peek`` round trip to a peer replica; a
+    #: slow or dead peer must never cost more than this before the
+    #: replica falls back to evaluating itself
+    peer_timeout_seconds: float = 5.0
+    #: seconds between periodic disk-cache GC sweeps (None disables the
+    #: daemon task; ``python -m repro.service.cache --gc`` still works)
+    gc_interval_seconds: float | None = None
+    #: GC: delete disk entries older than this many seconds
+    gc_max_age_seconds: float | None = None
+    #: GC: then delete oldest entries until the cache dir fits
+    gc_max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -125,6 +143,19 @@ class ServiceConfig:
             raise ValueError("default_max_tier must be between 0 and 3")
         if self.max_optimize_budget_seconds <= 0:
             raise ValueError("max_optimize_budget_seconds must be positive")
+        if self.peer_timeout_seconds <= 0:
+            raise ValueError("peer_timeout_seconds must be positive")
+        if self.gc_interval_seconds is not None and self.gc_interval_seconds <= 0:
+            raise ValueError("gc_interval_seconds must be positive (or None)")
+        if self.gc_max_age_seconds is not None and self.gc_max_age_seconds < 0:
+            raise ValueError("gc_max_age_seconds must be non-negative")
+        if self.gc_max_bytes is not None and self.gc_max_bytes < 0:
+            raise ValueError("gc_max_bytes must be non-negative")
+        if (self.gc_interval_seconds is not None
+                and self.gc_max_age_seconds is None
+                and self.gc_max_bytes is None):
+            raise ValueError("gc_interval_seconds needs gc_max_age_seconds "
+                             "and/or gc_max_bytes (nothing to collect otherwise)")
 
 
 class _EvaluationError(Exception):
@@ -221,6 +252,13 @@ class LocalityService:
                                        f"{method} not supported"), False
         if path == "/shutdown":
             return 200, {"ok": True, "status": "shutting down"}, True
+        if path == "/cache/peek":
+            try:
+                payload = json.loads(body.decode() or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, _error_payload("cache/peek", "BadJSON", str(exc)), False
+            status, response = self._handle_cache_peek(payload)
+            return status, response, False
         endpoint = path.lstrip("/")
         if endpoint not in ENDPOINTS:
             return 404, _error_payload(endpoint, "NotFound",
@@ -231,6 +269,92 @@ class LocalityService:
             return 400, _error_payload(endpoint, "BadJSON", str(exc)), False
         status, response = await self._handle_model(endpoint, payload)
         return status, response, False
+
+    # ------------------------------------------------------------------
+    # cluster hooks
+    # ------------------------------------------------------------------
+    def _handle_cache_peek(self, payload: object) -> tuple[int, dict]:
+        """``POST /cache/peek {"task": <normalized task>}`` — cache tiers
+        only, no pool, no breaker, no evaluation.
+
+        The caller is another replica holding a normalized task whose key
+        this replica owned before a membership change; it sends the task
+        verbatim and we recompute the key, so a peek can never answer a
+        different question than the one being asked.  Only the plain-key
+        entry is consulted (the one legacy and tier-2 ladder answers
+        share); a miss just means the caller evaluates — exactly what it
+        would have done anyway.
+        """
+        if not isinstance(payload, dict) or not isinstance(payload.get("task"), dict):
+            return 400, _error_payload("cache/peek", "RequestError",
+                                       "expected a JSON object with a 'task' object")
+        task = dict(payload["task"])
+        task.pop("peer", None)
+        if task.get("endpoint") not in ENDPOINTS:
+            return 400, _error_payload(
+                "cache/peek", "RequestError",
+                f"unknown endpoint {task.get('endpoint')!r}")
+        try:
+            key = request_key(task)
+            disk_path, _ = self._disk_entry(task, key)
+        except Exception as exc:  # noqa: BLE001 - a bad task is the caller's bug
+            return 400, _error_payload("cache/peek", "RequestError", str(exc))
+        result, tier = self.cache.get(key, disk_path)
+        if result is None:
+            self.metrics.cache_peek["miss"] += 1
+            return 200, {"ok": True, "found": False, "key": key}
+        self.metrics.cache_peek["hit"] += 1
+        return 200, {"ok": True, "found": True, "key": key, "tier": tier,
+                     "result": result}
+
+    async def _peer_fill(
+        self, endpoint: str, task: dict, key: str, peer: dict
+    ) -> dict | None:
+        """Ask the key's previous ring owner for its cached answer.
+
+        Best-effort by construction: any failure — dead peer, timeout,
+        malformed reply — returns None and the replica evaluates as if no
+        hint existed.  The hint is routing metadata, never correctness.
+        """
+        try:
+            status, payload = await request_json(
+                peer["host"], peer["port"], "POST", "/cache/peek",
+                {"task": task}, timeout=self.config.peer_timeout_seconds,
+            )
+        except (OSError, ValueError, ConnectionError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
+            self.metrics.peer_fill["error"] += 1
+            return None
+        if status != 200 or not payload.get("found"):
+            self.metrics.peer_fill["miss"] += 1
+            return None
+        result = payload.get("result")
+        if not isinstance(result, dict):
+            self.metrics.peer_fill["error"] += 1
+            return None
+        self.metrics.peer_fill["hit"] += 1
+        return result
+
+    async def gc_once(self) -> dict:
+        """One disk-cache GC sweep off the event loop; folds into /metrics."""
+        if self.cache.cache_dir is None:
+            return {}
+        loop = asyncio.get_running_loop()
+        config = self.config
+        stats = await loop.run_in_executor(
+            None,
+            lambda: gc_sweep(self.cache.cache_dir,
+                             max_age_seconds=config.gc_max_age_seconds,
+                             max_bytes=config.gc_max_bytes),
+        )
+        self.metrics.observe_gc(stats)
+        return stats
+
+    async def gc_loop(self) -> None:
+        """Periodic GC (``--gc-interval``); cancelled at shutdown."""
+        while True:
+            await asyncio.sleep(self.config.gc_interval_seconds)
+            await self.gc_once()
 
     # ------------------------------------------------------------------
     # model endpoints
@@ -263,6 +387,9 @@ class LocalityService:
                 cap = self.config.max_optimize_budget_seconds
                 _require_budget(task["budget_seconds"], cap)
             key = request_key(task)
+            # the gateway's warm-cache hint is routing metadata: excluded
+            # from the key, stripped before the task reaches a worker
+            peer = task.pop("peer", None)
             plan = (faults.FaultPlan.from_dict(task["faults"])
                     if "faults" in task else None)
         except RequestError as exc:
@@ -272,7 +399,7 @@ class LocalityService:
 
         try:
             result, cached, trace, fidelity = await self._resolve(
-                endpoint, task, key, plan
+                endpoint, task, key, plan, peer
             )
         except _DegradedService as exc:
             result = self._degraded_result(task)
@@ -319,9 +446,15 @@ class LocalityService:
         return 200, response
 
     async def _resolve(
-        self, endpoint: str, task: dict, key: str, plan: faults.FaultPlan | None
+        self,
+        endpoint: str,
+        task: dict,
+        key: str,
+        plan: faults.FaultPlan | None,
+        peer: dict | None = None,
     ) -> tuple[dict, str | None, dict | None, dict | None]:
-        """Resolve a key via cache, coalescing, or a fresh evaluation.
+        """Resolve a key via cache, peer fill, coalescing, or a fresh
+        evaluation.
 
         Returns ``(result, cache_tier, span_tree, fidelity)``; the span
         tree is only non-None for a fresh evaluation of a ``"trace":
@@ -359,6 +492,26 @@ class LocalityService:
                 result = await asyncio.shield(pending)
                 return (result, "coalesced", None,
                         _embedded_fidelity(endpoint, result))
+
+        if peer is not None:
+            if chaos:
+                # a perturbed request must not pull a healthy peer answer
+                # into its (never-cached) response path
+                self.metrics.peer_fill["skipped"] += 1
+            else:
+                fetched = await self._peer_fill(endpoint, task, key, peer)
+                if fetched is not None:
+                    # adopt the peer's answer into our own tiers so the
+                    # next hit is local — this replica owns the key now
+                    self.cache.put(
+                        key,
+                        canonical_json(fetched).encode(),
+                        disk_path,
+                        disk_text=(json.dumps(fetched)
+                                   if disk_format == "record" else None),
+                    )
+                    return (fetched, "peer", None,
+                            _embedded_fidelity(endpoint, fetched))
 
         await self._admit(endpoint, plan)
         breaker = self.breakers[endpoint]
@@ -603,36 +756,57 @@ class LocalityService:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve requests on one socket until the client leaves.
+
+        Keep-alive by default: the loop re-reads after each response, so
+        a client reusing its connection pays the TCP setup once and the
+        warm path stays a dictionary lookup.  ``Connection: close``,
+        oversized bodies (the unread body poisons the stream), malformed
+        request lines, and ``/shutdown`` all end the loop.
+        """
         shutdown = False
+        # register the accepted socket so pool workers forked while this
+        # connection is open close their inherited copy — otherwise a
+        # daemon death would never reset the connection and the client
+        # would block instead of failing over
+        conn_sock = writer.get_extra_info("socket")
+        if conn_sock is not None:
+            register_parent_socket(conn_sock)
         try:
-            request_line = await reader.readline()
-            if not request_line:
-                return
-            parts = request_line.decode("latin1").split()
-            if len(parts) < 2:
-                await _respond(writer, 400,
-                               _error_payload("", "BadRequest", "malformed request line"))
-                return
-            method, target = parts[0].upper(), parts[1]
-            headers = {}
             while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin1").partition(":")
-                headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length") or 0)
-            if length > self.config.max_body_bytes:
-                await _respond(writer, 413,
-                               _error_payload(target, "PayloadTooLarge",
-                                              f"body exceeds {self.config.max_body_bytes} bytes"))
-                return
-            body = await reader.readexactly(length) if length else b""
-            status, payload, shutdown = await self.handle_request(method, target, body)
-            await _respond(writer, status, payload)
+                try:
+                    request = await read_request(reader, self.config.max_body_bytes)
+                except PayloadTooLarge as exc:
+                    await respond(writer, 413,
+                                  _error_payload(exc.target, "PayloadTooLarge",
+                                                 str(exc)),
+                                  close=True)
+                    return
+                if request is None:
+                    return
+                if request.malformed:
+                    await respond(writer, 400,
+                                  _error_payload("", "BadRequest",
+                                                 "malformed request line"),
+                                  close=True)
+                    return
+                status, payload, shutdown = await self.handle_request(
+                    request.method, request.target, request.body
+                )
+                close = shutdown or request.close
+                await respond(writer, status, payload, close=close)
+                if close:
+                    return
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
+        except asyncio.CancelledError:
+            # loop teardown cancels handlers parked on an idle keep-alive
+            # socket; exiting cleanly here keeps the streams machinery
+            # from logging the cancellation as an error
+            pass
         finally:
+            if conn_sock is not None:
+                unregister_parent_socket(conn_sock)
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
@@ -669,25 +843,6 @@ def _error_payload(endpoint: str, error_type: str, message: str) -> dict:
             "error": {"type": error_type, "message": message}}
 
 
-async def _respond(
-    writer: asyncio.StreamWriter, status: int, payload: dict | str
-) -> None:
-    if isinstance(payload, str):
-        data = payload.encode()
-        content_type = "text/plain; version=0.0.4; charset=utf-8"
-    else:
-        data = json.dumps(payload).encode()
-        content_type = "application/json"
-    head = (
-        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-        f"Content-Type: {content_type}\r\n"
-        f"Content-Length: {len(data)}\r\n"
-        "Connection: close\r\n\r\n"
-    ).encode("latin1")
-    writer.write(head + data)
-    await writer.drain()
-
-
 async def run_server(
     config: ServiceConfig | None = None,
     host: str = "127.0.0.1",
@@ -706,6 +861,13 @@ async def run_server(
     config = config or ServiceConfig()
     service = LocalityService(config)
     server = await asyncio.start_server(service.handle_connection, host, port)
+    # forked evaluator workers must close their inherited copy of this
+    # listener or the port keeps accepting (and black-holing) connections
+    # after the daemon stops — fatal to gateway failover, which relies on
+    # a dead replica refusing connections
+    listeners = list(server.sockets)
+    for sock in listeners:
+        register_parent_socket(sock)
     actual_port = server.sockets[0].getsockname()[1]
     if announce:
         print(f"repro-service listening on http://{host}:{actual_port}", flush=True)
@@ -715,10 +877,19 @@ async def run_server(
             loop.add_signal_handler(sig, service.shutdown_event.set)
     if ready is not None:
         ready(service, host, actual_port, loop)
+    gc_task = None
+    if config.gc_interval_seconds is not None and config.cache_dir is not None:
+        gc_task = loop.create_task(service.gc_loop())
     try:
         async with server:
             await service.shutdown_event.wait()
     finally:
+        for sock in listeners:
+            unregister_parent_socket(sock)
+        if gc_task is not None:
+            gc_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await gc_task
         service.close()
 
 

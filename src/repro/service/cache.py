@@ -12,6 +12,18 @@ while the cheaper endpoints persist their canonical payloads as
 A disk hit is promoted into the memory tier, so a warm key costs one
 dictionary lookup.  All counters needed by ``/metrics`` (hits and misses
 per tier, evictions, expirations, resident bytes) are kept here.
+
+Long-lived replicas grow the disk tier without bound — every distinct
+request key leaves a file behind.  :func:`gc_sweep` reclaims it under a
+TTL and/or a byte budget (oldest first), **never** touching the
+``*.failure.json`` / ``*.corrupt`` quarantine records that document
+failed or corrupted evaluations.  Run it by hand::
+
+    python -m repro.service.cache --gc --dir .repro_cache \
+        --max-age 604800 --max-bytes 1073741824
+
+or let the daemon run it periodically (``--gc-interval`` plus
+``--gc-max-age``/``--gc-max-bytes`` on ``python -m repro.service``).
 """
 
 from __future__ import annotations
@@ -22,6 +34,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
+
+#: Suffixes the GC must never delete: failure records steer sweep
+#: skip-and-replay, ``.corrupt`` files are quarantined evidence.
+QUARANTINE_SUFFIXES = (".failure.json", ".corrupt")
 
 
 @dataclass
@@ -185,3 +201,125 @@ class TieredResultCache:
                 "enabled": self.cache_dir is not None,
             },
         }
+
+
+def gc_sweep(
+    cache_dir: str | Path,
+    max_age_seconds: float | None = None,
+    max_bytes: int | None = None,
+    clock: Callable[[], float] = time.time,
+) -> dict:
+    """Reclaim disk-cache space under a TTL and/or a byte budget.
+
+    Two passes over the regular files directly in ``cache_dir``:
+
+    1. every entry older than ``max_age_seconds`` (by mtime) is deleted;
+    2. if the survivors still exceed ``max_bytes``, the oldest entries
+       are deleted until the total fits.
+
+    Quarantine files (``*.failure.json``, ``*.corrupt``) are never
+    deleted and never counted against the budget — they are evidence,
+    not cache.  Entries that vanish mid-sweep (a concurrent GC or an
+    operator ``rm``) are skipped, not errors.
+
+    Returns a stats dict: scanned / deleted counts and bytes, kept
+    counts and bytes, and how many quarantine files were preserved.
+    """
+    if max_age_seconds is not None and max_age_seconds < 0:
+        raise ValueError("max_age_seconds must be non-negative")
+    if max_bytes is not None and max_bytes < 0:
+        raise ValueError("max_bytes must be non-negative")
+    root = Path(cache_dir)
+    stats = {
+        "scanned": 0,
+        "deleted": 0,
+        "deleted_bytes": 0,
+        "expired": 0,
+        "evicted": 0,
+        "kept": 0,
+        "kept_bytes": 0,
+        "quarantined": 0,
+    }
+    if not root.is_dir():
+        return stats
+
+    now = clock()
+    entries: list[tuple[float, int, Path]] = []
+    for path in root.iterdir():
+        if not path.is_file():
+            continue
+        if path.name.endswith(QUARANTINE_SUFFIXES):
+            stats["quarantined"] += 1
+            continue
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        stats["scanned"] += 1
+        entries.append((stat.st_mtime, stat.st_size, path))
+
+    def _delete(size: int, path: Path, reason: str) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            return
+        stats["deleted"] += 1
+        stats["deleted_bytes"] += size
+        stats[reason] += 1
+
+    survivors: list[tuple[float, int, Path]] = []
+    for mtime, size, path in entries:
+        if max_age_seconds is not None and now - mtime > max_age_seconds:
+            _delete(size, path, "expired")
+        else:
+            survivors.append((mtime, size, path))
+
+    survivors.sort()  # oldest mtime first
+    total = sum(size for _, size, _ in survivors)
+    if max_bytes is not None:
+        for mtime, size, path in survivors:
+            if total <= max_bytes:
+                break
+            _delete(size, path, "evicted")
+            total -= size
+
+    deleted = stats["expired"] + stats["evicted"]
+    stats["kept"] = stats["scanned"] - deleted
+    stats["kept_bytes"] = sum(
+        size for _, size, path in survivors if path.exists()
+    )
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.service.cache --gc`` — one GC sweep, stats on
+    stdout as JSON."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.cache",
+        description="Disk-cache garbage collection for the advisor service.",
+    )
+    parser.add_argument("--gc", action="store_true", required=True,
+                        help="run one GC sweep (required; guards against "
+                             "accidental invocation)")
+    parser.add_argument("--dir", default=".repro_cache",
+                        help="cache directory to sweep")
+    parser.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                        help="delete entries older than this many seconds")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        help="then delete oldest entries until the total fits")
+    args = parser.parse_args(argv)
+    if args.max_age is None and args.max_bytes is None:
+        parser.error("give --max-age and/or --max-bytes (otherwise the "
+                     "sweep would delete nothing)")
+    stats = gc_sweep(args.dir, max_age_seconds=args.max_age,
+                     max_bytes=args.max_bytes)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -27,9 +27,11 @@ retry schedule is deterministic under test.  The default stays
 
 from __future__ import annotations
 
+import contextlib
 import http.client
 import json
 import socket
+import threading
 import time
 
 from ..resilience.retry import BackoffPolicy, call_with_retries
@@ -101,7 +103,17 @@ def _matrix_field(
 
 
 class ServiceClient:
-    """One daemon address; one HTTP request per call (Connection: close)."""
+    """One daemon (or gateway) address with a persistent connection.
+
+    The client keeps **one keep-alive connection per thread** (the
+    daemon's warm path is a dictionary lookup, so TCP setup would
+    dominate it) and transparently reconnects once when a pooled socket
+    has gone stale — an idle keep-alive connection the server dropped
+    looks exactly like a reset on the next call.  A fresh-connection
+    failure still raises: the server really is unreachable.  Sharing one
+    client across threads is safe; ``close()`` (or using the client as a
+    context manager) drops every pooled connection.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
                  timeout: float = 300.0, *,
@@ -118,6 +130,48 @@ class ServiceClient:
         self.deadline_seconds = deadline_seconds
         self._clock = clock
         self._sleep = sleep
+        self._local = threading.local()
+        self._pooled: list[http.client.HTTPConnection] = []
+        self._pooled_lock = threading.Lock()
+
+    # -- connection pool (one keep-alive connection per thread) --------
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's pooled connection; ``(conn, reused)``."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn, True
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        self._local.conn = conn
+        with self._pooled_lock:
+            self._pooled.append(conn)
+        return conn, False
+
+    def _discard_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            return
+        self._local.conn = None
+        with self._pooled_lock:
+            with contextlib.suppress(ValueError):
+                self._pooled.remove(conn)
+        with contextlib.suppress(Exception):
+            conn.close()
+
+    def close(self) -> None:
+        """Drop every pooled connection (all threads)."""
+        with self._pooled_lock:
+            pooled, self._pooled = self._pooled, []
+        for conn in pooled:
+            with contextlib.suppress(Exception):
+                conn.close()
+        self._local = threading.local()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- transport -----------------------------------------------------
     def request(self, method: str, path: str, payload: dict | None = None) -> dict:
@@ -142,26 +196,41 @@ class ServiceClient:
         )
 
     def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        body = None if payload is None else json.dumps(payload)
+        raw, status = self._exchange(method, path, body)
         try:
-            body = None if payload is None else json.dumps(payload)
-            headers = {"Content-Type": "application/json"} if body else {}
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read().decode(errors="replace")
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(status, {
+                "type": "BadResponseBody",
+                "message": f"response body is not JSON: {exc}",
+                "body": raw[:_BODY_SNIPPET_BYTES],
+            }) from None
+        if status >= 400:
+            raise ServiceError(status, envelope.get("error", {}))
+        return envelope
+
+    def _exchange(self, method: str, path: str,
+                  body: str | None) -> tuple[str, int]:
+        """One request/response on the pooled connection.
+
+        A connection-level failure on a *reused* socket is retried once
+        on a fresh connection — the server may simply have dropped the
+        idle keep-alive between calls.  ``http.client`` auto-reopens a
+        connection the server closed cleanly (``Connection: close``), so
+        only abrupt resets reach the retry.
+        """
+        headers = {"Content-Type": "application/json"} if body else {}
+        while True:
+            conn, reused = self._connection()
             try:
-                envelope = json.loads(raw)
-            except json.JSONDecodeError as exc:
-                raise ServiceError(response.status, {
-                    "type": "BadResponseBody",
-                    "message": f"response body is not JSON: {exc}",
-                    "body": raw[:_BODY_SNIPPET_BYTES],
-                }) from None
-            if response.status >= 400:
-                raise ServiceError(response.status, envelope.get("error", {}))
-            return envelope
-        finally:
-            conn.close()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                return response.read().decode(errors="replace"), response.status
+            except (OSError, http.client.HTTPException):
+                self._discard_connection()
+                if not reused:
+                    raise
 
     def _model(self, endpoint: str, matrix, name, collection, setup: dict,
                extra: dict) -> dict:
@@ -236,15 +305,54 @@ class ServiceClient:
         """The ``/metrics`` snapshot; text exposition for ``format="prometheus"``."""
         if format in (None, "json"):
             return self.request("GET", "/metrics")
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        raw, status = self._exchange("GET", f"/metrics?format={format}", None)
+        if status >= 400:
+            raise ServiceError(status, json.loads(raw).get("error", {}))
+        return raw
+
+    def cache_peek(self, task: dict) -> dict:
+        """``POST /cache/peek`` — does this daemon hold the task's key in
+        a cache tier?  (Replicas use this between themselves for peer
+        warm-cache fill; exposed here for tests and operators.)"""
+        return self.request("POST", "/cache/peek", {"task": task})
+
+    def batch(self, endpoint: str, items: list, *, window: int | None = None,
+              timeout: float | None = None, **shared):
+        """Stream a batch through the gateway's ``POST /batch``.
+
+        ``items`` is a list of matrix fields (``{"name": ...}`` or
+        ``{"csr": {...}}``); ``shared`` carries ``setup`` plus endpoint
+        knobs applied to every item.  Yields one dict per NDJSON line as
+        the gateway emits them — per-item results in completion order
+        (each with its ``index``), then the closing ``{"batch": ...}``
+        summary.  Streams use a dedicated connection (a half-read chunked
+        response cannot be reused), opened lazily at first iteration.
+        """
+        payload: dict = {"endpoint": endpoint, "items": list(items)}
+        if window is not None:
+            payload["window"] = window
+        payload.update({k: v for k, v in shared.items() if v is not None})
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
         try:
-            conn.request("GET", f"/metrics?format={format}")
+            conn.request("POST", "/batch", body=json.dumps(payload),
+                         headers={"Content-Type": "application/json"})
             response = conn.getresponse()
-            text = response.read().decode()
             if response.status >= 400:
-                raise ServiceError(response.status,
-                                   json.loads(text).get("error", {}))
-            return text
+                raw = response.read().decode(errors="replace")
+                try:
+                    error = json.loads(raw).get("error", {})
+                except json.JSONDecodeError as exc:
+                    error = {"type": "BadResponseBody",
+                             "message": f"response body is not JSON: {exc}",
+                             "body": raw[:_BODY_SNIPPET_BYTES]}
+                raise ServiceError(response.status, error)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
         finally:
             conn.close()
 

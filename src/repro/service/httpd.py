@@ -1,0 +1,235 @@
+"""Minimal HTTP/1.1 glue shared by the advisor daemon and the gateway.
+
+One request parser and one response writer, with **keep-alive** as the
+default (HTTP/1.1 semantics): a connection handler loops over
+:func:`read_request` until the peer half-closes or asks for
+``Connection: close``, and :func:`respond` only closes when told to.
+Persistent connections matter here — the warm path is a dictionary
+lookup, so the TCP+handshake round trip would otherwise dominate
+(see ``benchmarks/bench_service.py``).
+
+The parser is deliberately small: no pipelining guarantees beyond
+serial request/response on one socket, no request chunked bodies, no
+TLS — the service's unit of work is a model evaluation, not a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+__all__ = ["ParsedRequest", "PayloadTooLarge", "read_request", "respond",
+           "start_chunked_response", "write_chunk", "finish_chunked_response",
+           "request_bytes", "request_json"]
+
+REASONS = {200: "OK", 400: "Bad Request", 403: "Forbidden",
+           404: "Not Found", 405: "Method Not Allowed",
+           413: "Payload Too Large", 500: "Internal Server Error",
+           502: "Bad Gateway", 503: "Service Unavailable",
+           504: "Gateway Timeout"}
+
+
+class PayloadTooLarge(Exception):
+    """A request body above the configured cap; carries the target path."""
+
+    def __init__(self, target: str, limit: int) -> None:
+        super().__init__(f"body exceeds {limit} bytes")
+        self.target = target
+        self.limit = limit
+
+
+@dataclass
+class ParsedRequest:
+    method: str
+    target: str
+    headers: dict[str, str]
+    body: bytes
+    #: did the client ask to drop the connection after this exchange?
+    close: bool
+
+    @property
+    def malformed(self) -> bool:
+        return not self.method
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> ParsedRequest | None:
+    """Parse one request off the stream.
+
+    Returns ``None`` at a clean end of stream (the peer closed between
+    requests), a :class:`ParsedRequest` with ``malformed=True`` (empty
+    method) on an unparseable request line, and raises
+    :class:`PayloadTooLarge` when the declared body exceeds the cap.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin1").split()
+    if len(parts) < 2:
+        return ParsedRequest("", "", {}, b"", close=True)
+    method, target = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length") or 0)
+    if length > max_body_bytes:
+        # the oversized body is unread; the connection cannot be reused
+        raise PayloadTooLarge(target, max_body_bytes)
+    body = await reader.readexactly(length) if length else b""
+    close = headers.get("connection", "").lower() == "close"
+    return ParsedRequest(method, target, headers, body, close=close)
+
+
+def _encode(payload: dict | str | bytes) -> tuple[bytes, str]:
+    if isinstance(payload, bytes):
+        return payload, "application/json"
+    if isinstance(payload, str):
+        return payload.encode(), "text/plain; version=0.0.4; charset=utf-8"
+    return json.dumps(payload).encode(), "application/json"
+
+
+async def respond(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict | str | bytes,
+    close: bool = False,
+) -> None:
+    """Write one response; ``bytes`` payloads are relayed verbatim as
+    JSON (the gateway's passthrough), ``str`` as Prometheus text."""
+    data, content_type = _encode(payload)
+    head = (
+        f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(data)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+    ).encode("latin1")
+    writer.write(head + data)
+    await writer.drain()
+
+
+async def start_chunked_response(
+    writer: asyncio.StreamWriter,
+    status: int = 200,
+    content_type: str = "application/x-ndjson",
+) -> None:
+    """Open a chunked (streaming) response; follow with
+    :func:`write_chunk` calls and one :func:`finish_chunked_response`.
+
+    Streaming responses always close the connection afterwards — a
+    half-consumed stream leaves the socket unusable for a next request.
+    """
+    head = (
+        f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin1")
+    writer.write(head)
+    await writer.drain()
+
+
+async def write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    """One chunk; ``drain()`` here is the batch window's backpressure."""
+    if not data:
+        return
+    writer.write(f"{len(data):x}\r\n".encode("latin1") + data + b"\r\n")
+    await writer.drain()
+
+
+async def finish_chunked_response(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# async client side (gateway forwards, peer cache peeks, health probes)
+# ----------------------------------------------------------------------
+
+async def request_bytes(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    timeout: float | None = None,
+) -> tuple[int, bytes]:
+    """One ``Connection: close`` request from inside an event loop.
+
+    Returns ``(status, body_bytes)``; raises ``OSError`` /
+    ``asyncio.TimeoutError`` / ``asyncio.IncompleteReadError`` on
+    connection trouble (callers fail over or degrade).  Chunked response
+    bodies are de-chunked.  The stdlib has no async HTTP client, and
+    running ``http.client`` in a thread per forward would serialize the
+    gateway on its thread pool — hence this ~40-line one.
+    """
+
+    async def _exchange() -> tuple[int, bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin1")
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.split()
+            if len(parts) < 2:
+                raise ConnectionError(f"malformed status line {status_line!r}")
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            if headers.get("transfer-encoding", "").lower() == "chunked":
+                chunks = []
+                while True:
+                    size_line = await reader.readline()
+                    size = int(size_line.strip() or b"0", 16)
+                    if size == 0:
+                        await reader.readline()
+                        break
+                    chunks.append(await reader.readexactly(size))
+                    await reader.readexactly(2)  # trailing CRLF
+                return status, b"".join(chunks)
+            length = headers.get("content-length")
+            if length is not None:
+                return status, await reader.readexactly(int(length))
+            return status, await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    if timeout is None:
+        return await _exchange()
+    return await asyncio.wait_for(_exchange(), timeout)
+
+
+async def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    timeout: float | None = None,
+) -> tuple[int, dict]:
+    """:func:`request_bytes` with JSON bodies both ways."""
+    body = b"" if payload is None else json.dumps(payload).encode()
+    status, raw = await request_bytes(host, port, method, path, body, timeout)
+    return status, json.loads(raw or b"{}")
+

@@ -53,6 +53,18 @@ class ServiceMetrics:
         #: per-request worker plans; ambient worker-side fires are only
         #: visible through their injected outcomes)
         self.faults_injected: Counter = Counter()
+        #: outcome -> peer warm-cache fills attempted by this replica
+        #: ("hit", "miss", "error", "skipped")
+        self.peer_fill: Counter = Counter()
+        #: outcome -> /cache/peek requests served to peers
+        #: ("hit", "miss")
+        self.cache_peek: Counter = Counter()
+        #: periodic disk-cache GC totals (sweeps run, files deleted,
+        #: bytes reclaimed, quarantine files preserved)
+        self.gc_sweeps = 0
+        self.gc_deleted = 0
+        self.gc_deleted_bytes = 0
+        self.gc_quarantined = 0
         #: optimize: strategy label -> terminal status -> searches
         self.optimize_strategies: dict[str, Counter] = defaultdict(Counter)
         #: optimize: confirmed predicted improvement per fresh search
@@ -111,6 +123,13 @@ class ServiceMetrics:
                 "ladder_answers", {}).items():
             counter[str(tier)] += int(count)
 
+    def observe_gc(self, stats: dict) -> None:
+        """Fold one :func:`~repro.service.cache.gc_sweep` result in."""
+        self.gc_sweeps += 1
+        self.gc_deleted += int(stats.get("deleted", 0))
+        self.gc_deleted_bytes += int(stats.get("deleted_bytes", 0))
+        self.gc_quarantined = int(stats.get("quarantined", 0))
+
     def observe_phases(self, endpoint: str, phases: dict) -> None:
         """Fold one evaluation's per-phase self seconds into the totals."""
         counter = self.phase_seconds[endpoint]
@@ -141,6 +160,15 @@ class ServiceMetrics:
                 "strategies": {label: dict(c) for label, c
                                in sorted(self.optimize_strategies.items())},
                 "improvement": self.optimize_improvement.snapshot(),
+            },
+            "peer_fill": {k: self.peer_fill[k] for k in sorted(self.peer_fill)},
+            "cache_peek": {k: self.cache_peek[k]
+                           for k in sorted(self.cache_peek)},
+            "gc": {
+                "sweeps": self.gc_sweeps,
+                "deleted": self.gc_deleted,
+                "deleted_bytes": self.gc_deleted_bytes,
+                "quarantined": self.gc_quarantined,
             },
             "faults_injected": {k: self.faults_injected[k]
                                 for k in sorted(self.faults_injected)},

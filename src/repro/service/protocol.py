@@ -293,6 +293,21 @@ def normalize_request(endpoint: str, payload: object) -> dict:
         # the request triggers a fresh evaluation (cached or coalesced
         # responses carry "trace": null)
         task["trace"] = True
+    if "peer" in payload:
+        # warm-cache fill hint attached by the cluster gateway after a
+        # rebalance: on a full cache miss the daemon asks this peer's
+        # /cache/peek for the key before evaluating.  Routing metadata,
+        # not computation — excluded from the request key.
+        peer = payload["peer"]
+        _require(isinstance(peer, dict) and isinstance(peer.get("host"), str)
+                 and peer["host"] != "",
+                 "'peer' must be an object with a host string")
+        try:
+            port = int(peer.get("port"))
+        except (TypeError, ValueError):
+            raise RequestError("peer.port must be an integer") from None
+        _require(0 < port < 65536, "peer.port out of range")
+        task["peer"] = {"host": peer["host"], "port": port}
     if "faults" in payload:
         # chaos-testing flag (the daemon refuses it unless started with
         # --allow-fault-injection); validated here so a malformed plan is
@@ -312,10 +327,11 @@ def normalize_request(endpoint: str, payload: object) -> dict:
 def request_key(task: dict) -> str:
     """Cache/coalescing key of a canonical task.
 
-    The per-request ``timeout``, ``trace`` and ``faults`` flags are
-    excluded: they bound the wait, shape the presentation, or perturb the
-    execution, not the computation a correct evaluation performs, so
-    requests differing only in those share one result.  (Fault-carrying
+    The per-request ``timeout``, ``trace``, ``faults`` and ``peer`` flags
+    are excluded: they bound the wait, shape the presentation, perturb the
+    execution, or steer cache fill, not the computation a correct
+    evaluation performs, so requests differing only in those share one
+    result.  (Fault-carrying
     requests never *write* the cache — the key only lets them read what a
     healthy request stored.)  The fidelity-ladder flags ``accuracy`` and
     ``max_tier`` are excluded too: every tier answers the *same* question,
@@ -327,7 +343,7 @@ def request_key(task: dict) -> str:
     tier is part of the result), so it stays in the key alongside the
     strategies/budget/seed search config.
     """
-    excluded = ("timeout", "trace", "faults")
+    excluded = ("timeout", "trace", "faults", "peer")
     if task.get("endpoint") != "optimize":
         excluded += ("accuracy", "max_tier")
     keyed = {k: v for k, v in task.items() if k not in excluded}

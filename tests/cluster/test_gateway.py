@@ -1,0 +1,209 @@
+"""Gateway end-to-end tests: routing, failover, peer fill, batches.
+
+One in-process cluster (thread-mode :class:`ClusterHarness`) per module
+for the read-only tests; the kill/restart stories build their own.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.report import canonical_json
+from repro.cluster import ClusterHarness
+from repro.matrices.collection import collection
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.service.client import ServiceError
+from repro.service.protocol import normalize_request
+
+SETUP = {"num_threads": 8}
+NAMES = [spec.name for spec in collection("tiny")[:4]]
+
+
+def _items(names=NAMES):
+    return [{"name": name, "collection": "tiny"} for name in names]
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    cache_root = tmp_path_factory.mktemp("gateway_cluster")
+    with ClusterHarness(replicas=2, jobs=1, cache_root=cache_root) as harness:
+        client = harness.client(timeout=120.0)
+        yield harness, client
+        client.close()
+
+
+@pytest.fixture(scope="module")
+def direct_answers(tmp_path_factory):
+    """name -> (key, canonical result) from one un-sharded daemon."""
+    cache_dir = tmp_path_factory.mktemp("gateway_direct")
+    config = ServiceConfig(jobs=1, cache_dir=str(cache_dir))
+    with ServiceThread(config) as (host, port):
+        client = ServiceClient(host, port, timeout=120.0)
+        answers = {
+            name: (envelope["key"], canonical_json(envelope["result"]))
+            for name in NAMES
+            for envelope in [client.advise(name=name, collection="tiny",
+                                           **SETUP)]
+        }
+        client.close()
+    return answers
+
+
+def test_gateway_health_and_metrics(cluster):
+    _, client = cluster
+    health = client.health()
+    assert health["ok"] and health["role"] == "gateway"
+    assert health["replicas"]["total"] == 2
+    metrics = client.metrics()
+    assert metrics["membership"]["alive"] == 2
+    text = client.metrics(format="prometheus")
+    assert "repro_gateway_replica_up" in text
+    assert text.count('} 1') >= 2  # both replicas up
+
+
+def test_routed_answers_match_direct_daemon(cluster, direct_answers):
+    """The tentpole invariant: sharding must not change any answer."""
+    _, client = cluster
+    for name in NAMES:
+        envelope = client.advise(name=name, collection="tiny", **SETUP)
+        key, expected = direct_answers[name]
+        assert envelope["key"] == key
+        assert canonical_json(envelope["result"]) == expected
+
+
+def test_requests_route_by_key_and_warm_their_owner(cluster):
+    harness, client = cluster
+    envelope = client.advise(name=NAMES[0], collection="tiny", **SETUP)
+    owner = harness.gateway.membership.owner(envelope["key"])
+    # the owning replica now has the entry; the other replica does not
+    task = normalize_request("advise", {
+        "matrix": {"name": NAMES[0], "collection": "tiny"}, "setup": SETUP,
+    })
+    owner_client = ServiceClient(owner.host, owner.port, timeout=30.0)
+    peeked = owner_client.cache_peek(task)
+    assert peeked["found"] is True
+    assert peeked["key"] == envelope["key"]
+    owner_client.close()
+    other = next(r for r in harness.replicas
+                 if (r.host, r.port) != (owner.host, owner.port))
+    other_client = harness.replica_client(other.index, timeout=30.0)
+    assert other_client.cache_peek(task)["found"] is False
+    other_client.close()
+    routed = client.metrics()["routed"]["advise"]
+    assert sum(routed.values()) >= 1
+
+
+def test_gateway_rejects_bad_requests_without_forwarding(cluster):
+    _, client = cluster
+    before = sum(client.metrics()["routed"].get("advise", {}).values())
+    with pytest.raises(ServiceError) as err:
+        client.advise(name="no_such_matrix", collection="tiny", **SETUP)
+    assert err.value.status == 404
+    after = sum(client.metrics()["routed"].get("advise", {}).values())
+    assert after == before
+    assert client.metrics()["bad_requests"] >= 1
+
+
+def test_batch_streams_every_item_plus_summary(cluster, direct_answers):
+    _, client = cluster
+    lines = list(client.batch("advise", _items(), window=2, setup=SETUP))
+    *item_lines, tail = lines
+    assert len(item_lines) == len(NAMES)
+    assert sorted(line["index"] for line in item_lines) == list(
+        range(len(NAMES))
+    )
+    for line in item_lines:
+        key, expected = direct_answers[line["name"]]
+        assert line["ok"] and line["key"] == key
+        assert canonical_json(line["result"]) == expected
+    summary = tail["batch"]
+    assert summary["total"] == len(NAMES)
+    assert summary["ok"] == len(NAMES)
+    assert summary["errors"] == 0
+    assert summary["window"] == 2
+
+
+def test_batch_invalid_item_gets_an_error_line_not_a_dead_batch(cluster):
+    _, client = cluster
+    items = _items() + [{"name": "no_such_matrix", "collection": "tiny"}]
+    lines = list(client.batch("advise", items, window=2, setup=SETUP))
+    *item_lines, tail = lines
+    by_index = {line["index"]: line for line in item_lines}
+    assert by_index[len(NAMES)]["ok"] is False
+    assert by_index[len(NAMES)]["error"]["type"] == "RequestError"
+    assert all(by_index[i]["ok"] for i in range(len(NAMES)))
+    assert tail["batch"]["errors"] == 1
+    assert tail["batch"]["ok"] == len(NAMES)
+
+
+def test_batch_rejects_malformed_payloads(cluster):
+    _, client = cluster
+    with pytest.raises(ServiceError) as err:
+        list(client.batch("nonsense", _items()))
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        list(client.batch("advise", []))
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        list(client.batch("advise", _items(), window=0))
+    assert err.value.status == 400
+
+
+def test_failover_loses_nothing_and_readmits(tmp_path):
+    """Kill a replica mid-life: zero lost answers; restart readmits it."""
+    with ClusterHarness(
+        replicas=3, jobs=1, cache_root=tmp_path,
+        gateway_config={"probe_interval_seconds": 0.2},
+    ) as harness:
+        client = harness.client(timeout=120.0)
+        warm = list(client.batch("advise", _items(), window=2, setup=SETUP))
+        assert warm[-1]["batch"]["errors"] == 0
+
+        harness.kill_replica(0)
+        lines = list(client.batch("advise", _items(), window=2, setup=SETUP))
+        *item_lines, tail = lines
+        assert tail["batch"]["errors"] == 0
+        assert len(item_lines) == len(NAMES)
+        assert all(line["ok"] for line in item_lines)
+        metrics = client.metrics()
+        assert metrics["exhausted"] == 0
+        assert metrics["membership"]["alive"] == 2
+
+        harness.restart_replica(0)
+        assert harness.wait_alive(3, deadline_seconds=15.0)
+        assert client.metrics()["membership"]["readmissions"] >= 1
+        client.close()
+
+
+def test_rebalanced_keys_fill_from_peers_not_reevaluation(tmp_path):
+    """After a cache-cold restart, remapped keys come from ``/cache/peek``
+    on the interim owner — the peer-fill counters prove it."""
+    with ClusterHarness(
+        replicas=3, jobs=1, cache_root=tmp_path,
+        gateway_config={"probe_interval_seconds": 0.2},
+    ) as harness:
+        client = harness.client(timeout=120.0)
+        list(client.batch("advise", _items(), window=2, setup=SETUP))
+        harness.kill_replica(0)
+        # interim owners evaluate and cache the dead replica's keys
+        down = list(client.batch("advise", _items(), window=2, setup=SETUP))
+        assert down[-1]["batch"]["errors"] == 0
+
+        harness.restart_replica(0, clear_cache=True)
+        assert harness.wait_alive(3, deadline_seconds=15.0)
+        lines = list(client.batch("advise", _items(), window=2, setup=SETUP))
+        *item_lines, tail = lines
+        assert tail["batch"]["errors"] == 0
+        peer_served = [line for line in item_lines
+                       if line["cached"] == "peer"]
+        assert peer_served, "no key was served by peer warm-cache fill"
+        assert client.metrics()["peer_hints"] >= len(peer_served)
+        fills = harness.replica_client(0).metrics()["peer_fill"]
+        assert fills.get("hit", 0) >= len(peer_served)
+        # some interim owner answered the peeks
+        peeks = sum(
+            harness.replica_client(i).metrics()["cache_peek"].get("hit", 0)
+            for i in (1, 2)
+        )
+        assert peeks >= len(peer_served)
+        client.close()

@@ -1,0 +1,131 @@
+"""MembershipController transitions driven by synthetic probes."""
+
+import pytest
+
+from repro.cluster.membership import MembershipController
+
+REPLICAS = [("127.0.0.1", 9001), ("127.0.0.1", 9002), ("127.0.0.1", 9003)]
+
+GOOD = {"ok": True, "breakers": {"advise": "closed"}, "error": None}
+DEAD = {"ok": False, "breakers": {}, "error": "ConnectionRefusedError: ..."}
+OPEN_BREAKER = {"ok": True, "breakers": {"advise": "open"}, "error": None}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def membership(clock):
+    return MembershipController(REPLICAS, peer_window_seconds=60.0,
+                                clock=clock)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MembershipController([])
+    with pytest.raises(ValueError):
+        MembershipController(REPLICAS, fail_after=0)
+    with pytest.raises(ValueError):
+        MembershipController([("h", 1), ("h", 1)])
+
+
+def test_starts_fully_alive(membership):
+    assert len(membership.alive) == 3
+    assert membership.owner("some-key") is not None
+    snap = membership.snapshot()
+    assert snap["alive"] == snap["total"] == 3
+    assert snap["peer_window_open"] is False
+
+
+def test_failed_probe_ejects_and_clean_probe_readmits(membership):
+    victim = membership.replicas[0]
+    membership.observe_probe(victim, DEAD)
+    assert not victim.healthy
+    assert membership.ejections == 1
+    assert victim.node not in membership.ring
+    assert len(membership.alive) == 2
+
+    membership.observe_probe(victim, GOOD)
+    assert victim.healthy
+    assert membership.readmissions == 1
+    assert victim.node in membership.ring
+    assert victim.consecutive_failures == 0
+
+
+def test_open_breaker_ejects_even_when_healthz_is_ok(membership):
+    victim = membership.replicas[1]
+    membership.observe_probe(victim, OPEN_BREAKER)
+    assert not victim.healthy
+    assert "open breakers" in victim.last_error
+
+
+def test_fail_after_requires_consecutive_failures(clock):
+    membership = MembershipController(REPLICAS, fail_after=2, clock=clock)
+    victim = membership.replicas[0]
+    membership.observe_probe(victim, DEAD)
+    assert victim.healthy  # one strike
+    membership.observe_probe(victim, GOOD)
+    membership.observe_probe(victim, DEAD)
+    assert victim.healthy  # the clean probe reset the count
+    membership.observe_probe(victim, DEAD)
+    assert not victim.healthy
+
+
+def test_mark_down_ejects_immediately(membership):
+    victim = membership.replicas[2]
+    membership.mark_down(victim.node, reason="forward failed")
+    assert not victim.healthy
+    assert membership.ejections == 1
+    membership.mark_down("unknown:1")  # unknown nodes are ignored
+    assert membership.ejections == 1
+
+
+def test_peer_for_names_previous_owner_during_window(membership, clock):
+    # find a key owned by replica 0 so its ejection remaps that key
+    victim = membership.replicas[0]
+    key = next(f"k{i}" for i in range(10_000)
+               if membership.owner(f"k{i}") is victim)
+    membership.mark_down(victim.node)
+    interim = membership.owner(key)
+    assert interim is not victim
+
+    # dead previous owners are never handed out as peers
+    assert membership.peer_for(key) is None
+
+    # after readmission the key maps home; the live interim owner is
+    # the peer to ask for a warm copy
+    membership.observe_probe(victim, GOOD)
+    assert membership.owner(key) is victim
+    peer = membership.peer_for(key)
+    assert peer is interim
+
+    # keys whose owner never changed have no peer
+    stable = next(f"s{i}" for i in range(10_000)
+                  if membership.owner(f"s{i}") is not victim)
+    assert membership.peer_for(stable) is None
+
+    # the window closes
+    clock.now += 61.0
+    assert membership.peer_for(key) is None
+    assert membership.snapshot()["peer_window_open"] is False
+
+
+def test_snapshot_records_events_and_ownership(membership):
+    victim = membership.replicas[0]
+    membership.mark_down(victim.node)
+    snap = membership.snapshot()
+    assert snap["ejections"] == 1
+    assert snap["events"][-1]["event"] == "ejected"
+    assert snap["events"][-1]["replica"] == victim.node
+    assert victim.node not in snap["ownership"]
+    assert abs(sum(snap["ownership"].values()) - 1.0) < 1e-9
