@@ -4,10 +4,15 @@ Runs an in-process daemon (:class:`repro.service.ServiceThread`) and
 measures the full HTTP round-trip of ``advise`` requests: the warm path
 (memory-tier hit — parse, hash, cache lookup, serialize) sets the floor
 for interactive use, the cold path adds one model evaluation in a pool
-worker, and the throughput bench drives concurrent warm clients.
+worker, and the throughput bench drives concurrent warm clients.  The
+accuracy-audit check at the end pins the ``--audit-rate`` politeness
+invariant: a daemon actively draining its audit backlog must serve the
+warm path at the same latency as one with the audit disabled.
 """
 
 import itertools
+import statistics
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -93,3 +98,53 @@ def test_advise_warm_throughput(benchmark, service):
     envelopes = benchmark(burst)
     assert all(e["cached"] == "memory" for e in envelopes)
     benchmark.extra_info["requests_per_round"] = _WARM_POOL
+
+
+def _median_warm_seconds(client, rounds=40):
+    times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        envelope = client.advise(name="banded_001", collection="tiny",
+                                 num_threads=8)
+        times.append(time.perf_counter() - started)
+        # any pool wait would show up as a non-memory answer
+        assert envelope["cached"] == "memory"
+    return statistics.median(times)
+
+
+def test_audit_never_blocks_the_warm_path(service, tmp_path_factory):
+    """``--audit-rate`` is free for the foreground: the audit loop only
+    pops its backlog while the pool is idle, and warm hits never touch
+    the pool — so warm latency with a *busy* auditor stays within noise
+    of ``--audit-rate 0``.  Medians are interleaved against the plain
+    module daemon so both see the same scheduler weather, and the gate
+    is deliberately loose (shared runners): median within 3x + 2ms.
+    """
+    cache_dir = tmp_path_factory.mktemp("bench_audit_cache")
+    config = ServiceConfig(jobs=2, cache_dir=str(cache_dir), audit_rate=1.0)
+    with ServiceThread(config) as (host, port):
+        audited = ServiceClient(host, port, timeout=120.0)
+        audited.advise(name="banded_001", collection="tiny", num_threads=8)
+        # queue a standing audit backlog: every tier-0 answer is sampled
+        # (rate 1.0) and re-answered on the exact path in the background
+        for seed in range(12):
+            envelope = audited.advise(_matrix(100 + seed), num_threads=8,
+                                      max_tier=0)
+            assert envelope["fidelity"]["tier"] == 0
+        assert audited.metrics()["audit"]["sampled"] >= 12
+
+        plain_samples, audited_samples = [], []
+        for _ in range(4):
+            plain_samples.append(_median_warm_seconds(service))
+            audited_samples.append(_median_warm_seconds(audited))
+        plain, noisy = statistics.median(plain_samples), statistics.median(
+            audited_samples)
+
+        audit = audited.metrics()["audit"]
+        assert audit["sampled"] >= 12
+        assert audit["completed"] + audit["backlog"] + audit["failed"] > 0
+        audited.close()
+    assert noisy <= plain * 3.0 + 0.002, (
+        f"audited warm median {noisy * 1e3:.3f}ms vs plain "
+        f"{plain * 1e3:.3f}ms — the audit is leaking into the hot path"
+    )

@@ -15,7 +15,13 @@ repro.service`` subprocesses (:class:`repro.cluster.ClusterHarness` in
    direct daemon byte for byte;
 3. the killed replica restarts on its original port, the probe loop
    readmits it, and a final warm pass serves the whole collection from
-   the replicas' caches with zero errors.
+   the replicas' caches with zero errors;
+4. distributed tracing under failover: the preferred owner of a fresh
+   key is SIGKILLed and a traced request routed immediately — the
+   gateway must return ONE schema-valid merged tree rooted at
+   ``gateway.route``, the dead attempt marked ``failover``, the winning
+   forward carrying the replica's evaluation phases, and one
+   ``trace_id`` shared by every span across all three processes.
 
 Run:  python examples/cluster_smoke.py
 CI:   python examples/cluster_smoke.py --selftest      (quiet, asserts only)
@@ -29,7 +35,10 @@ from pathlib import Path
 from repro.analysis.report import canonical_json
 from repro.cluster import ClusterHarness
 from repro.matrices.collection import collection
+from repro.obs import validate_tree
+from repro.obs.context import TraceContext
 from repro.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.service.protocol import normalize_request, request_key
 
 SETUP = {"num_threads": 8}
 MATRICES = 8
@@ -48,6 +57,57 @@ def direct_answers(names, cache_dir):
                             canonical_json(envelope["result"]))
         client.close()
     return answers
+
+
+def _walk(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk(child)
+
+
+def traced_failover(harness, client, attempt):
+    """Kill a fresh key's preferred owner, route one traced request.
+
+    Returns the merged tree when the dead replica was still on the ring
+    (the trace shows the failover), or None when the background probe
+    ejected it first — the caller restarts the victim and retries.
+    """
+    # a fresh request key: predict with explicit policies is not in any
+    # cache yet, so the winning replica must actually evaluate
+    payload = {
+        "matrix": {"name": collection("tiny")[attempt].name,
+                   "collection": "tiny"},
+        "setup": SETUP, "policies": [{"l2_sector1_ways": 2 + attempt}],
+        "trace": True,
+    }
+    key = request_key(normalize_request("predict", payload))
+    preferred = harness.gateway.membership.preference(key)[0]
+    victim = next(r for r in harness.replicas
+                  if (r.host, r.port) == (preferred.host, preferred.port))
+    harness.kill_replica(victim.index)
+    caller = TraceContext.new()
+    payload["trace_context"] = caller.to_dict()
+    envelope = client.request("POST", "/predict", payload)
+    assert envelope["ok"], envelope
+    tree = envelope["trace"]
+    assert tree is not None and validate_tree(tree) == [], tree
+    root, = tree["roots"]
+    assert root["name"] == "gateway.route", root["name"]
+    assert root["attrs"]["trace_id"] == caller.trace_id
+    forwards = [c for c in root["children"] if c["name"] == "gateway.forward"]
+    if len(forwards) < 2:
+        return None, victim  # probe won the race; retry with a fresh key
+    assert forwards[0]["attrs"]["outcome"] == "failover"
+    assert forwards[0]["attrs"]["replica"] == preferred.node
+    winner = forwards[-1]
+    assert winner["attrs"]["outcome"] == "ok"
+    names = [node["name"] for node in _walk(winner)]
+    for phase in ("service.request", "pool.evaluate", "evaluate"):
+        assert phase in names, names
+    ids = {node["attrs"]["trace_id"] for node in _walk(root)
+           if "trace_id" in node.get("attrs", {})}
+    assert ids == {caller.trace_id}, ids
+    return tree, victim
 
 
 def main():
@@ -116,6 +176,26 @@ def main():
                 tiers[tier] = tiers.get(tier, 0) + 1
             say(f"warm pass after recovery: {warm[-1]['batch']['ok']}"
                 f"/{len(names)} ok, served from {tiers}")
+
+            # -- traced request surviving a mid-request kill ----------
+            for attempt in range(3):
+                tree, victim = traced_failover(harness, client, attempt)
+                if tree is not None:
+                    break
+                # the probe loop ejected the victim before the request
+                # routed; bring it back and try again with a fresh key
+                harness.restart_replica(victim.index)
+                assert harness.wait_alive(args.replicas,
+                                          deadline_seconds=20.0)
+            else:
+                raise AssertionError(
+                    "probe loop kept winning the kill/request race")
+            span_count = sum(1 for root in tree["roots"]
+                             for _ in _walk(root))
+            say(f"\ntraced failover: one merged gateway.route tree "
+                f"({span_count} spans), dead attempt marked, winning "
+                f"replica's evaluation phases attached, single trace id "
+                f"across gateway + both replica attempts")
             client.close()
 
     if args.selftest:

@@ -28,7 +28,9 @@ _ANNOUNCE = re.compile(r"repro-service listening on http://([^:]+):(\d+)")
 
 
 def _spawn_replicas(count: int, jobs: int, cache: str | None,
-                    extra: list[str]) -> tuple[list, list[tuple[str, int]]]:
+                    extra: list[str],
+                    event_log: str | None = None,
+                    ) -> tuple[list, list[tuple[str, int]]]:
     processes, addresses = [], []
     for index in range(count):
         argv = [sys.executable, "-m", "repro.service", "--port", "0",
@@ -37,6 +39,12 @@ def _spawn_replicas(count: int, jobs: int, cache: str | None,
         if cache:
             cache_dir = str(Path(cache) / f"replica-{index}")
         argv += ["--cache", cache_dir]
+        if event_log:
+            # one log per process: the gateway writes PATH, replica i
+            # writes replica-<i>-events.jsonl next to it (entries still
+            # correlate by trace_id across all of them)
+            log = Path(event_log).parent / f"replica-{index}-events.jsonl"
+            argv += ["--event-log", str(log)]
         argv += extra
         process = subprocess.Popen(argv, stdout=subprocess.PIPE, text=True,
                                    env=dict(os.environ))
@@ -86,6 +94,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="default in-flight window for /batch")
     parser.add_argument("--forward-timeout", type=float, default=300.0,
                         help="per-forward ceiling in seconds")
+    parser.add_argument("--event-log", default=None, metavar="PATH",
+                        help="gateway structured event log (JSON lines); "
+                             "spawned replicas get <PATH dir>/replica-<i>-"
+                             "events.jsonl alongside it")
+    parser.add_argument("--audit-rate", type=float, default=0.0,
+                        metavar="FRACTION",
+                        help="forwarded to spawned replicas: shadow-audit "
+                             "this fraction of cheap-tier ladder answers")
+    parser.add_argument("--audit-budget-seconds", type=float, default=None,
+                        metavar="SECONDS",
+                        help="forwarded to spawned replicas: audit time "
+                             "budget per replica")
+    parser.add_argument("--trace-buffer", type=int, default=64, metavar="N",
+                        help="traced requests kept for GET /debug/traces")
     args = parser.parse_args(argv)
     if not args.replica and args.spawn < 1:
         parser.error("give at least one --replica or --spawn N")
@@ -102,10 +124,17 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError:
             parser.error(f"--replica expects HOST:PORT, got {spec!r}")
 
+    extra: list[str] = []
+    if args.audit_rate:
+        extra += ["--audit-rate", str(args.audit_rate)]
+    if args.audit_budget_seconds is not None:
+        extra += ["--audit-budget-seconds", str(args.audit_budget_seconds)]
+
     processes: list = []
     if args.spawn:
         processes, spawned = _spawn_replicas(
-            args.spawn, args.jobs, args.cache or None, []
+            args.spawn, args.jobs, args.cache or None, extra,
+            event_log=args.event_log,
         )
         replicas += spawned
 
@@ -119,6 +148,8 @@ def main(argv: list[str] | None = None) -> int:
         peer_fill=not args.no_peer_fill,
         forward_timeout_seconds=args.forward_timeout,
         batch_window=args.batch_window,
+        event_log_path=args.event_log,
+        trace_buffer_size=args.trace_buffer,
     )
     try:
         asyncio.run(run_gateway(config, host=args.host, port=args.port))

@@ -45,7 +45,13 @@ from ..experiments.pool import (
     register_parent_socket,
     unregister_parent_socket,
 )
+from ..obs import events as obs_events
+from ..obs.context import TRACE_HEADER, TraceContext
+from ..obs.events import DEFAULT_MAX_BYTES, EventLog
 from ..obs.histogram import LatencyHistogram
+from ..obs.traces import TraceBuffer
+from ..obs.tracer import NULL_SPAN, Tracer
+from ..obs.tree import TraceTree
 from ..service.httpd import (
     ParsedRequest,
     PayloadTooLarge,
@@ -93,6 +99,11 @@ class GatewayConfig:
     #: default and per-request in-flight window for /batch
     batch_window: int = 8
     max_body_bytes: int = 256 * 2**20
+    #: structured JSON-lines event log (None disables)
+    event_log_path: str | None = None
+    event_log_max_bytes: int = DEFAULT_MAX_BYTES
+    #: traced requests kept for ``GET /debug/traces``
+    trace_buffer_size: int = 64
 
     def __post_init__(self) -> None:
         if not self.replicas:
@@ -103,6 +114,10 @@ class GatewayConfig:
             raise ValueError("batch_window must be positive")
         if self.forward_timeout_seconds <= 0:
             raise ValueError("forward_timeout_seconds must be positive")
+        if self.event_log_max_bytes < 4096:
+            raise ValueError("event_log_max_bytes must be at least 4096")
+        if self.trace_buffer_size < 1:
+            raise ValueError("trace_buffer_size must be positive")
 
 
 class GatewayMetrics:
@@ -161,16 +176,33 @@ class ClusterGateway:
             peer_window_seconds=config.peer_window_seconds,
         )
         self.metrics = GatewayMetrics()
+        self.traces = TraceBuffer(config.trace_buffer_size)
+        self._event_log = None
+        self._previous_event_log = None
+        if config.event_log_path is not None:
+            self._event_log = EventLog(config.event_log_path,
+                                       max_bytes=config.event_log_max_bytes,
+                                       role="gateway")
+            self._previous_event_log = obs_events.install(self._event_log)
         self.shutdown_event = asyncio.Event()
+
+    def close(self) -> None:
+        if self._event_log is not None:
+            obs_events.emit("gateway.stop")
+            obs_events.install(self._previous_event_log)
+            self._event_log.close()
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
     async def route_task(
-        self, endpoint: str, payload: dict, task: dict, key: str
-    ) -> tuple[int, bytes]:
+        self, endpoint: str, payload: dict, task: dict, key: str,
+        tracer: Tracer | None = None, trace_id: str | None = None,
+    ) -> tuple[int, bytes, object]:
         """Forward one validated request to its owner, failing over along
-        the key's preference sequence; returns the relayed response."""
+        the key's preference sequence; returns ``(status, response,
+        winning_forward_span)`` — the span is the anchor the caller grafts
+        the winning replica's trace under (None without a tracer)."""
         timeout = min(float(task.get("timeout", self.config.forward_timeout_seconds)),
                       self.config.forward_timeout_seconds) + 5.0
         tried: set[str] = set()
@@ -184,13 +216,13 @@ class ClusterGateway:
                         endpoint, "NoReplicaAnswered",
                         f"all {len(tried)} candidate replicas failed for "
                         f"key {key}",
-                    )
+                    ), None
                 self.metrics.no_replicas += 1
                 return 503, _error_bytes(
                     endpoint, "NoReplicas",
                     "no live replicas in the ring; retry after the next "
                     "probe round",
-                )
+                ), None
             replica = candidates[0]
             body = json.dumps(payload).encode()
             if self.config.peer_fill:
@@ -200,44 +232,165 @@ class ClusterGateway:
                     hinted["peer"] = {"host": peer.host, "port": peer.port}
                     body = json.dumps(hinted).encode()
                     self.metrics.peer_hints += 1
-            try:
-                status, response = await request_bytes(
-                    replica.host, replica.port, "POST", f"/{endpoint}",
-                    body, timeout,
-                )
-            except (OSError, asyncio.TimeoutError,
-                    asyncio.IncompleteReadError, ConnectionError,
-                    ValueError) as exc:
-                # a dead socket ejects the replica immediately; the key's
-                # next preference node takes the retry (evaluations are
-                # idempotent and cached, so a duplicate is at most one
-                # extra cache lookup on the failed node's side)
-                tried.add(replica.node)
-                self.membership.mark_down(
-                    replica.node, f"{type(exc).__name__}: {exc}"
-                )
-                self.metrics.failovers += 1
-                continue
+            forward = _span(tracer, "gateway.forward", replica=replica.node)
+            with forward:
+                try:
+                    status, response = await request_bytes(
+                        replica.host, replica.port, "POST", f"/{endpoint}",
+                        body, timeout,
+                    )
+                except (OSError, asyncio.TimeoutError,
+                        asyncio.IncompleteReadError, ConnectionError,
+                        ValueError) as exc:
+                    # a dead socket ejects the replica immediately; the
+                    # key's next preference node takes the retry
+                    # (evaluations are idempotent and cached, so a
+                    # duplicate is at most one extra cache lookup on the
+                    # failed node's side)
+                    forward.annotate(outcome="failover",
+                                     error=type(exc).__name__)
+                    tried.add(replica.node)
+                    self.membership.mark_down(
+                        replica.node, f"{type(exc).__name__}: {exc}"
+                    )
+                    self.metrics.failovers += 1
+                    obs_events.emit("gateway.failover", trace_id=trace_id,
+                                    endpoint=endpoint, key=key,
+                                    replica=replica.node,
+                                    error=type(exc).__name__)
+                    continue
+                forward.annotate(outcome="ok", status=status)
             self.metrics.routed[endpoint][replica.node] += 1
-            return status, response
+            return status, response, (forward if tracer is not None else None)
 
-    async def _handle_model(self, endpoint: str, body: bytes) -> tuple[int, dict | bytes]:
+    async def _handle_model(
+        self, endpoint: str, body: bytes,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict | bytes]:
         started = time.perf_counter()
         try:
             payload = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self.metrics.bad_requests += 1
             return 400, _error_payload(endpoint, "BadJSON", str(exc))
+        if isinstance(payload, dict) and "trace_context" not in payload:
+            # an X-Repro-Trace header is the out-of-band form of the same
+            # hop; an explicit JSON trace_context wins over it
+            header_ctx = TraceContext.from_header(
+                (headers or {}).get(TRACE_HEADER.lower())
+            )
+            if header_ctx is not None:
+                payload["trace_context"] = header_ctx.to_dict()
         try:
             task = normalize_request(endpoint, payload)
         except RequestError as exc:
             self.metrics.bad_requests += 1
             return exc.status, _error_payload(endpoint, "RequestError", str(exc))
-        status, response = await self.route_task(
-            endpoint, payload, task, request_key(task)
-        )
-        self.metrics.latency[endpoint].observe(time.perf_counter() - started)
+        key = request_key(task)
+        # this gateway hop of the distributed trace: child of the caller's
+        # context when one came in, a fresh root otherwise (minted when the
+        # request wants a trace or an event log needs correlation)
+        incoming = TraceContext.from_dict(task.get("trace_context"))
+        ctx = None
+        if incoming is not None:
+            ctx = incoming.child()
+        elif task.get("trace") or obs_events.get_log() is not None:
+            ctx = TraceContext.new()
+        forward_payload = payload
+        if ctx is not None and isinstance(payload, dict):
+            forward_payload = dict(payload)
+            forward_payload["trace_context"] = ctx.to_dict()
+        tracer = root = None
+        token = None
+        if task.get("trace") and ctx is not None:
+            tracer = Tracer()
+            token = self.traces.start(ctx.trace_id, endpoint)
+            root = tracer.span(
+                "gateway.route", endpoint=endpoint, key=key,
+                trace_id=ctx.trace_id, span_id=ctx.span_id,
+                parent_span_id=incoming.span_id if incoming else None,
+            )
+            root.__enter__()
+        try:
+            status, response, forward = await self.route_task(
+                endpoint, forward_payload, task, key, tracer=tracer,
+                trace_id=ctx.trace_id if ctx else None,
+            )
+        finally:
+            if root is not None:
+                root.__exit__(None, None, None)
+        merged = None
+        if tracer is not None:
+            response = self._merge_forward_trace(tracer, forward, response)
+            try:
+                merged = json.loads(response).get("trace")
+            except (ValueError, AttributeError):
+                merged = None
+        seconds = time.perf_counter() - started
+        self.metrics.latency[endpoint].observe(seconds)
+        if token is not None:
+            self.traces.finish(token, seconds=seconds,
+                               status="ok" if status < 400 else "error",
+                               tree=merged)
+        obs_events.emit("gateway.request",
+                        trace_id=ctx.trace_id if ctx else None,
+                        endpoint=endpoint, key=key, status=status,
+                        seconds=seconds)
         return status, response
+
+    def _merge_forward_trace(self, tracer: Tracer, forward,
+                             response: bytes) -> bytes:
+        """Rewrite a traced forward's envelope with ONE merged tree.
+
+        The winning replica's envelope trace (its ``service.request`` and
+        worker ``evaluate`` roots) is grafted under the gateway's winning
+        ``gateway.forward`` span, so the caller sees a single tree rooted
+        at ``gateway.route`` spanning routing, failover hops and the
+        replica's evaluation phases.  A replica that answered from cache
+        ships ``"trace": null`` — the gateway tree then shows the forward
+        without fabricated evaluation spans.
+        """
+        try:
+            envelope = json.loads(response)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return response
+        if not isinstance(envelope, dict):
+            return response
+        replica_trace = envelope.get("trace")
+        tree = tracer.tree()
+        if replica_trace is not None and forward is not None:
+            try:
+                child = TraceTree.from_dict(replica_trace)
+            except (KeyError, TypeError, AttributeError):
+                child = None
+            if child is not None:
+                # the replica ships its daemon span (service.request) and
+                # the worker's span (evaluate) as *siblings* — they overlap
+                # in wall time, so nesting both under the forward span
+                # would break the tree's containment invariant.  Restore
+                # physical containment here: the worker's evaluate goes
+                # inside the daemon's pool.evaluate span, the daemon span
+                # goes under the forward (the finished span shares its
+                # children list with its node in the tree, so extending
+                # grafts in place).
+                daemon_roots = [r for r in child.roots
+                                if r.name == "service.request"]
+                worker_roots = [r for r in child.roots
+                                if r.name != "service.request"]
+                pool_node = None
+                for root in daemon_roots:
+                    pool_node = _find_node(root, "pool.evaluate")
+                    if pool_node is not None:
+                        break
+                if pool_node is not None:
+                    pool_node.children.extend(worker_roots)
+                    forward.children.extend(daemon_roots)
+                else:
+                    forward.children.extend(child.roots)
+                for name, value in child.counters.items():
+                    tree.counters[name] = tree.counters.get(name, 0) + value
+        envelope["trace"] = tree.to_dict()
+        return json.dumps(envelope).encode()
 
     # ------------------------------------------------------------------
     # batch streaming
@@ -337,7 +490,7 @@ class ClusterGateway:
 
     async def _batch_line(self, endpoint: str, item: BatchItem) -> dict:
         """One item through the normal routed path, as its NDJSON line."""
-        status, response = await self.route_task(
+        status, response, _ = await self.route_task(
             endpoint, item.payload, item.task, item.key
         )
         try:
@@ -358,7 +511,8 @@ class ClusterGateway:
     # HTTP surface
     # ------------------------------------------------------------------
     async def handle_request(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict | str | bytes, bool]:
         path, _, query_string = target.partition("?")
         path = path.rstrip("/") or "/"
@@ -384,6 +538,18 @@ class ClusterGateway:
                 if fmt == "prometheus":
                     return 200, render_gateway_prometheus(snapshot), False
                 return 200, snapshot, False
+            if path == "/debug/traces":
+                query = parse_qs(query_string)
+                try:
+                    limit = int((query.get("limit") or ["10"])[-1])
+                except ValueError:
+                    return 400, _error_payload(
+                        "debug/traces", "BadLimit",
+                        "limit must be an integer"), False
+                endpoint = (query.get("endpoint") or [None])[-1]
+                snapshot = self.traces.snapshot(limit=limit, endpoint=endpoint)
+                snapshot["ok"] = True
+                return 200, snapshot, False
             return 404, _error_payload(path, "NotFound",
                                        f"no such path {path!r}"), False
         if method != "POST":
@@ -395,7 +561,7 @@ class ClusterGateway:
         if endpoint not in ENDPOINTS:
             return 404, _error_payload(endpoint, "NotFound",
                                        f"no such endpoint {endpoint!r}"), False
-        status, payload = await self._handle_model(endpoint, body)
+        status, payload = await self._handle_model(endpoint, body, headers)
         return status, payload, False
 
     async def handle_connection(
@@ -433,7 +599,8 @@ class ClusterGateway:
                     await self._stream_batch(writer, request.body)
                     return  # a stream always closes the connection
                 status, payload, shutdown = await self.handle_request(
-                    request.method, request.target, request.body
+                    request.method, request.target, request.body,
+                    request.headers,
                 )
                 close = request.close or shutdown
                 await respond(writer, status, payload, close=close)
@@ -464,6 +631,23 @@ class ClusterGateway:
             await self.membership.probe_all(self.config.probe_timeout_seconds)
             with contextlib.suppress(asyncio.TimeoutError):
                 await asyncio.wait_for(self.shutdown_event.wait(), interval)
+
+
+def _find_node(node, name: str):
+    """Depth-first search for the first span named ``name``."""
+    if node.name == name:
+        return node
+    for child in node.children:
+        found = _find_node(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def _span(tracer: Tracer | None, name: str, **attrs):
+    """A span on the request's tracer, or the shared no-op (same helper
+    the service layer uses)."""
+    return tracer.span(name, **attrs) if tracer is not None else NULL_SPAN
 
 
 def _error_payload(endpoint: str, error_type: str, message: str) -> dict:
@@ -557,6 +741,8 @@ async def run_gateway(
     if announce:
         print(f"repro-gateway listening on http://{host}:{actual_port}",
               flush=True)
+    obs_events.emit("gateway.start", host=host, port=actual_port,
+                    replicas=len(config.replicas))
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
@@ -573,6 +759,7 @@ async def run_gateway(
         prober.cancel()
         with contextlib.suppress(asyncio.CancelledError):
             await prober
+        gateway.close()
 
 
 class GatewayThread:

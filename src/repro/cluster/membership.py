@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs import events as obs_events
 from ..resilience.breaker import OPEN
 from .ring import DEFAULT_VNODES, HashRing
 
@@ -159,6 +160,8 @@ class MembershipController:
             "detail": detail,
             "at_seconds": self._clock(),
         })
+        obs_events.emit(f"membership.{event}", replica=replica.node,
+                        detail=detail, alive=len(self.alive))
 
     def _eject(self, replica: Replica, reason: str) -> None:
         if not replica.healthy:

@@ -27,6 +27,8 @@ import time
 
 from ..cluster import ClusterHarness
 from ..matrices.collection import collection
+from ..obs.tracer import get_tracer, span
+from ..obs.tree import TraceTree
 from .common import ExperimentSetup
 
 
@@ -68,15 +70,17 @@ def run_cluster(
                         gateway_config={"probe_interval_seconds": 0.3}) as h:
         client = h.client()
         for label in ("cold", "warm"):
-            summary[label] = _batch_pass(client, names, collection_name,
-                                         setup_fields, window)
+            with span("cluster.pass", label=label):
+                summary[label] = _batch_pass(client, names, collection_name,
+                                             setup_fields, window)
             if verbose:
                 print(f"  {label} pass: {summary[label]}")
 
         victim = 0
         h.kill_replica(victim)
-        summary["failover"] = _batch_pass(client, names, collection_name,
-                                          setup_fields, window)
+        with span("cluster.pass", label="failover"):
+            summary["failover"] = _batch_pass(client, names, collection_name,
+                                              setup_fields, window)
         metrics = client.metrics()
         summary["failover"]["gateway"] = {
             "failovers": metrics["failovers"],
@@ -91,8 +95,9 @@ def run_cluster(
         # fill, not from a conveniently surviving local disk tier
         h.restart_replica(victim, clear_cache=True)
         h.wait_alive(replicas)
-        summary["recovery"] = _batch_pass(client, names, collection_name,
-                                          setup_fields, window)
+        with span("cluster.pass", label="recovery"):
+            summary["recovery"] = _batch_pass(client, names, collection_name,
+                                              setup_fields, window)
         peer_fill: dict[str, int] = {}
         for index in range(replicas):
             for outcome, count in h.replica_client(index).metrics()[
@@ -105,6 +110,26 @@ def run_cluster(
         }
         summary["recovery"]["peer_fill"] = peer_fill
         summary["routing"] = metrics["routed"].get("advise", {})
+
+        # under --trace, fold one distributed trace into the run's tree:
+        # a fresh traced request through the gateway comes back with ONE
+        # merged tree (gateway.route -> gateway.forward -> the winning
+        # replica's service.request -> pool.evaluate -> worker evaluate),
+        # adopted here so the written trace spans gateway and replicas
+        tracer = get_tracer()
+        if tracer is not None:
+            with tracer.span("cluster.traced_probe", matrix=names[0]):
+                envelope = client.predict(
+                    name=names[0], collection=collection_name,
+                    policies=[{"l2_sector1_ways": 4}], trace=True,
+                    **setup_fields,
+                )
+                if envelope.get("trace"):
+                    tracer.adopt(TraceTree.from_dict(envelope["trace"]))
+            summary["traced_probe"] = {
+                "matrix": names[0],
+                "merged_trace": envelope.get("trace") is not None,
+            }
         if verbose:
             print(f"  recovery pass: {summary['recovery']}")
         client.close()

@@ -20,9 +20,12 @@ for every part of the reproduction:
   (also a CLI: ``python -m repro.obs.schema trace.json``).
 """
 
+from .audit import AccuracyAuditor, compare_results
+from .context import TRACE_HEADER, TraceContext, new_span_id, new_trace_id
 from .histogram import LATENCY_BUCKETS, LatencyHistogram
 from .prometheus import parse_prometheus_text, render_prometheus
 from .report import render_report, render_self_times, render_tree
+from .traces import TraceBuffer
 from .tracer import (
     NULL_SPAN,
     Span,
@@ -37,9 +40,12 @@ from .tracer import (
 )
 from .tree import SpanNode, TraceTree, self_seconds
 
-# imported lazily so `python -m repro.obs.schema` does not trip runpy's
-# already-in-sys.modules warning (the CLI lives in the submodule)
+# imported lazily so `python -m repro.obs.schema` / `python -m
+# repro.obs.events` do not trip runpy's already-in-sys.modules warning
+# (the CLIs live in the submodules)
 _SCHEMA_EXPORTS = ("TRACE_SCHEMA_ID", "validate_trace_payload", "validate_tree")
+_EVENTS_EXPORTS = ("EVENT_SCHEMA_ID", "EventLog", "validate_entry",
+                   "validate_log_text")
 
 
 def __getattr__(name: str):
@@ -47,23 +53,36 @@ def __getattr__(name: str):
         from . import schema
 
         return getattr(schema, name)
+    if name in _EVENTS_EXPORTS:
+        from . import events
+
+        return getattr(events, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "AccuracyAuditor",
+    "EVENT_SCHEMA_ID",
+    "EventLog",
     "LATENCY_BUCKETS",
     "LatencyHistogram",
     "NULL_SPAN",
     "Span",
     "SpanNode",
+    "TRACE_HEADER",
     "TRACE_SCHEMA_ID",
+    "TraceBuffer",
+    "TraceContext",
     "TraceTree",
     "Tracer",
+    "compare_results",
     "count",
     "enabled",
     "get_tracer",
     "install",
     "installed",
+    "new_span_id",
+    "new_trace_id",
     "parse_prometheus_text",
     "peak_rss_bytes",
     "render_prometheus",
@@ -72,6 +91,8 @@ __all__ = [
     "render_tree",
     "self_seconds",
     "span",
+    "validate_entry",
+    "validate_log_text",
     "validate_trace_payload",
     "validate_tree",
 ]

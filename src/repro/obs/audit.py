@@ -1,0 +1,242 @@
+"""Continuous accuracy audit of cheap-tier fidelity-ladder answers.
+
+The fidelity ladder's value proposition is *calibrated* error bounds:
+tier-0/1 answers claim to be within a per-class floored relative error
+of the exact tier-2 pass.  This module turns that offline calibration
+into a live, falsifiable SLO: the daemon shadow-samples a deterministic
+seeded fraction of delivered tier-0/1 answers, re-answers them at tier 2
+off the hot path (on the same fork pool, only when it is idle), and
+records the **observed** error into per-class/per-tier quantile
+sketches.  The sketches export as ``repro_audit_observed_error`` with
+``class``/``tier``/``quantile`` labels, every sample whose error exceeds
+its calibrated bound increments ``repro_audit_bound_violations_total``,
+and ``/healthz`` flips ``"accuracy": "degraded"`` when an observed p99
+crosses the bound — drift in the matrix mix becomes a pager, not a
+postmortem.
+
+Everything here is service-agnostic plumbing (sampling decision, bounded
+backlog, sketches, counters, snapshot shape); the service layer owns the
+hook (where fresh tier-0/1 answers are delivered) and the background
+loop that drains the backlog through the pool.
+
+Sampling is deterministic: a request key is sampled iff
+``sha256("<seed>:<key>")`` — scaled to [0, 1) — falls below the rate, so
+replays and multi-replica runs agree on which keys are audited.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import deque
+
+from .histogram import LatencyHistogram
+
+#: floored-relative-error bucket bounds of the observed-error sketches
+#: (top bound matches the largest calibrated class bound, 7.0)
+ERROR_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                 0.15, 0.25, 0.4, 0.65, 1.0, 2.0, 4.0, 7.0)
+
+#: quantiles exported per (class, tier) sketch
+AUDIT_QUANTILES = ("p50", "p95", "p99")
+
+
+def sample_fraction(seed: int, key: str) -> float:
+    """Deterministic uniform-[0,1) hash of ``(seed, key)``."""
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def compare_results(
+    endpoint: str,
+    low: dict,
+    reference: dict,
+    floor: float,
+    classify_policy,
+) -> list[tuple[str, float]]:
+    """Per-policy ``(class, floored relative error)`` of a cheap answer.
+
+    ``low`` and ``reference`` are the wire result payloads of the same
+    task answered at a cheap tier and at tier 2; ``floor`` is the
+    matrix's streaming line count (the calibration metric's denominator
+    floor); ``classify_policy`` maps a canonical policy dict to its
+    paper-class value (the class depends on the way split, so each
+    policy is scored under its own class).  Policies present in only one
+    payload are ignored — they cannot be compared.
+    """
+    if endpoint == "predict":
+        pairs = _match_by_policy(
+            low.get("predictions", ()), reference.get("predictions", ()),
+            miss_field="l2_misses",
+        )
+    elif endpoint == "advise":
+        pairs = _match_by_policy(
+            low.get("candidates", ()), reference.get("candidates", ()),
+            miss_field="predicted_l2_misses",
+        )
+    else:  # classify is closed-form exact at every tier
+        return []
+    out = []
+    for policy, low_misses, ref_misses in pairs:
+        error = abs(low_misses - ref_misses) / max(ref_misses, floor, 1.0)
+        out.append((classify_policy(policy), error))
+    return out
+
+
+def _match_by_policy(low_entries, ref_entries, miss_field: str):
+    def keyed(entries):
+        table = {}
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            policy = entry.get("policy")
+            misses = entry.get(miss_field)
+            if isinstance(policy, dict) and isinstance(misses, (int, float)):
+                # canonical-JSON key: policy dicts hold lists (way arrays),
+                # so a sorted-items tuple would be unhashable
+                key = json.dumps(policy, sort_keys=True)
+                table[key] = (policy, float(misses))
+        return table
+
+    low_table, ref_table = keyed(low_entries), keyed(ref_entries)
+    return [
+        (low_table[key][0], low_table[key][1], ref_table[key][1])
+        for key in low_table
+        if key in ref_table
+    ]
+
+
+class AccuracyAuditor:
+    """Sampling decision, bounded backlog, and per-(class, tier) sketches."""
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        budget_seconds: float | None = None,
+        backlog_limit: int = 256,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("audit rate must be in [0, 1]")
+        if backlog_limit < 1:
+            raise ValueError("backlog_limit must be positive")
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive")
+        self.rate = rate
+        self.seed = seed
+        self.budget_seconds = budget_seconds
+        self.backlog_limit = backlog_limit
+        self._lock = threading.Lock()
+        self._backlog: deque[dict] = deque()
+        self._sketches: dict[tuple[str, int], LatencyHistogram] = {}
+        self._bounds: dict[tuple[str, int], float] = {}
+        self._samples: dict[tuple[str, int], int] = {}
+        self._violations: dict[tuple[str, int], int] = {}
+        self.sampled = 0
+        self.completed = 0
+        self.dropped = 0
+        self.failed = 0
+        self.budget_spent_seconds = 0.0
+
+    # -- sampling + backlog ---------------------------------------------
+    def should_sample(self, key: str) -> bool:
+        return self.rate > 0.0 and sample_fraction(self.seed, key) < self.rate
+
+    def offer(self, item: dict) -> bool:
+        """Queue one sampled answer for auditing; False when shed."""
+        with self._lock:
+            if self.budget_exhausted or len(self._backlog) >= self.backlog_limit:
+                self.dropped += 1
+                return False
+            self._backlog.append(item)
+            self.sampled += 1
+            return True
+
+    def pop(self) -> dict | None:
+        with self._lock:
+            return self._backlog.popleft() if self._backlog else None
+
+    @property
+    def backlog(self) -> int:
+        return len(self._backlog)
+
+    # -- accounting ------------------------------------------------------
+    def spend(self, seconds: float) -> None:
+        with self._lock:
+            self.budget_spent_seconds += seconds
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return (self.budget_seconds is not None
+                and self.budget_spent_seconds >= self.budget_seconds)
+
+    def record(self, cls_value: str, tier: int, error: float,
+               bound: float) -> None:
+        """One observed (class, tier) error against its calibrated bound."""
+        key = (cls_value, tier)
+        with self._lock:
+            sketch = self._sketches.get(key)
+            if sketch is None:
+                sketch = self._sketches[key] = LatencyHistogram(ERROR_BUCKETS)
+            sketch.observe(error)
+            self._bounds[key] = bound
+            self._samples[key] = self._samples.get(key, 0) + 1
+            if error > bound:
+                self._violations[key] = self._violations.get(key, 0) + 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def finish(self) -> None:
+        with self._lock:
+            self.completed += 1
+
+    # -- exposition ------------------------------------------------------
+    def status(self) -> str:
+        """``"degraded"`` when any observed p99 exceeds its bound."""
+        with self._lock:
+            return self._status_locked()
+
+    def violations_total(self) -> int:
+        with self._lock:
+            return sum(self._violations.values())
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` ``audit`` section (JSON form)."""
+        with self._lock:
+            observed: dict = {}
+            for (cls_value, tier), sketch in sorted(self._sketches.items()):
+                per_tier = observed.setdefault(cls_value, {})
+                per_tier[str(tier)] = {
+                    "count": sketch.total,
+                    "bound": self._bounds[(cls_value, tier)],
+                    "violations": self._violations.get((cls_value, tier), 0),
+                    "quantiles": {
+                        "p50": sketch.quantile(0.50),
+                        "p95": sketch.quantile(0.95),
+                        "p99": sketch.quantile(0.99),
+                    },
+                }
+            return {
+                "rate": self.rate,
+                "seed": self.seed,
+                "sampled": self.sampled,
+                "completed": self.completed,
+                "failed": self.failed,
+                "dropped": self.dropped,
+                "backlog": len(self._backlog),
+                "budget_seconds": self.budget_seconds,
+                "budget_spent_seconds": self.budget_spent_seconds,
+                "violations_total": sum(self._violations.values()),
+                "status": self._status_locked(),
+                "observed_error": observed,
+            }
+
+    def _status_locked(self) -> str:
+        # caller holds self._lock
+        for key, sketch in self._sketches.items():
+            if sketch.total and sketch.quantile(0.99) > self._bounds[key]:
+                return "degraded"
+        return "ok"

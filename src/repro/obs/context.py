@@ -1,0 +1,109 @@
+"""Distributed trace context (W3C-traceparent-style, stdlib-only).
+
+A :class:`TraceContext` is the pair ``(trace_id, span_id)`` that ties the
+fragments of one logical request together across processes: the gateway
+mints it, forwards it to a replica in the JSON envelope (and the
+``X-Repro-Trace`` header for transports that only see headers), the
+replica hands it to its fork-pool worker inside the task, and every hop
+logs and labels its spans with the shared ``trace_id`` while minting a
+**fresh** ``span_id`` of its own (a reused span id would make two
+different spans indistinguishable in the assembled tree).
+
+The wire form follows the W3C ``traceparent`` shape —
+``00-<32 hex trace id>-<16 hex span id>-01`` — so the header is readable
+by standard tooling, without importing any tracing library.
+
+Identifiers come from :func:`os.urandom`, which is fork-safe (it is a
+``getrandom`` syscall, not a userspace RNG stream that both sides of a
+``fork`` would replay identically).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: HTTP header carrying the serialized context between processes.
+TRACE_HEADER = "X-Repro-Trace"
+
+_TRACE_ID_BYTES = 16  # 32 hex chars
+_SPAN_ID_BYTES = 8    # 16 hex chars
+_HEX = set("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-character trace id."""
+    return os.urandom(_TRACE_ID_BYTES).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-character span id."""
+    return os.urandom(_SPAN_ID_BYTES).hex()
+
+
+def _is_hex(value: object, length: int) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == length
+        and set(value) <= _HEX
+        and value != "0" * length  # all-zero ids are invalid per W3C
+    )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop's identity inside a distributed trace."""
+
+    trace_id: str
+    span_id: str
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        return cls(trace_id=new_trace_id(), span_id=new_span_id())
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id — what each downstream hop must use."""
+        return TraceContext(trace_id=self.trace_id, span_id=new_span_id())
+
+    # -- JSON envelope form --------------------------------------------
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "TraceContext | None":
+        """Parse the envelope form; None when malformed (never raises)."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if not _is_hex(trace_id, 2 * _TRACE_ID_BYTES):
+            return None
+        if not _is_hex(span_id, 2 * _SPAN_ID_BYTES):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+    # -- header form ----------------------------------------------------
+    def to_header(self) -> str:
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def from_header(cls, value: object) -> "TraceContext | None":
+        """Parse an ``X-Repro-Trace`` value; None when malformed."""
+        if not isinstance(value, str):
+            return None
+        parts = value.strip().split("-")
+        if len(parts) != 4 or parts[0] != "00":
+            return None
+        return cls.from_dict({"trace_id": parts[1], "span_id": parts[2]})
+
+
+def validate_context_dict(payload: object) -> list[str]:
+    """Problems with a ``trace_context`` request field; empty when valid."""
+    if not isinstance(payload, dict):
+        return ["trace_context must be an object"]
+    problems = []
+    if not _is_hex(payload.get("trace_id"), 2 * _TRACE_ID_BYTES):
+        problems.append("trace_context.trace_id must be 32 lowercase hex chars")
+    if not _is_hex(payload.get("span_id"), 2 * _SPAN_ID_BYTES):
+        problems.append("trace_context.span_id must be 16 lowercase hex chars")
+    return problems

@@ -1,0 +1,268 @@
+"""Structured JSON-lines event log (``repro.obs.events/v1``).
+
+One append-only file correlates everything a cluster does to one request
+by ``trace_id``: the gateway's route and failover hops, the replica's
+terminal request record, breaker transitions, membership changes, GC
+sweeps, fault injections and the fork-pool worker's evaluation — each a
+single JSON object per line::
+
+    {"schema": "repro.obs.events/v1", "ts": 1754640000.123, "seq": 7,
+     "event": "request", "source": {"role": "service", "pid": 4242},
+     "trace_id": "4bf92f3577b34da6a3ce929d0e0e4736",
+     "fields": {"endpoint": "advise", "status": "ok", "seconds": 0.018}}
+
+Like :mod:`repro.obs.tracer` and :mod:`repro.resilience.faults`, the log
+installs **ambient and process-local**: :func:`emit` is a no-op until a
+daemon installs an :class:`EventLog`, so instrumented code paths cost
+one global read when logging is off.  Fork-pool workers inherit the
+ambient log; on first emit in a child the file is reopened in append
+mode (``O_APPEND`` makes small line writes atomic between processes), so
+gateway, replica and worker entries interleave safely in one file while
+sharing the request's ``trace_id``.
+
+Rotation is by byte budget and owner-only: when the creating process
+would push the file past ``max_bytes`` it renames the file to
+``<path>.1`` (replacing any previous rotation) and starts fresh.
+Children never rotate — two processes rotating the same file would race.
+
+Validate logs with ``python -m repro.obs.events --validate LOG...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+EVENT_SCHEMA_ID = "repro.obs.events/v1"
+
+#: default rotation budget: generous for smoke runs, bounded for daemons
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+class EventLog:
+    """Append-only, byte-budget-rotated JSON-lines event sink."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        role: str = "service",
+    ) -> None:
+        if max_bytes < 4096:
+            raise ValueError("max_bytes must be at least 4096")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.role = role
+        self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
+        self._pid = os.getpid()
+        self._seq = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- writing --------------------------------------------------------
+    def emit(self, event: str, trace_id: str | None = None, **fields) -> None:
+        """Append one event line; never raises into the caller."""
+        entry = {
+            "schema": EVENT_SCHEMA_ID,
+            "ts": time.time(),
+            "event": event,
+            "source": {"role": self.role, "pid": os.getpid()},
+            "fields": {
+                key: value if isinstance(value, _SCALAR) else repr(value)
+                for key, value in fields.items()
+            },
+        }
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        with self._lock:
+            try:
+                self._reopen_if_forked()
+                entry["seq"] = self._seq
+                self._seq += 1
+                line = json.dumps(entry, sort_keys=True)
+                self._maybe_rotate(len(line) + 1)
+                self._fh.write(line + "\n")
+                self._fh.flush()
+            except (OSError, ValueError):
+                # a full disk or a closed log must not fail the request
+                pass
+
+    def _reopen_if_forked(self) -> None:
+        """A forked child shares the parent's buffered file object; give
+        it a fresh append-mode handle (and its own sequence) instead."""
+        pid = os.getpid()
+        if pid == self._pid:
+            return
+        self._pid = pid
+        self._seq = 0
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        """Owner-only rotation to ``<path>.1`` when the budget is hit."""
+        if os.getpid() != self._owner_pid:
+            return
+        try:
+            size = self._fh.tell()
+        except (OSError, ValueError):
+            return
+        if size + incoming <= self.max_bytes or size == 0:
+            return
+        self._fh.close()
+        with contextlib.suppress(OSError):
+            os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock, contextlib.suppress(OSError, ValueError):
+            self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# process-local ambient log (mirrors repro.resilience.faults' pattern)
+# ----------------------------------------------------------------------
+
+_ambient: EventLog | None = None
+
+
+def get_log() -> EventLog | None:
+    """The installed ambient log, or None when event logging is off."""
+    return _ambient
+
+
+def install(log: EventLog | None) -> EventLog | None:
+    """Install (or, with None, remove) the ambient log; returns the old
+    one.  Inherited across ``fork`` by pool workers."""
+    global _ambient
+    previous = _ambient
+    _ambient = log
+    return previous
+
+
+@contextlib.contextmanager
+def installed(log: EventLog | None):
+    """Ambient-install a log for the duration of a block."""
+    previous = install(log)
+    try:
+        yield log
+    finally:
+        install(previous)
+
+
+def emit(event: str, trace_id: str | None = None, **fields) -> None:
+    """Emit on the ambient log; free no-op when none is installed."""
+    log = _ambient
+    if log is not None:
+        log.emit(event, trace_id=trace_id, **fields)
+
+
+# ----------------------------------------------------------------------
+# validation (hand-rolled schema, like repro.obs.schema)
+# ----------------------------------------------------------------------
+
+
+def validate_entry(entry: object, path: str = "entry") -> list[str]:
+    """Problems with one parsed event entry; empty when valid."""
+    if not isinstance(entry, dict):
+        return [f"{path}: must be a JSON object"]
+    problems: list[str] = []
+    if entry.get("schema") != EVENT_SCHEMA_ID:
+        problems.append(
+            f"{path}.schema: expected {EVENT_SCHEMA_ID!r}, "
+            f"got {entry.get('schema')!r}"
+        )
+    ts = entry.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        problems.append(f"{path}.ts: must be a non-negative number")
+    seq = entry.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        problems.append(f"{path}.seq: must be a non-negative integer")
+    event = entry.get("event")
+    if not isinstance(event, str) or not event:
+        problems.append(f"{path}.event: must be a non-empty string")
+    source = entry.get("source")
+    if not isinstance(source, dict):
+        problems.append(f"{path}.source: must be an object")
+    else:
+        if not isinstance(source.get("role"), str) or not source.get("role"):
+            problems.append(f"{path}.source.role: must be a non-empty string")
+        pid = source.get("pid")
+        if not isinstance(pid, int) or isinstance(pid, bool) or pid < 1:
+            problems.append(f"{path}.source.pid: must be a positive integer")
+    trace_id = entry.get("trace_id")
+    if trace_id is not None and (
+        not isinstance(trace_id, str) or not trace_id
+    ):
+        problems.append(f"{path}.trace_id: must be a non-empty string or absent")
+    fields = entry.get("fields")
+    if not isinstance(fields, dict):
+        problems.append(f"{path}.fields: must be an object")
+    else:
+        for key, value in fields.items():
+            if not isinstance(value, _SCALAR):
+                problems.append(f"{path}.fields[{key!r}]: must be a JSON scalar")
+    return problems
+
+
+def validate_log_text(text: str) -> tuple[list[dict], list[str]]:
+    """Parse + validate a whole log; returns ``(entries, problems)``."""
+    entries: list[dict] = []
+    problems: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        entry_problems = validate_entry(entry, path=f"line {lineno}")
+        problems.extend(entry_problems)
+        if not entry_problems:
+            entries.append(entry)
+    return entries, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate repro.obs.events/v1 JSON-lines event logs."
+    )
+    parser.add_argument("--validate", action="store_true",
+                        help="validate the given logs (the default action)")
+    parser.add_argument("paths", nargs="+", help="event-log files to validate")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.paths:
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        entries, problems = validate_log_text(text)
+        for problem in problems:
+            print(f"{path}: invalid: {problem}", file=sys.stderr)
+        if problems:
+            status = 1
+            continue
+        kinds = sorted({entry["event"] for entry in entries})
+        traces = {entry["trace_id"] for entry in entries
+                  if entry.get("trace_id")}
+        print(
+            f"OK: {path} is a valid {EVENT_SCHEMA_ID} log "
+            f"({len(entries)} entries, {len(kinds)} event kinds, "
+            f"{len(traces)} trace ids)"
+        )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

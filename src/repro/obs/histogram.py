@@ -30,6 +30,29 @@ class LatencyHistogram:
                 return
         self.counts[-1] += 1
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile via linear interpolation in-bucket.
+
+        Observations landing past the last finite bound clamp to that
+        bound (the histogram cannot know how far past it they went), so
+        tail quantiles are conservative-low there — exact exceedance
+        accounting must ride on per-observation counters, not on this.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        cumulative, lower = 0, 0.0
+        for bound, count in zip(self.buckets, self.counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count:
+                return lower + (rank - previous) / count * (bound - lower)
+            lower = bound
+        return self.buckets[-1]
+
     def snapshot(self) -> dict:
         cumulative = 0
         out: dict = {"count": self.total, "sum_seconds": self.sum_seconds,
@@ -38,4 +61,9 @@ class LatencyHistogram:
             cumulative += count
             out["buckets"][str(bound)] = cumulative
         out["buckets"]["+Inf"] = self.total
+        out["quantiles"] = {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
         return out

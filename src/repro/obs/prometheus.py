@@ -114,6 +114,47 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         w.sample(f"{name}_sum", float(total))
         w.sample(f"{name}_count", count)
 
+    audit = snapshot.get("audit")
+    if audit:
+        name = w.family("audit_observed_error", "gauge",
+                        "Observed floored relative error of audited "
+                        "cheap-tier answers vs tier 2, by class, tier "
+                        "and quantile.")
+        for cls_value, tiers in sorted(audit.get("observed_error", {}).items()):
+            for tier, entry in sorted(tiers.items()):
+                for quantile, value in sorted(
+                    entry.get("quantiles", {}).items()
+                ):
+                    w.sample(name, float(value), **{
+                        "class": cls_value, "tier": tier,
+                        "quantile": quantile,
+                    })
+        name = w.family("audit_samples_total", "counter",
+                        "Audited answers recorded, by class and tier.")
+        for cls_value, tiers in sorted(audit.get("observed_error", {}).items()):
+            for tier, entry in sorted(tiers.items()):
+                w.sample(name, entry.get("count", 0),
+                         **{"class": cls_value, "tier": tier})
+        name = w.family("audit_bound_violations_total", "counter",
+                        "Audited answers whose observed error exceeded "
+                        "the calibrated bound, by class and tier.")
+        for cls_value, tiers in sorted(audit.get("observed_error", {}).items()):
+            for tier, entry in sorted(tiers.items()):
+                w.sample(name, entry.get("violations", 0),
+                         **{"class": cls_value, "tier": tier})
+        name = w.family("audit_backlog", "gauge",
+                        "Sampled answers waiting for an off-path tier-2 "
+                        "audit evaluation.")
+        w.sample(name, audit.get("backlog", 0))
+        name = w.family("audit_dropped_total", "counter",
+                        "Sampled answers shed (backlog full or audit "
+                        "budget exhausted).")
+        w.sample(name, audit.get("dropped", 0))
+        name = w.family("audit_budget_spent_seconds_total", "counter",
+                        "Cumulative evaluation seconds spent on audit "
+                        "re-answers.")
+        w.sample(name, float(audit.get("budget_spent_seconds", 0.0)))
+
     optimize = snapshot.get("optimize", {})
     name = w.family("optimize_strategies_total", "counter",
                     "Reordering-search candidate outcomes by strategy "

@@ -1,0 +1,96 @@
+"""Bounded ring buffer of recent (and in-flight) request traces.
+
+Both the replica daemon and the cluster gateway keep one
+:class:`TraceBuffer` and expose it at ``GET /debug/traces``: the last N
+finished traced requests (the envelope's merged span tree included),
+slowest-first, optionally filtered by endpoint, plus whatever traced
+requests are currently in flight.  The buffer is bounded by entry count
+— it is a debugging porthole, not a trace store — and dropping the
+oldest entry is counted so "you are only seeing the tail" is visible.
+
+Thread-safe: the daemons serve requests on an asyncio loop but tests and
+the in-process harnesses poke the buffer from other threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+
+DEFAULT_CAPACITY = 64
+
+
+class TraceBuffer:
+    """Recent finished traces + in-flight markers, bounded by capacity."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._finished: deque[dict] = deque(maxlen=capacity)
+        self._in_flight: dict[int, dict] = {}
+        self._tokens = itertools.count(1)
+        self.recorded = 0
+        self.dropped = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, trace_id: str, endpoint: str) -> int:
+        """Mark a traced request in flight; returns the token for finish."""
+        token = next(self._tokens)
+        entry = {
+            "trace_id": trace_id,
+            "endpoint": endpoint,
+            "started_unix": time.time(),
+        }
+        with self._lock:
+            self._in_flight[token] = entry
+        return token
+
+    def finish(
+        self,
+        token: int,
+        *,
+        seconds: float,
+        status: str,
+        tree: dict | None,
+    ) -> None:
+        """Move an in-flight request into the finished ring."""
+        with self._lock:
+            entry = self._in_flight.pop(token, None)
+            if entry is None:
+                return
+            entry = dict(entry)
+            entry["seconds"] = float(seconds)
+            entry["status"] = status
+            entry["tree"] = tree
+            if len(self._finished) == self.capacity:
+                self.dropped += 1
+            self._finished.append(entry)
+            self.recorded += 1
+
+    def discard(self, token: int) -> None:
+        """Drop an in-flight marker without recording (request abandoned)."""
+        with self._lock:
+            self._in_flight.pop(token, None)
+
+    # -- exposition -----------------------------------------------------
+    def snapshot(self, limit: int = 10, endpoint: str | None = None) -> dict:
+        """The ``/debug/traces`` payload: slowest-N finished + in-flight."""
+        limit = max(1, min(int(limit), self.capacity))
+        with self._lock:
+            finished = list(self._finished)
+            in_flight = [dict(e) for e in self._in_flight.values()]
+        if endpoint is not None:
+            finished = [e for e in finished if e["endpoint"] == endpoint]
+            in_flight = [e for e in in_flight if e["endpoint"] == endpoint]
+        finished.sort(key=lambda e: e["seconds"], reverse=True)
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "in_flight": sorted(in_flight, key=lambda e: e["started_unix"]),
+            "traces": finished[:limit],
+        }

@@ -47,6 +47,7 @@ class CircuitBreaker:
         recovery_seconds: float = 30.0,
         half_open_max_probes: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be positive")
@@ -58,6 +59,10 @@ class CircuitBreaker:
         self.recovery_seconds = recovery_seconds
         self.half_open_max_probes = half_open_max_probes
         self._clock = clock
+        #: observer of every state change (old, new) — the daemon hangs
+        #: its structured event log here; exceptions are not tolerated
+        #: (the callback runs inside the breaker's state machine)
+        self.on_transition = on_transition
         self._state = CLOSED
         self._opened_at = 0.0
         self._probes_in_flight = 0
@@ -69,9 +74,12 @@ class CircuitBreaker:
 
     # -- state ---------------------------------------------------------
     def _transition(self, state: str) -> None:
-        key = f"{self._state}->{state}"
+        previous = self._state
+        key = f"{previous}->{state}"
         self.transitions[key] = self.transitions.get(key, 0) + 1
         self._state = state
+        if self.on_transition is not None:
+            self.on_transition(previous, state)
         if state == OPEN:
             self._opened_at = self._clock()
         if state == HALF_OPEN:

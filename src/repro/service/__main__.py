@@ -15,6 +15,7 @@ import argparse
 import asyncio
 import json
 import sys
+from dataclasses import replace
 
 from ..resilience.faults import FaultPlan
 from ..resilience.schema import validate_plan
@@ -89,6 +90,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--gc-max-bytes", type=int, default=None,
                         help="GC: then delete oldest entries until the "
                              "cache directory fits this budget")
+    parser.add_argument("--event-log", default=None, metavar="PATH",
+                        help="append structured repro.obs.events/v1 JSON "
+                             "lines here (validated by `python -m "
+                             "repro.obs.events --validate PATH`)")
+    parser.add_argument("--event-log-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="rotate the event log once it exceeds this "
+                             "(default 16 MiB; one .1 generation is kept)")
+    parser.add_argument("--audit-rate", type=float, default=0.0,
+                        metavar="FRACTION",
+                        help="shadow-sample this deterministic fraction of "
+                             "delivered tier-0/1 ladder answers and re-answer "
+                             "them at tier 2 off the hot path (0 disables)")
+    parser.add_argument("--audit-budget-seconds", type=float, default=None,
+                        metavar="SECONDS",
+                        help="total pool seconds the accuracy audit may "
+                             "spend over the daemon's lifetime (unset: "
+                             "unbounded)")
+    parser.add_argument("--audit-seed", type=int, default=0,
+                        help="seed of the deterministic audit sampler "
+                             "(replicas sharing a seed audit the same keys)")
+    parser.add_argument("--trace-buffer", type=int, default=64,
+                        metavar="N",
+                        help="traced requests kept for GET /debug/traces")
     args = parser.parse_args(argv)
     if args.gc_interval is not None and args.gc_max_age is None \
             and args.gc_max_bytes is None:
@@ -133,7 +158,14 @@ def main(argv: list[str] | None = None) -> int:
         gc_interval_seconds=args.gc_interval,
         gc_max_age_seconds=args.gc_max_age,
         gc_max_bytes=args.gc_max_bytes,
+        event_log_path=args.event_log,
+        audit_rate=args.audit_rate,
+        audit_budget_seconds=args.audit_budget_seconds,
+        audit_seed=args.audit_seed,
+        trace_buffer_size=args.trace_buffer,
     )
+    if args.event_log_bytes is not None:
+        config = replace(config, event_log_max_bytes=args.event_log_bytes)
     try:
         asyncio.run(run_server(config, host=args.host, port=args.port))
     except KeyboardInterrupt:  # pragma: no cover - interactive

@@ -35,6 +35,7 @@ import asyncio
 import contextlib
 import json
 import signal
+import sys
 import threading
 import time
 from concurrent.futures import BrokenExecutor
@@ -44,14 +45,25 @@ from pathlib import Path
 from urllib.parse import parse_qs
 
 from ..analysis.report import canonical_json
+from ..core.analytic import stream_misses
+from ..core.classification import classify
 from ..experiments.common import cache_entry_path
 from ..experiments.pool import (
     fork_executor,
     register_parent_socket,
     unregister_parent_socket,
 )
+from ..ladder.calibration import DEFAULT_CALIBRATION
 from ..ladder.engine import tier2_apriori_bound
+from ..ladder.tier0 import dims_from_task, num_cmgs
+from ..obs import events as obs_events
+from ..obs.audit import AccuracyAuditor, compare_results
+from ..obs.context import TRACE_HEADER, TraceContext
+from ..obs.events import DEFAULT_MAX_BYTES, EventLog
 from ..obs.prometheus import render_prometheus
+from ..obs.traces import TraceBuffer
+from ..obs.tracer import NULL_SPAN, Tracer
+from ..obs.tree import TraceTree
 from ..resilience import faults
 from ..resilience.breaker import CircuitBreaker
 from ..resilience.degraded import answer_task as degraded_answer
@@ -59,6 +71,7 @@ from ..resilience.faults import FaultPlan
 from .cache import TieredResultCache, gc_sweep
 from .httpd import PayloadTooLarge, read_request, request_json, respond
 from .metrics import ServiceMetrics
+from ..spmv.sector_policy import SectorPolicy
 from .protocol import (
     ENDPOINTS,
     RequestError,
@@ -121,6 +134,22 @@ class ServiceConfig:
     gc_max_age_seconds: float | None = None
     #: GC: then delete oldest entries until the cache dir fits
     gc_max_bytes: int | None = None
+    #: structured JSON-lines event log (``repro.obs.events/v1``); None
+    #: disables event logging entirely
+    event_log_path: str | None = None
+    #: event-log rotation byte budget (owner-only rotation to ``.1``)
+    event_log_max_bytes: int = DEFAULT_MAX_BYTES
+    #: fraction of delivered tier-0/1 ladder answers shadow-audited at
+    #: tier 2 off the hot path (0 disables the continuous accuracy audit)
+    audit_rate: float = 0.0
+    #: ceiling on cumulative pool seconds the auditor may spend (None
+    #: leaves the audit bounded only by its rate and backlog)
+    audit_budget_seconds: float | None = None
+    #: seed of the deterministic audit sampling hash — replicas sharing a
+    #: seed agree on which request keys are audited
+    audit_seed: int = 0
+    #: finished traced requests retained for ``GET /debug/traces``
+    trace_buffer_size: int = 64
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -156,6 +185,16 @@ class ServiceConfig:
                 and self.gc_max_bytes is None):
             raise ValueError("gc_interval_seconds needs gc_max_age_seconds "
                              "and/or gc_max_bytes (nothing to collect otherwise)")
+        if self.event_log_max_bytes < 4096:
+            raise ValueError("event_log_max_bytes must be at least 4096")
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ValueError("audit_rate must be in [0, 1]")
+        if self.audit_budget_seconds is not None and self.audit_budget_seconds <= 0:
+            raise ValueError("audit_budget_seconds must be positive")
+        if self.audit_seed < 0:
+            raise ValueError("audit_seed must be non-negative")
+        if self.trace_buffer_size < 1:
+            raise ValueError("trace_buffer_size must be positive")
 
 
 class _EvaluationError(Exception):
@@ -203,15 +242,31 @@ class LocalityService:
                 failure_threshold=config.breaker_failure_threshold,
                 recovery_seconds=config.breaker_recovery_seconds,
                 half_open_max_probes=config.breaker_half_open_probes,
+                on_transition=self._breaker_observer(endpoint),
             )
             for endpoint in ENDPOINTS
         }
-        # the ambient daemon-wide plan must be installed before the first
-        # fork so pool workers inherit it; close() restores the previous one
+        self.traces = TraceBuffer(config.trace_buffer_size)
+        self.auditor = (
+            AccuracyAuditor(config.audit_rate, seed=config.audit_seed,
+                            budget_seconds=config.audit_budget_seconds)
+            if config.audit_rate > 0 else None
+        )
+        # ambient state inherited across fork must be installed before the
+        # first worker is spawned: the daemon-wide fault plan and the
+        # structured event log (workers append to the same file under
+        # O_APPEND; see repro.obs.events); close() restores both
         self._previous_plan = (
             faults.install(config.fault_plan)
             if config.fault_plan is not None else None
         )
+        self._event_log = None
+        self._previous_event_log = None
+        if config.event_log_path is not None:
+            self._event_log = EventLog(config.event_log_path,
+                                       max_bytes=config.event_log_max_bytes,
+                                       role="service")
+            self._previous_event_log = obs_events.install(self._event_log)
         self._executor = fork_executor(config.jobs)
         self._slots = asyncio.Semaphore(config.jobs)
         self._inflight: dict[str, asyncio.Future] = {}
@@ -221,18 +276,25 @@ class LocalityService:
     # routing
     # ------------------------------------------------------------------
     async def handle_request(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict | str, bool]:
         """Route one request; returns (status, payload, shutdown?).
 
         A ``str`` payload is served verbatim as Prometheus text exposition
         (``/metrics?format=prometheus``); dicts are served as JSON.
+        ``headers`` (lowercase names, as parsed by the HTTP layer) may
+        carry an ``X-Repro-Trace`` context, adopted when the JSON body
+        does not already have a ``trace_context``.
         """
         path, _, query_string = path.partition("?")
         path = path.rstrip("/") or "/"
         if method == "GET":
             if path == "/healthz":
-                return 200, {"ok": True, "status": "healthy"}, False
+                health = {"ok": True, "status": "healthy"}
+                if self.auditor is not None:
+                    health["accuracy"] = self.auditor.status()
+                return 200, health, False
             if path == "/metrics":
                 fmt = (parse_qs(query_string).get("format") or ["json"])[-1]
                 if fmt not in ("json", "prometheus"):
@@ -243,8 +305,23 @@ class LocalityService:
                     ), False
                 snapshot = self.metrics.snapshot(self.cache.stats(),
                                                  self.breakers)
+                if self.auditor is not None:
+                    snapshot["audit"] = self.auditor.snapshot()
                 if fmt == "prometheus":
                     return 200, render_prometheus(snapshot), False
+                return 200, snapshot, False
+            if path == "/debug/traces":
+                params = parse_qs(query_string)
+                try:
+                    limit = int((params.get("limit") or ["10"])[-1])
+                except ValueError:
+                    return 400, _error_payload(
+                        "debug/traces", "RequestError",
+                        "limit must be an integer"), False
+                endpoint_filter = (params.get("endpoint") or [None])[-1]
+                snapshot = self.traces.snapshot(limit=limit,
+                                                endpoint=endpoint_filter)
+                snapshot["ok"] = True
                 return 200, snapshot, False
             return 404, _error_payload(path, "NotFound", f"no such path {path!r}"), False
         if method != "POST":
@@ -267,6 +344,15 @@ class LocalityService:
             payload = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             return 400, _error_payload(endpoint, "BadJSON", str(exc)), False
+        if isinstance(payload, dict) and "trace_context" not in payload:
+            # transports that only see headers (the gateway forward, any
+            # standard HTTP client) propagate context via X-Repro-Trace;
+            # an explicit JSON trace_context always wins
+            header_ctx = TraceContext.from_header(
+                (headers or {}).get(TRACE_HEADER.lower())
+            )
+            if header_ctx is not None:
+                payload["trace_context"] = header_ctx.to_dict()
         status, response = await self._handle_model(endpoint, payload)
         return status, response, False
 
@@ -348,6 +434,8 @@ class LocalityService:
                              max_bytes=config.gc_max_bytes),
         )
         self.metrics.observe_gc(stats)
+        obs_events.emit("gc.sweep", **{k: v for k, v in stats.items()
+                                       if isinstance(v, (int, float))})
         return stats
 
     async def gc_loop(self) -> None:
@@ -393,21 +481,66 @@ class LocalityService:
             plan = (faults.FaultPlan.from_dict(task["faults"])
                     if "faults" in task else None)
         except RequestError as exc:
-            self.metrics.observe_request(endpoint, "error",
-                                         time.perf_counter() - started)
+            seconds = time.perf_counter() - started
+            self.metrics.observe_request(endpoint, "error", seconds)
+            obs_events.emit("request", endpoint=endpoint, status="rejected",
+                            seconds=seconds, error=str(exc))
             return exc.status, _error_payload(endpoint, "RequestError", str(exc))
 
-        try:
-            result, cached, trace, fidelity = await self._resolve(
-                endpoint, task, key, plan, peer
+        # distributed trace context: adopt the caller's hop and mint this
+        # hop's own span id (the parent of the fork-worker's span).  When
+        # no caller context exists, a trace is started locally whenever
+        # anyone would see it (the trace flag, or an installed event log
+        # whose entries want a correlation id).
+        incoming = TraceContext.from_dict(task.get("trace_context"))
+        ctx = incoming.child() if incoming is not None else None
+        if ctx is None and (task.get("trace") or obs_events.get_log() is not None):
+            ctx = TraceContext.new()
+        if ctx is not None:
+            task["trace_context"] = ctx.to_dict()
+        trace_id = ctx.trace_id if ctx is not None else None
+        tracer = root = None
+        token = None
+        if task.get("trace"):
+            # per-request local tracer (never installed ambiently: the
+            # daemon interleaves requests on one loop, and in-process
+            # cluster harnesses run several daemons in one process)
+            tracer = Tracer()
+            token = self.traces.start(ctx.trace_id, endpoint)
+            root = tracer.span(
+                "service.request", endpoint=endpoint, trace_id=ctx.trace_id,
+                span_id=ctx.span_id,
+                parent_span_id=incoming.span_id if incoming is not None else None,
             )
+            root.__enter__()
+
+        def finished(status_label: str, tree: dict | None = None,
+                     **event_fields) -> float:
+            seconds = time.perf_counter() - started
+            if token is not None:
+                self.traces.finish(token, seconds=seconds,
+                                   status=status_label, tree=tree)
+            obs_events.emit("request", trace_id=trace_id, endpoint=endpoint,
+                            status=status_label, seconds=seconds, key=key,
+                            **event_fields)
+            return seconds
+
+        try:
+            try:
+                result, cached, trace, fidelity = await self._resolve(
+                    endpoint, task, key, plan, peer, tracer=tracer
+                )
+            finally:
+                if root is not None:
+                    root.__exit__(*sys.exc_info())
         except _DegradedService as exc:
             result = self._degraded_result(task)
             if result is None:
                 # sweep has no analytic surrogate (its whole point is the
                 # stack-distance measurement), and degraded mode may be off
-                self.metrics.observe_request(endpoint, "error",
-                                             time.perf_counter() - started)
+                self.metrics.observe_request(
+                    endpoint, "error",
+                    finished("unavailable", reason=exc.reason))
                 return 503, {"ok": False, "endpoint": endpoint, "key": key,
                              "error": {
                                  "type": "ServiceUnavailable",
@@ -417,8 +550,9 @@ class LocalityService:
                                  "reason": exc.reason,
                                  "retry_after_seconds": exc.retry_after_seconds,
                              }}
-            self.metrics.observe_request(endpoint, "degraded",
-                                         time.perf_counter() - started)
+            self.metrics.observe_request(
+                endpoint, "degraded",
+                finished("degraded", reason=exc.reason))
             self.metrics.degraded[endpoint][exc.reason] += 1
             # degraded answers are approximations: never cached, clearly
             # marked, and "cached" is null so clients can tell them apart
@@ -426,13 +560,30 @@ class LocalityService:
                          "cached": None, "degraded": True,
                          "degraded_reason": exc.reason, "result": result}
         except _EvaluationError as exc:
-            self.metrics.observe_request(endpoint, "error",
-                                         time.perf_counter() - started)
+            self.metrics.observe_request(
+                endpoint, "error",
+                finished("error", error=exc.detail.get("type")))
             detail = dict(exc.detail)
             detail.setdefault("type", "EvaluationError")
             return exc.status, {"ok": False, "endpoint": endpoint, "key": key,
                                 "error": detail}
-        self.metrics.observe_request(endpoint, "ok", time.perf_counter() - started)
+        merged = local = None
+        if tracer is not None and trace is not None:
+            # the envelope trace: this hop's service.request root next to
+            # the worker's evaluate root — linked by span-id attrs, merged
+            # into one forest so the gateway can graft it whole
+            merged = TraceTree.merge(
+                [tracer.tree(), TraceTree.from_dict(trace)]
+            ).to_dict()
+        elif tracer is not None:
+            # no evaluation happened (cache tier, coalesced, peer fill):
+            # /debug/traces still keeps this hop's spans — cache.lookup
+            # marks the serving tier — but no evaluate span is fabricated
+            local = tracer.tree().to_dict()
+        self.metrics.observe_request(
+            endpoint, "ok",
+            finished("ok", tree=merged if merged is not None else local,
+                     cached=cached, tier=(fidelity or {}).get("tier")))
         if cached in ("memory", "disk"):
             self.metrics.cache_served[endpoint][cached] += 1
         response = {"ok": True, "endpoint": endpoint, "key": key,
@@ -442,7 +593,7 @@ class LocalityService:
         if task.get("trace"):
             # best-effort: null when the result came from a cache tier or
             # piggybacked on another request's in-flight evaluation
-            response["trace"] = trace
+            response["trace"] = merged
         return 200, response
 
     async def _resolve(
@@ -452,6 +603,7 @@ class LocalityService:
         key: str,
         plan: faults.FaultPlan | None,
         peer: dict | None = None,
+        tracer: Tracer | None = None,
     ) -> tuple[dict, str | None, dict | None, dict | None]:
         """Resolve a key via cache, peer fill, coalescing, or a fresh
         evaluation.
@@ -472,11 +624,14 @@ class LocalityService:
         if endpoint != "optimize" and (
             task.get("accuracy") is not None or task.get("max_tier") is not None
         ):
-            return await self._resolve_ladder(endpoint, task, key, plan)
+            return await self._resolve_ladder(endpoint, task, key, plan,
+                                              tracer=tracer)
         disk_path, disk_format = self._disk_entry(task, key)
         corrupt_rule = self._fire(plan, "cache.disk_read") if disk_path else None
-        result, tier = self.cache.get(key, disk_path,
-                                      corrupt_read=corrupt_rule is not None)
+        with _span(tracer, "cache.lookup") as sp:
+            result, tier = self.cache.get(key, disk_path,
+                                          corrupt_read=corrupt_rule is not None)
+            sp.annotate(tier=tier or "miss")
         if result is not None:
             # cache hits bypass admission control: they cost no pool slot,
             # so an open breaker or a saturated queue does not refuse them
@@ -489,7 +644,8 @@ class LocalityService:
             pending = self._inflight.get(key)
             if pending is not None:
                 self.metrics.coalesced[endpoint] += 1
-                result = await asyncio.shield(pending)
+                with _span(tracer, "coalesce.wait"):
+                    result = await asyncio.shield(pending)
                 return (result, "coalesced", None,
                         _embedded_fidelity(endpoint, result))
 
@@ -499,7 +655,10 @@ class LocalityService:
                 # into its (never-cached) response path
                 self.metrics.peer_fill["skipped"] += 1
             else:
-                fetched = await self._peer_fill(endpoint, task, key, peer)
+                with _span(tracer, "peer.fill", host=peer["host"],
+                           port=peer["port"]) as sp:
+                    fetched = await self._peer_fill(endpoint, task, key, peer)
+                    sp.annotate(outcome="hit" if fetched is not None else "miss")
                 if fetched is not None:
                     # adopt the peer's answer into our own tiers so the
                     # next hit is local — this replica owns the key now
@@ -520,7 +679,7 @@ class LocalityService:
             future = asyncio.get_running_loop().create_future()
             self._inflight[key] = future
         try:
-            payload = await self._evaluate(endpoint, task)
+            payload = await self._evaluate(endpoint, task, tracer=tracer)
             result = payload["result"]
             breaker.record_success()
             if future is not None:
@@ -557,7 +716,8 @@ class LocalityService:
         return result, None, payload.get("trace"), _embedded_fidelity(endpoint, result)
 
     async def _resolve_ladder(
-        self, endpoint: str, task: dict, key: str, plan: faults.FaultPlan | None
+        self, endpoint: str, task: dict, key: str,
+        plan: faults.FaultPlan | None, tracer: Tracer | None = None,
     ) -> tuple[dict, str | None, dict | None, dict]:
         """Resolve a fidelity-ladder request (``accuracy``/``max_tier`` set).
 
@@ -574,27 +734,32 @@ class LocalityService:
         """
         accuracy = task.get("accuracy")
         disk_path, _ = self._disk_entry(task, key)
-        if accuracy is None or self._tier2_bound(task) <= accuracy:
-            corrupt_rule = self._fire(plan, "cache.disk_read") if disk_path else None
-            result, tier = self.cache.get(key, disk_path,
-                                          corrupt_read=corrupt_rule is not None)
+        with _span(tracer, "cache.lookup") as sp:
+            if accuracy is None or self._tier2_bound(task) <= accuracy:
+                corrupt_rule = (self._fire(plan, "cache.disk_read")
+                                if disk_path else None)
+                result, tier = self.cache.get(
+                    key, disk_path, corrupt_read=corrupt_rule is not None)
+                if result is not None:
+                    sp.annotate(tier=tier)
+                    if tier == "disk":
+                        self.cache.promote(key, canonical_json(result).encode())
+                    return result, tier, None, self._cached_fidelity(2, task)
+            t3_key = f"{key}.t3"
+            t3_path = (self.cache.cache_dir / f"{t3_key}.{endpoint}.json"
+                       if self.cache.cache_dir is not None else None)
+            result, tier = self.cache.get(t3_key, t3_path)
             if result is not None:
+                sp.annotate(tier=tier)
                 if tier == "disk":
-                    self.cache.promote(key, canonical_json(result).encode())
-                return result, tier, None, self._cached_fidelity(2, task)
-        t3_key = f"{key}.t3"
-        t3_path = (self.cache.cache_dir / f"{t3_key}.{endpoint}.json"
-                   if self.cache.cache_dir is not None else None)
-        result, tier = self.cache.get(t3_key, t3_path)
-        if result is not None:
-            if tier == "disk":
-                self.cache.promote(t3_key, canonical_json(result).encode())
-            return result, tier, None, self._cached_fidelity(3, task)
+                    self.cache.promote(t3_key, canonical_json(result).encode())
+                return result, tier, None, self._cached_fidelity(3, task)
+            sp.annotate(tier="miss")
 
         await self._admit(endpoint, plan)
         breaker = self.breakers[endpoint]
         try:
-            payload = await self._evaluate(endpoint, task)
+            payload = await self._evaluate(endpoint, task, tracer=tracer)
             result = payload["result"]
             breaker.record_success()
         except _EvaluationError as exc:
@@ -614,6 +779,8 @@ class LocalityService:
                 self.cache.put(key, canonical_json(result).encode(), disk_path)
             elif answered == 3:
                 self.cache.put(t3_key, canonical_json(result).encode(), t3_path)
+            if answered in (0, 1):
+                self._offer_audit(endpoint, task, key, answered, result)
         return result, None, payload.get("trace"), fidelity
 
     def _tier2_bound(self, task: dict) -> float:
@@ -639,12 +806,119 @@ class LocalityService:
             "escalations": 0,
         }
 
+    # ------------------------------------------------------------------
+    # continuous accuracy audit (--audit-rate)
+    # ------------------------------------------------------------------
+    def _offer_audit(self, endpoint: str, task: dict, key: str,
+                     tier: int, result: dict) -> None:
+        """Shadow-sample one freshly delivered tier-0/1 ladder answer.
+
+        Deterministic by key (replicas with one seed agree on the sampled
+        set), predict/advise only (classify is closed-form exact at every
+        tier), and bounded: a full backlog or an exhausted time budget
+        sheds the sample — the audit observes the service, it never
+        becomes the service's problem.
+        """
+        auditor = self.auditor
+        if (auditor is None or endpoint not in ("predict", "advise")
+                or not auditor.should_sample(key)):
+            return
+        trace_id = (task.get("trace_context") or {}).get("trace_id")
+        stripped = {k: v for k, v in task.items()
+                    if k not in ("accuracy", "max_tier", "trace",
+                                 "trace_context", "timeout", "faults",
+                                 "x_test_sleep", "x_test_crash")}
+        if auditor.offer({"endpoint": endpoint, "key": key, "tier": tier,
+                          "task": stripped, "result": result,
+                          "trace_id": trace_id}):
+            obs_events.emit("audit.sample", trace_id=trace_id,
+                            endpoint=endpoint, key=key, tier=tier)
+
+    async def audit_loop(self, poll_seconds: float = 0.05) -> None:
+        """Drain the audit backlog whenever the pool is idle.
+
+        Politeness is the invariant the latency benchmark pins: an audit
+        evaluation is only submitted when no foreground request is queued
+        and a pool slot is free, so ``--audit-rate`` never blocks the hot
+        path — at worst a foreground burst briefly waits behind one
+        in-flight audit evaluation, the same as behind any other request.
+        """
+        while self.auditor is not None:
+            await asyncio.sleep(poll_seconds)
+            if self.auditor.backlog == 0 or self.auditor.budget_exhausted:
+                continue
+            if (self.metrics.queue_depth > 0
+                    or self.metrics.workers_busy >= self.config.jobs):
+                continue
+            item = self.auditor.pop()
+            if item is not None:
+                await self._audit_once(item)
+
+    async def _audit_once(self, item: dict) -> None:
+        """Re-answer one sampled delivery exactly and score the error.
+
+        The reference pass is the stripped task on the legacy path —
+        byte-identical to a tier-2 ladder answer — served from the shared
+        plain-key cache when a legacy or escalated request already warmed
+        it, and cached back otherwise (an audit evaluation is a normal
+        exact answer; wasting it would be a shame).
+        """
+        auditor = self.auditor
+        started = time.perf_counter()
+        endpoint, key = item["endpoint"], item["key"]
+        task = dict(item["task"])
+        try:
+            disk_path, _ = self._disk_entry(task, key)
+            reference, _tier = self.cache.get(key, disk_path)
+            if reference is None:
+                payload = await self._evaluate(endpoint, task)
+                reference = payload["result"]
+                self.cache.put(key, canonical_json(reference).encode(),
+                               disk_path)
+            setup = setup_from_task(task)
+            machine = setup.machine()
+            dims = dims_from_task(task, machine)
+            floor = float(max(1, stream_misses(dims, machine.line_size).total))
+            cmgs = num_cmgs(machine, setup.num_threads)
+            cal = DEFAULT_CALIBRATION
+
+            def policy_class(policy: dict) -> str:
+                ways = SectorPolicy.from_dict(policy).l2_sector1_ways
+                return classify(dims, machine, ways, cmgs).value
+
+            tier = int(item["tier"])
+            for cls_value, error in compare_results(
+                    endpoint, item["result"], reference, floor, policy_class):
+                bound = (cal.tier0_bound[cls_value] if tier == 0
+                         else cal.tier1_apriori)
+                auditor.record(cls_value, tier, error, bound)
+                if error > bound:
+                    obs_events.emit(
+                        "audit.violation", trace_id=item.get("trace_id"),
+                        endpoint=endpoint, key=key, tier=tier,
+                        cls=cls_value, error=error, bound=bound)
+            auditor.finish()
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - the audit never hurts the daemon
+            auditor.record_failure()
+        finally:
+            auditor.spend(time.perf_counter() - started)
+
+    def _breaker_observer(self, endpoint: str):
+        """The per-endpoint breaker's transition hook -> event log."""
+        def observe(previous: str, state: str) -> None:
+            obs_events.emit("breaker.transition", endpoint=endpoint,
+                            transition=f"{previous}->{state}")
+        return observe
+
     def _fire(self, plan: faults.FaultPlan | None, site: str):
         """Fire a parent-side fault site against the request plan (or the
         ambient daemon plan when the request carries none) and count it."""
         rule = plan.fire(site) if plan is not None else faults.fire(site)
         if rule is not None:
             self.metrics.faults_injected[f"{site}:{rule.kind}"] += 1
+            obs_events.emit("fault.injected", site=site, kind=rule.kind)
         return rule
 
     async def _admit(self, endpoint: str, plan: faults.FaultPlan | None) -> None:
@@ -707,12 +981,14 @@ class LocalityService:
             )
         return self.cache.cache_dir / f"{key}.{task['endpoint']}.json", "canonical"
 
-    async def _evaluate(self, endpoint: str, task: dict) -> dict:
+    async def _evaluate(self, endpoint: str, task: dict,
+                        tracer: Tracer | None = None) -> dict:
         """One pool evaluation with queueing, timeout and fault isolation."""
         timeout = task.get("timeout", self.config.request_timeout)
         self.metrics.enqueue()
         try:
-            await self._slots.acquire()
+            with _span(tracer, "pool.queue"):
+                await self._slots.acquire()
         finally:
             self.metrics.dequeue()
         try:
@@ -720,9 +996,11 @@ class LocalityService:
             self.metrics.evaluations[endpoint] += 1
             loop = asyncio.get_running_loop()
             try:
-                payload = await asyncio.wait_for(
-                    loop.run_in_executor(self._executor, evaluate, task), timeout
-                )
+                with _span(tracer, "pool.evaluate", endpoint=endpoint):
+                    payload = await asyncio.wait_for(
+                        loop.run_in_executor(self._executor, evaluate, task),
+                        timeout,
+                    )
             except asyncio.TimeoutError:
                 # the worker cannot be interrupted; it is abandoned to
                 # finish in the background (same policy as the sweep engine)
@@ -791,7 +1069,8 @@ class LocalityService:
                                   close=True)
                     return
                 status, payload, shutdown = await self.handle_request(
-                    request.method, request.target, request.body
+                    request.method, request.target, request.body,
+                    request.headers,
                 )
                 close = shutdown or request.close
                 await respond(writer, status, payload, close=close)
@@ -820,6 +1099,10 @@ class LocalityService:
         self._executor.shutdown(wait=True, cancel_futures=True)
         if self.config.fault_plan is not None:
             faults.install(self._previous_plan)
+        if self._event_log is not None:
+            obs_events.emit("service.stop")
+            obs_events.install(self._previous_event_log)
+            self._event_log.close()
 
 
 def _require_budget(budget_seconds: float, cap: float) -> None:
@@ -841,6 +1124,12 @@ def _embedded_fidelity(endpoint: str, result: dict) -> dict | None:
 def _error_payload(endpoint: str, error_type: str, message: str) -> dict:
     return {"ok": False, "endpoint": endpoint,
             "error": {"type": error_type, "message": message}}
+
+
+def _span(tracer: Tracer | None, name: str, **attrs):
+    """A span on the request's tracer, or the shared no-op for untraced
+    requests — keeps the instrumented paths free of ``if tracer`` forks."""
+    return tracer.span(name, **attrs) if tracer is not None else NULL_SPAN
 
 
 async def run_server(
@@ -871,6 +1160,8 @@ async def run_server(
     actual_port = server.sockets[0].getsockname()[1]
     if announce:
         print(f"repro-service listening on http://{host}:{actual_port}", flush=True)
+    obs_events.emit("service.start", host=host, port=actual_port,
+                    jobs=config.jobs)
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
@@ -880,16 +1171,20 @@ async def run_server(
     gc_task = None
     if config.gc_interval_seconds is not None and config.cache_dir is not None:
         gc_task = loop.create_task(service.gc_loop())
+    audit_task = None
+    if service.auditor is not None:
+        audit_task = loop.create_task(service.audit_loop())
     try:
         async with server:
             await service.shutdown_event.wait()
     finally:
         for sock in listeners:
             unregister_parent_socket(sock)
-        if gc_task is not None:
-            gc_task.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await gc_task
+        for task in (gc_task, audit_task):
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
         service.close()
 
 

@@ -34,6 +34,7 @@ import socket
 import threading
 import time
 
+from ..obs.context import TRACE_HEADER, TraceContext
 from ..resilience.retry import BackoffPolicy, call_with_retries
 from ..spmv.csr import CSRMatrix
 
@@ -120,6 +121,7 @@ class ServiceClient:
                  retries: int = 0,
                  backoff: BackoffPolicy | None = None,
                  deadline_seconds: float | None = None,
+                 trace_context: TraceContext | None = None,
                  clock=time.monotonic,
                  sleep=time.sleep) -> None:
         self.host = host
@@ -128,6 +130,9 @@ class ServiceClient:
         self.retries = retries
         self.backoff = backoff if backoff is not None else BackoffPolicy()
         self.deadline_seconds = deadline_seconds
+        #: when set, every request carries this hop as an X-Repro-Trace
+        #: header — a JSON body with an explicit trace_context still wins
+        self.trace_context = trace_context
         self._clock = clock
         self._sleep = sleep
         self._local = threading.local()
@@ -221,6 +226,8 @@ class ServiceClient:
         only abrupt resets reach the retry.
         """
         headers = {"Content-Type": "application/json"} if body else {}
+        if self.trace_context is not None:
+            headers[TRACE_HEADER] = self.trace_context.to_header()
         while True:
             conn, reused = self._connection()
             try:

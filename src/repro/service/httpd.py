@@ -158,6 +158,7 @@ async def request_bytes(
     path: str,
     body: bytes = b"",
     timeout: float | None = None,
+    headers: dict[str, str] | None = None,
 ) -> tuple[int, bytes]:
     """One ``Connection: close`` request from inside an event loop.
 
@@ -172,11 +173,16 @@ async def request_bytes(
     async def _exchange() -> tuple[int, bytes]:
         reader, writer = await asyncio.open_connection(host, port)
         try:
+            extra = "".join(
+                f"{name}: {value}\r\n"
+                for name, value in (headers or {}).items()
+            )
             head = (
                 f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {host}:{port}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 "Connection: close\r\n\r\n"
             ).encode("latin1")
             writer.write(head + body)
@@ -186,14 +192,14 @@ async def request_bytes(
             if len(parts) < 2:
                 raise ConnectionError(f"malformed status line {status_line!r}")
             status = int(parts[1])
-            headers: dict[str, str] = {}
+            response_headers: dict[str, str] = {}
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("latin1").partition(":")
-                headers[name.strip().lower()] = value.strip()
-            if headers.get("transfer-encoding", "").lower() == "chunked":
+                response_headers[name.strip().lower()] = value.strip()
+            if response_headers.get("transfer-encoding", "").lower() == "chunked":
                 chunks = []
                 while True:
                     size_line = await reader.readline()
@@ -204,7 +210,7 @@ async def request_bytes(
                     chunks.append(await reader.readexactly(size))
                     await reader.readexactly(2)  # trailing CRLF
                 return status, b"".join(chunks)
-            length = headers.get("content-length")
+            length = response_headers.get("content-length")
             if length is not None:
                 return status, await reader.readexactly(int(length))
             return status, await reader.read()
@@ -227,9 +233,11 @@ async def request_json(
     path: str,
     payload: dict | None = None,
     timeout: float | None = None,
+    headers: dict[str, str] | None = None,
 ) -> tuple[int, dict]:
     """:func:`request_bytes` with JSON bodies both ways."""
     body = b"" if payload is None else json.dumps(payload).encode()
-    status, raw = await request_bytes(host, port, method, path, body, timeout)
+    status, raw = await request_bytes(host, port, method, path, body, timeout,
+                                      headers)
     return status, json.loads(raw or b"{}")
 

@@ -36,6 +36,7 @@ import numpy as np
 
 from ..analysis.report import canonical_json
 from ..experiments.common import ExperimentSetup
+from ..obs.context import validate_context_dict
 from ..matrices.collection import _SIZES, collection
 from ..spmv.csr import CSRMatrix
 from ..spmv.sector_policy import SectorPolicy
@@ -293,6 +294,16 @@ def normalize_request(endpoint: str, payload: object) -> dict:
         # the request triggers a fresh evaluation (cached or coalesced
         # responses carry "trace": null)
         task["trace"] = True
+    if "trace_context" in payload:
+        # distributed-trace hop carried in the envelope (or injected from
+        # the X-Repro-Trace header): the caller's (trace_id, span_id); the
+        # daemon childs its own span off it.  Correlation metadata, not
+        # computation — excluded from the request key.
+        context = payload["trace_context"]
+        problems = validate_context_dict(context)
+        _require(not problems, "invalid trace_context: " + "; ".join(problems))
+        task["trace_context"] = {"trace_id": context["trace_id"],
+                                 "span_id": context["span_id"]}
     if "peer" in payload:
         # warm-cache fill hint attached by the cluster gateway after a
         # rebalance: on a full cache miss the daemon asks this peer's
@@ -327,11 +338,11 @@ def normalize_request(endpoint: str, payload: object) -> dict:
 def request_key(task: dict) -> str:
     """Cache/coalescing key of a canonical task.
 
-    The per-request ``timeout``, ``trace``, ``faults`` and ``peer`` flags
-    are excluded: they bound the wait, shape the presentation, perturb the
-    execution, or steer cache fill, not the computation a correct
-    evaluation performs, so requests differing only in those share one
-    result.  (Fault-carrying
+    The per-request ``timeout``, ``trace``, ``trace_context``, ``faults``
+    and ``peer`` flags are excluded: they bound the wait, shape the
+    presentation, correlate the trace, perturb the execution, or steer
+    cache fill, not the computation a correct evaluation performs, so
+    requests differing only in those share one result.  (Fault-carrying
     requests never *write* the cache — the key only lets them read what a
     healthy request stored.)  The fidelity-ladder flags ``accuracy`` and
     ``max_tier`` are excluded too: every tier answers the *same* question,
@@ -343,7 +354,7 @@ def request_key(task: dict) -> str:
     tier is part of the result), so it stays in the key alongside the
     strategies/budget/seed search config.
     """
-    excluded = ("timeout", "trace", "faults", "peer")
+    excluded = ("timeout", "trace", "trace_context", "faults", "peer")
     if task.get("endpoint") != "optimize":
         excluded += ("accuracy", "max_tier")
     keyed = {k: v for k, v in task.items() if k not in excluded}

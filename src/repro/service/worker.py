@@ -24,6 +24,8 @@ from ..core.advisor import SectorAdvisor
 from ..core.classification import classify
 from ..core.method_b import MethodB
 from ..experiments.common import measure_matrix
+from ..obs import events as obs_events
+from ..obs.context import new_span_id
 from ..obs.tracer import Tracer, installed
 from ..resilience import faults
 from ..spmv.sector_policy import SectorPolicy
@@ -50,16 +52,30 @@ def evaluate(task: dict) -> dict:
     started = time.perf_counter()
     plan = (faults.FaultPlan.from_dict(task["faults"])
             if task.get("faults") else None)
+    # the daemon's hop context (if any): the evaluate span joins the
+    # distributed trace with a *fresh* span id — a forked worker must
+    # never reuse its parent's, or merged trees would alias spans
+    ctx = task.get("trace_context") or {}
+    span_attrs = {"endpoint": task.get("endpoint", "")}
+    if ctx.get("trace_id"):
+        span_attrs.update(
+            trace_id=ctx["trace_id"],
+            span_id=new_span_id(),
+            parent_span_id=ctx.get("span_id"),
+        )
     try:
         _test_hooks(task)
         want_trace = bool(task.get("trace"))
         with faults.installed(plan) if plan else contextlib.nullcontext():
             faults.perform(faults.fire("worker.evaluate"))
             with Tracer(memory="rss" if want_trace else None) as tracer:
-                with installed(tracer), tracer.span(
-                    "evaluate", endpoint=task.get("endpoint", "")
-                ):
+                with installed(tracer), tracer.span("evaluate", **span_attrs):
                     result, fidelity = _dispatch(task)
+        obs_events.emit(
+            "worker.evaluate", trace_id=ctx.get("trace_id"),
+            endpoint=task.get("endpoint", ""), status="ok",
+            seconds=time.perf_counter() - started,
+        )
         tree = tracer.tree()
         payload = {
             "result": result,
@@ -74,6 +90,12 @@ def evaluate(task: dict) -> dict:
             payload["faults_fired"] = plan.fired_counts()
         return payload
     except Exception as exc:  # noqa: BLE001 - isolation is the point
+        obs_events.emit(
+            "worker.evaluate", trace_id=ctx.get("trace_id"),
+            endpoint=task.get("endpoint", ""), status="error",
+            error=type(exc).__name__,
+            seconds=time.perf_counter() - started,
+        )
         payload = {
             "error": {
                 "type": type(exc).__name__,

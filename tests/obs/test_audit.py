@@ -1,0 +1,113 @@
+"""Accuracy-audit plumbing: sampling, backlog, sketches, status."""
+
+import pytest
+
+from repro.obs.audit import (
+    AccuracyAuditor,
+    compare_results,
+    sample_fraction,
+)
+
+
+def test_sampling_is_deterministic_and_roughly_uniform():
+    keys = [f"key-{i}" for i in range(2000)]
+    fractions = [sample_fraction(7, key) for key in keys]
+    assert fractions == [sample_fraction(7, key) for key in keys]
+    rate = 0.25
+    hit = sum(1 for f in fractions if f < rate) / len(fractions)
+    assert abs(hit - rate) < 0.05
+    # a different seed picks a different subset
+    assert fractions != [sample_fraction(8, key) for key in keys]
+
+
+def test_should_sample_honours_rate_edges():
+    assert not AccuracyAuditor(rate=0.0).should_sample("anything")
+    always = AccuracyAuditor(rate=1.0)
+    assert all(always.should_sample(f"k{i}") for i in range(32))
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AccuracyAuditor(rate=1.5)
+    with pytest.raises(ValueError):
+        AccuracyAuditor(rate=0.5, backlog_limit=0)
+    with pytest.raises(ValueError):
+        AccuracyAuditor(rate=0.5, budget_seconds=0)
+
+
+def test_backlog_is_bounded_and_sheds_visibly():
+    auditor = AccuracyAuditor(rate=1.0, backlog_limit=2)
+    assert auditor.offer({"key": "a"})
+    assert auditor.offer({"key": "b"})
+    assert not auditor.offer({"key": "c"})
+    assert (auditor.sampled, auditor.dropped, auditor.backlog) == (2, 1, 2)
+    assert auditor.pop()["key"] == "a"
+    assert auditor.pop()["key"] == "b"
+    assert auditor.pop() is None
+
+
+def test_budget_exhaustion_stops_intake():
+    auditor = AccuracyAuditor(rate=1.0, budget_seconds=1.0)
+    assert auditor.offer({"key": "a"})
+    auditor.spend(2.0)
+    assert auditor.budget_exhausted
+    assert not auditor.offer({"key": "b"})
+    assert auditor.dropped == 1
+
+
+def test_record_tracks_quantiles_bounds_and_violations():
+    auditor = AccuracyAuditor(rate=1.0)
+    for error in (0.01, 0.02, 0.03):
+        auditor.record("2", 0, error, bound=0.30)
+    auditor.record("2", 0, 0.9, bound=0.30)  # one violation
+    auditor.record("1", 1, 0.001, bound=0.25)
+    snap = auditor.snapshot()
+    tier0 = snap["observed_error"]["2"]["0"]
+    assert tier0["count"] == 4
+    assert tier0["bound"] == 0.30
+    assert tier0["violations"] == 1
+    assert tier0["quantiles"]["p50"] <= tier0["quantiles"]["p99"]
+    assert snap["observed_error"]["1"]["1"]["violations"] == 0
+    assert auditor.violations_total() == 1
+    # p99 above the bound flips the health status
+    assert auditor.status() == "degraded"
+
+
+def test_status_ok_while_p99_within_bound():
+    auditor = AccuracyAuditor(rate=1.0)
+    for _ in range(50):
+        auditor.record("1", 0, 0.001, bound=0.05)
+    assert auditor.status() == "ok"
+    assert auditor.snapshot()["status"] == "ok"
+
+
+def test_compare_results_matches_policies_and_floors_error():
+    low = {"predictions": [
+        {"policy": {"l2_sector1_ways": 4}, "l2_misses": 110.0},
+        {"policy": {"l2_sector1_ways": 2}, "l2_misses": 50.0},
+        {"policy": {"l2_sector1_ways": 9}, "l2_misses": 1.0},  # unmatched
+    ]}
+    reference = {"predictions": [
+        {"policy": {"l2_sector1_ways": 4}, "l2_misses": 100.0},
+        {"policy": {"l2_sector1_ways": 2}, "l2_misses": 0.0},
+    ]}
+    pairs = compare_results("predict", low, reference, floor=10.0,
+                            classify_policy=lambda policy: "2")
+    assert len(pairs) == 2
+    by_error = sorted(error for _, error in pairs)
+    # |110-100| / max(100, 10, 1) and |50-0| / max(0, 10, 1): the floor
+    # keeps a zero reference from exploding the relative error
+    assert by_error == pytest.approx([0.1, 5.0])
+
+
+def test_compare_results_handles_list_valued_policies():
+    policy = {"ways": [1, 2], "isolate_x": True}
+    low = {"candidates": [{"policy": policy, "predicted_l2_misses": 11.0}]}
+    ref = {"candidates": [{"policy": dict(policy), "predicted_l2_misses": 10.0}]}
+    pairs = compare_results("advise", low, ref, floor=1.0,
+                            classify_policy=lambda p: "3a")
+    assert pairs == [("3a", pytest.approx(0.1))]
+
+
+def test_classify_endpoint_is_never_compared():
+    assert compare_results("classify", {}, {}, 1.0, lambda p: "1") == []

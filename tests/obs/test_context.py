@@ -1,0 +1,64 @@
+"""Distributed trace context: ids, wire forms, and validation."""
+
+from repro.obs.context import (
+    TRACE_HEADER,
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+    validate_context_dict,
+)
+
+
+def test_fresh_ids_have_the_w3c_shape():
+    trace_id, span_id = new_trace_id(), new_span_id()
+    assert len(trace_id) == 32 and set(trace_id) <= set("0123456789abcdef")
+    assert len(span_id) == 16 and set(span_id) <= set("0123456789abcdef")
+
+
+def test_new_contexts_are_distinct():
+    a, b = TraceContext.new(), TraceContext.new()
+    assert a.trace_id != b.trace_id
+    assert a.span_id != b.span_id
+
+
+def test_child_keeps_the_trace_but_mints_a_fresh_span_id():
+    parent = TraceContext.new()
+    child = parent.child()
+    assert child.trace_id == parent.trace_id
+    assert child.span_id != parent.span_id
+
+
+def test_dict_round_trip():
+    ctx = TraceContext.new()
+    assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+
+def test_header_round_trip():
+    ctx = TraceContext.new()
+    header = ctx.to_header()
+    assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+    assert TraceContext.from_header(header) == ctx
+    assert TRACE_HEADER == "X-Repro-Trace"
+
+
+def test_malformed_inputs_parse_to_none_not_exceptions():
+    bad = [
+        None, 42, "", "00-zz-yy-01", {"trace_id": "abc"},
+        {"trace_id": "g" * 32, "span_id": "a" * 16},
+        {"trace_id": "A" * 32, "span_id": "a" * 16},  # uppercase rejected
+        {"trace_id": "0" * 32, "span_id": "a" * 16},  # all-zero invalid
+        {"trace_id": "a" * 32, "span_id": "0" * 16},
+        {"trace_id": "a" * 31, "span_id": "a" * 16},
+    ]
+    for value in bad:
+        assert TraceContext.from_dict(value) is None, value
+        assert TraceContext.from_header(value) is None, value
+
+
+def test_validate_context_dict_names_each_problem():
+    assert validate_context_dict(TraceContext.new().to_dict()) == []
+    assert validate_context_dict("nope") == ["trace_context must be an object"]
+    problems = validate_context_dict({"trace_id": "short", "span_id": None})
+    assert len(problems) == 2
+    assert any("trace_id" in p for p in problems)
+    assert any("span_id" in p for p in problems)

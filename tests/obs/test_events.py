@@ -1,0 +1,115 @@
+"""Structured event log: emission, rotation, ambience, validation."""
+
+import json
+import os
+
+from repro.obs.events import (
+    EVENT_SCHEMA_ID,
+    EventLog,
+    emit,
+    get_log,
+    installed,
+    main,
+    validate_entry,
+    validate_log_text,
+)
+
+
+def _read_entries(path):
+    entries, problems = validate_log_text(path.read_text())
+    assert problems == []
+    return entries
+
+
+def test_emit_writes_schema_valid_lines(tmp_path):
+    log = EventLog(tmp_path / "events.jsonl", role="gateway")
+    log.emit("request", trace_id="a" * 32, endpoint="advise", seconds=0.01)
+    log.emit("gc.sweep", evicted=3)
+    log.close()
+    entries = _read_entries(tmp_path / "events.jsonl")
+    assert [e["event"] for e in entries] == ["request", "gc.sweep"]
+    first = entries[0]
+    assert first["schema"] == EVENT_SCHEMA_ID
+    assert first["trace_id"] == "a" * 32
+    assert first["source"] == {"role": "gateway", "pid": os.getpid()}
+    assert first["fields"] == {"endpoint": "advise", "seconds": 0.01}
+    assert "trace_id" not in entries[1]
+    assert [e["seq"] for e in entries] == [0, 1]
+
+
+def test_non_scalar_fields_are_coerced_to_repr(tmp_path):
+    log = EventLog(tmp_path / "events.jsonl")
+    log.emit("odd", payload={"nested": [1, 2]})
+    log.close()
+    entry, = _read_entries(tmp_path / "events.jsonl")
+    assert entry["fields"]["payload"] == repr({"nested": [1, 2]})
+
+
+def test_rotation_by_byte_budget_keeps_one_predecessor(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path, max_bytes=4096)
+    for index in range(64):
+        log.emit("filler", index=index, padding="x" * 128)
+    log.close()
+    rotated = path.with_name(path.name + ".1")
+    assert rotated.exists()
+    assert path.stat().st_size <= 4096
+    # both generations stay individually valid
+    _read_entries(path)
+    _read_entries(rotated)
+
+
+def test_ambient_emit_is_a_noop_until_installed(tmp_path):
+    assert get_log() is None
+    emit("ignored", detail="nobody listening")  # must not raise
+    log = EventLog(tmp_path / "events.jsonl")
+    with installed(log):
+        assert get_log() is log
+        emit("seen", detail="ambient")
+    assert get_log() is None
+    log.close()
+    entry, = _read_entries(tmp_path / "events.jsonl")
+    assert entry["event"] == "seen"
+
+
+def test_emit_survives_a_closed_log(tmp_path):
+    log = EventLog(tmp_path / "events.jsonl")
+    log.close()
+    log.emit("after.close")  # swallowed, never raises into the caller
+
+
+def test_validate_entry_catches_structural_problems():
+    good = {
+        "schema": EVENT_SCHEMA_ID, "ts": 1.0, "seq": 0, "event": "x",
+        "source": {"role": "service", "pid": 1}, "fields": {},
+    }
+    assert validate_entry(good) == []
+    assert validate_entry([]) == ["entry: must be a JSON object"]
+    bad = dict(good, schema="wrong", ts=-1, seq="0", event="",
+               source={"role": "", "pid": 0}, trace_id="",
+               fields={"deep": {"no": 1}})
+    problems = validate_entry(bad)
+    for needle in ("schema", ".ts", ".seq", ".event", "source.role",
+                   "source.pid", "trace_id", "fields['deep']"):
+        assert any(needle in p for p in problems), (needle, problems)
+
+
+def test_validate_log_text_reports_bad_json_lines():
+    entries, problems = validate_log_text('not json\n')
+    assert entries == []
+    assert problems and "line 1" in problems[0]
+
+
+def test_cli_validates_and_counts(tmp_path, capsys):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.emit("request", trace_id="b" * 32)
+    log.emit("gc.sweep")
+    log.close()
+    assert main(["--validate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 entries" in out and "2 event kinds" in out and "1 trace ids" in out
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(json.dumps({"schema": "nope"}) + "\n")
+    assert main(["--validate", str(bad)]) == 1

@@ -1,0 +1,60 @@
+"""The /debug/traces ring buffer: lifecycle, bounds, snapshot shape."""
+
+import pytest
+
+from repro.obs.traces import TraceBuffer
+
+
+def test_start_finish_round_trip():
+    buffer = TraceBuffer(capacity=4)
+    token = buffer.start("a" * 32, "predict")
+    snap = buffer.snapshot()
+    assert [e["trace_id"] for e in snap["in_flight"]] == ["a" * 32]
+    buffer.finish(token, seconds=0.5, status="ok", tree={"roots": []})
+    snap = buffer.snapshot()
+    assert snap["in_flight"] == []
+    entry, = snap["traces"]
+    assert entry["trace_id"] == "a" * 32
+    assert entry["status"] == "ok"
+    assert entry["tree"] == {"roots": []}
+    assert snap["recorded"] == 1 and snap["dropped"] == 0
+
+
+def test_capacity_bound_counts_drops():
+    buffer = TraceBuffer(capacity=2)
+    for index in range(3):
+        token = buffer.start(f"{index:032x}", "advise")
+        buffer.finish(token, seconds=float(index), status="ok", tree=None)
+    snap = buffer.snapshot()
+    assert snap["recorded"] == 3 and snap["dropped"] == 1
+    kept = {e["trace_id"] for e in snap["traces"]}
+    assert f"{0:032x}" not in kept  # oldest evicted
+
+
+def test_snapshot_is_slowest_first_and_filterable():
+    buffer = TraceBuffer(capacity=8)
+    for seconds, endpoint in ((0.1, "predict"), (0.9, "advise"),
+                              (0.5, "predict")):
+        token = buffer.start("b" * 32, endpoint)
+        buffer.finish(token, seconds=seconds, status="ok", tree=None)
+    snap = buffer.snapshot()
+    assert [e["seconds"] for e in snap["traces"]] == [0.9, 0.5, 0.1]
+    only_predict = buffer.snapshot(endpoint="predict")
+    assert [e["seconds"] for e in only_predict["traces"]] == [0.5, 0.1]
+    top1 = buffer.snapshot(limit=1)
+    assert [e["seconds"] for e in top1["traces"]] == [0.9]
+
+
+def test_discard_drops_in_flight_without_recording():
+    buffer = TraceBuffer(capacity=2)
+    token = buffer.start("c" * 32, "sweep")
+    buffer.discard(token)
+    buffer.finish(token, seconds=1.0, status="ok", tree=None)  # stale token
+    snap = buffer.snapshot()
+    assert snap["traces"] == [] and snap["in_flight"] == []
+    assert snap["recorded"] == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TraceBuffer(capacity=0)

@@ -1,0 +1,135 @@
+"""Distributed trace-context edge cases at the replica daemon.
+
+Satellite invariants pinned here: a caller's context is adopted (same
+trace id) while every hop mints a fresh span id — the fork worker never
+reuses the daemon's; cache hits mark their serving tier in the recorded
+spans instead of fabricating evaluation spans; the ``X-Repro-Trace``
+header is a fallback the explicit JSON ``trace_context`` always beats.
+"""
+
+import pytest
+
+from repro.obs.context import TraceContext
+from repro.service import ServiceClient, ServiceError
+
+from .conftest import SETUP
+
+
+def _roots(envelope):
+    return {root["name"]: root for root in envelope["trace"]["roots"]}
+
+
+def _fresh_traced(client, **kwargs):
+    """One traced request guaranteed fresh (skip if racing a cache)."""
+    envelope = client.predict(trace=True, **kwargs, **SETUP)
+    assert envelope["ok"]
+    if envelope["cached"] is not None:
+        pytest.skip("answer already cached; freshness needed here")
+    return envelope
+
+
+def test_adopted_context_spans_share_the_callers_trace_id(server):
+    host, port = server.address
+    caller = TraceContext.new()
+    client = ServiceClient(host, port, timeout=120.0, trace_context=caller)
+    envelope = _fresh_traced(client, name="stencil_2d_004", collection="tiny")
+    roots = _roots(envelope)
+    request, evaluate = roots["service.request"], roots["evaluate"]
+    # one trace id across daemon and fork worker, rooted at the caller
+    assert request["attrs"]["trace_id"] == caller.trace_id
+    assert evaluate["attrs"]["trace_id"] == caller.trace_id
+    assert request["attrs"]["parent_span_id"] == caller.span_id
+
+
+def test_fork_worker_mints_its_own_span_id(server):
+    host, port = server.address
+    client = ServiceClient(host, port, timeout=120.0,
+                           trace_context=TraceContext.new())
+    envelope = _fresh_traced(client, name="stencil_2d_005",
+                             collection="tiny")
+    roots = _roots(envelope)
+    request, evaluate = roots["service.request"], roots["evaluate"]
+    daemon_span = request["attrs"]["span_id"]
+    assert evaluate["attrs"]["span_id"] != daemon_span, \
+        "a reused span id would alias two different spans"
+    assert evaluate["attrs"]["parent_span_id"] == daemon_span
+
+
+def test_explicit_json_trace_context_beats_the_header(client, server):
+    host, port = server.address
+    header_ctx = TraceContext.new()
+    body_ctx = TraceContext.new()
+    headered = ServiceClient(host, port, timeout=120.0,
+                             trace_context=header_ctx)
+    envelope = headered.request("POST", "/predict", {
+        "matrix": {"name": "diagonal_plus_random_006", "collection": "tiny"},
+        "setup": SETUP, "trace": True,
+        "trace_context": body_ctx.to_dict(),
+    })
+    assert envelope["ok"]
+    if envelope["cached"] is None:
+        attrs = _roots(envelope)["service.request"]["attrs"]
+        assert attrs["trace_id"] == body_ctx.trace_id
+        assert attrs["parent_span_id"] == body_ctx.span_id
+
+
+def test_malformed_trace_context_is_a_client_error(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/classify", {
+            "matrix": {"name": "stencil_2d_004", "collection": "tiny"},
+            "setup": SETUP,
+            "trace_context": {"trace_id": "nope", "span_id": "also nope"},
+        })
+    assert excinfo.value.status == 400
+    assert "trace_context" in str(excinfo.value)
+
+
+def test_trace_context_does_not_change_the_request_key(client, server):
+    host, port = server.address
+    plain = client.classify(name="power_law_007", collection="tiny", **SETUP)
+    routed = ServiceClient(host, port, timeout=120.0,
+                           trace_context=TraceContext.new())
+    again = routed.classify(name="power_law_007", collection="tiny", **SETUP)
+    assert plain["key"] == again["key"]
+    assert again["cached"] in ("memory", "disk", "coalesced")
+
+
+def test_cached_hits_mark_the_tier_instead_of_fabricating_spans(client):
+    first = client.predict(name="banded_001", collection="tiny",
+                           trace=True, **SETUP)
+    second = client.predict(name="banded_001", collection="tiny",
+                            trace=True, **SETUP)
+    assert second["cached"] in ("memory", "disk")
+    # the envelope trace is explicitly null — nothing was evaluated ...
+    assert second["trace"] is None
+    # ... and the recorded /debug/traces entry keeps this hop's spans
+    # with the serving tier marked, but no evaluate span
+    debug = client.request("GET", "/debug/traces?endpoint=predict")
+    by_status = [entry for entry in debug["traces"]
+                 if entry["tree"] is not None]
+    cached_trees = []
+    for entry in by_status:
+        for root in entry["tree"]["roots"]:
+            lookups = [c for c in root["children"]
+                       if c["name"] == "cache.lookup"]
+            if lookups and lookups[0]["attrs"].get("tier") in ("memory",
+                                                               "disk"):
+                cached_trees.append(root)
+    assert cached_trees, "cached traced request must be recorded"
+    for root in cached_trees:
+        names = {c["name"] for c in root["children"]}
+        assert "pool.evaluate" not in names and "evaluate" not in names
+    assert first["ok"]
+
+
+def test_debug_traces_endpoint_shape_and_limit_validation(client):
+    client.predict(name="stencil_2d_004", collection="tiny", trace=True, **SETUP)
+    debug = client.request("GET", "/debug/traces?limit=2")
+    assert debug["ok"]
+    assert set(debug) >= {"capacity", "recorded", "dropped", "in_flight",
+                          "traces"}
+    assert len(debug["traces"]) <= 2
+    assert all(len(e["trace_id"]) == 32 for e in debug["traces"])
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("GET", "/debug/traces?limit=banana")
+    assert excinfo.value.status == 400
