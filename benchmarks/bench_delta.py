@@ -1,0 +1,198 @@
+"""Incremental reuse engine benchmark (the ``POST /delta`` patch path).
+
+Measures, per paper class, the cost of pricing a small edit batch through
+:meth:`repro.delta.ReuseState.apply` (CSR apply + incremental patch — the
+engine behind ``POST /delta``) against a full re-evaluation (CSR apply +
+:func:`repro.delta.full_reuse_state`), on one representative generator
+matrix per class and a 64-edit locality-preserving batch.
+
+The expected shape is the paper's locality taxonomy itself: classes 1
+(banded) and 2 (block-diagonal) localize an edit inside short reuse
+windows, so the patch is several times cheaper than the full pass *and*
+byte-identical to it; classes 3a/3b (random, power-law) couple an edit to
+trace-spanning windows, the patch budget overflows, and the engine falls
+back — reported honestly, never silently.
+
+Run as a script for the JSON emitter / CI smoke mode::
+
+    PYTHONPATH=src python benchmarks/bench_delta.py --json BENCH_delta.json
+    PYTHONPATH=src python benchmarks/bench_delta.py --check
+
+``--check`` relaxes the speedup floor (>= 2x instead of the committed
+>= 5x): shared CI runners measure scheduler noise, not the engine.  Byte
+identity of the patched distances and the per-class path expectations are
+asserted at full strength in both modes.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.delta import DEFAULT_BUDGET
+from repro.experiments import ExperimentSetup
+from repro.experiments.common import peak_rss_bytes
+from repro.experiments.delta import CLASS_CASES, measure_delta, pattern_edits
+
+#: Matrix rows per class case — large enough that a full pass costs
+#: around a second, so the ratio measures the engine rather than numpy
+#: call overhead.
+DEFAULT_ROWS = 200_000
+
+#: Edits per batch (half neighbor inserts, half deletes).
+DEFAULT_EDITS = 64
+
+#: Which engine path each paper class must take at the default budget.
+EXPECTED_PATHS = {"1": "incremental", "2": "incremental",
+                  "3a": "fallback", "3b": "fallback"}
+
+
+def run_benchmark(repeats: int = 3, n: int = DEFAULT_ROWS,
+                  edits: int = DEFAULT_EDITS, budget: int = DEFAULT_BUDGET,
+                  verbose: bool = True) -> dict:
+    """The full measurement payload (the ``BENCH_delta.json`` shape).
+
+    Each class reports the best of ``repeats`` patch/full timing pairs
+    (the identity and path checks must hold on *every* repeat; only the
+    seconds take the minimum).
+    """
+    line_size = ExperimentSetup(scale=16, num_threads=1).machine().line_size
+    payload = {
+        "rows": n,
+        "edits": edits,
+        "budget": budget,
+        "line_size": line_size,
+        "classes": {},
+    }
+    for cls, label, make in CLASS_CASES:
+        matrix = make(n)
+        delta = pattern_edits(matrix, edits)
+        best = None
+        for _ in range(repeats):
+            row = measure_delta(matrix, line_size, delta, budget=budget)
+            if best is None:
+                best = row
+            else:
+                assert row["path"] == best["path"]
+                assert row["identical"] == best["identical"]
+                best["incremental_seconds"] = min(
+                    best["incremental_seconds"], row["incremental_seconds"]
+                )
+                best["full_seconds"] = min(
+                    best["full_seconds"], row["full_seconds"]
+                )
+        if best["path"] == "incremental":
+            best["speedup"] = best["full_seconds"] / best["incremental_seconds"]
+        payload["classes"][cls] = {"matrix": label, **best}
+        if verbose:
+            speedup = (f" {best['speedup']:.1f}x"
+                       if best["speedup"] else "")
+            print(f"class {cls} ({label}): {best['path']}{speedup} "
+                  f"patch={best['incremental_seconds'] * 1e3:.1f}ms "
+                  f"full={best['full_seconds'] * 1e3:.1f}ms")
+    incremental = [
+        row for row in payload["classes"].values()
+        if row["path"] == "incremental"
+    ]
+    payload["headline"] = {
+        "incremental_classes": [
+            cls for cls, row in payload["classes"].items()
+            if row["path"] == "incremental"
+        ],
+        "min_incremental_speedup": (
+            min(row["speedup"] for row in incremental) if incremental
+            else None
+        ),
+        "all_identical": all(row["identical"] for row in incremental),
+    }
+    payload["peak_rss_bytes"] = peak_rss_bytes()
+    return payload
+
+
+def check_payload(payload: dict, min_speedup: float) -> list:
+    """Path / identity / speedup assertions; returns failure strings."""
+    failures = []
+    for cls, expected in EXPECTED_PATHS.items():
+        got = payload["classes"][cls]["path"]
+        if got != expected:
+            failures.append(f"class {cls} took the {got} path, "
+                            f"expected {expected}")
+    if not payload["headline"]["all_identical"]:
+        failures.append(
+            "an incremental patch disagreed with the full re-evaluation"
+        )
+    speedup = payload["headline"]["min_incremental_speedup"]
+    if speedup is None:
+        failures.append("no class took the incremental path")
+    elif speedup < min_speedup:
+        failures.append(f"min incremental speedup {speedup:.1f}x "
+                        f"< required {min_speedup:g}x")
+    return failures
+
+
+# -- pytest entry points (pytest benchmarks/bench_delta.py) --------------
+
+
+def test_bench_delta_paths_and_identity():
+    """Small sizes: per-class paths and byte identity, no timing gates."""
+    payload = run_benchmark(repeats=1, n=20_000, verbose=False)
+    assert not check_payload(payload, min_speedup=0.0)
+
+
+# -- script mode: JSON emitter + CI smoke check --------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the per-class patch/full payload here",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI smoke mode: relaxed speedup floor, full-strength path "
+             "and byte-identity assertions",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--rows", type=int, default=DEFAULT_ROWS,
+        help="matrix rows per class case",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="required full/patch ratio on every incremental class "
+             "(default: 5, or 2 under --check)",
+    )
+    args = parser.parse_args(argv)
+    min_speedup = args.min_speedup or (2.0 if args.check else 5.0)
+
+    started = time.perf_counter()
+    payload = run_benchmark(repeats=args.repeats, n=args.rows)
+    headline = payload["headline"]
+    print(
+        f"headline: classes {', '.join(headline['incremental_classes'])} "
+        f"patched incrementally at >= "
+        f"{headline['min_incremental_speedup']:.1f}x over full "
+        f"re-evaluation, byte-identical="
+        f"{headline['all_identical']} "
+        f"({time.perf_counter() - started:.1f}s total)"
+    )
+
+    failures = check_payload(payload, min_speedup)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: in-budget patches byte-identical and above the speedup floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Dynamic-matrix smoke: the incremental reuse engine behind ``POST /delta``
+against a live advisor daemon.
+
+Launches ``python -m repro.service`` as a subprocess (``--jobs 1``, so
+chained deltas land on the one worker holding the warm reuse state) and
+drives the dynamic-matrix story end to end:
+
+1. a base ``advise`` on a class-1 banded matrix, submitted inline, whose
+   envelope ``"key"`` becomes the delta base;
+2. a band-local edit batch through ``POST /delta``: the response must be
+   **byte-identical** to re-submitting the edited matrix in full, priced
+   on the ``incremental`` path, and report the accumulated drift;
+3. a second batch chained off the *derived* key (``chain_length`` 2),
+   patched against the worker's warm reuse state;
+4. a repeat of the first delta, answered from the result cache without
+   re-patching;
+5. the failure modes: an insert of an existing edge (400 ``DeltaError``),
+   an unknown base key (404), an empty batch (400), and a
+   multi-threaded base falling back with reason ``threads`` — priced
+   correctly, just not incrementally;
+6. the ``/metrics`` delta families (``applied`` by path, ``fallback`` by
+   reason, the drift histogram) and their Prometheus rendering.
+
+Run:  python examples/delta_smoke.py
+CI:   python examples/delta_smoke.py --selftest     (quiet, asserts only)
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.delta import MatrixDelta
+from repro.matrices.generators import banded
+from repro.obs import parse_prometheus_text
+from repro.service import ServiceClient
+from repro.service.client import ServiceError
+
+_ANNOUNCE = re.compile(r"repro-service listening on http://([^:]+):(\d+)")
+
+#: The incremental engine patches the single-thread Method B trace, so
+#: the base request must be sequential; a parallel base falls back (the
+#: smoke asserts exactly that in step 5).
+SETUP = {"num_threads": 1, "scale": 16}
+
+
+def launch_daemon(cache_dir: str):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0",
+         "--jobs", "1", "--cache", cache_dir],
+        stdout=subprocess.PIPE, text=True,
+    )
+    line = proc.stdout.readline()
+    match = _ANNOUNCE.search(line)
+    if match is None:
+        proc.terminate()
+        raise RuntimeError(f"daemon did not announce its port: {line!r}")
+    client = ServiceClient(match.group(1), int(match.group(2)), timeout=120.0)
+    client.wait_ready()
+    return proc, client
+
+
+def band_edits(matrix, rows):
+    """One absent band-local insert and one existing delete per row.
+
+    Neighbor inserts keep every dirtied reuse window short, which is
+    what holds a class-1 edit batch inside the patch budget.
+    """
+    inserts, deletes = [], []
+    for r in rows:
+        cols = matrix.colidx[matrix.rowptr[r]:matrix.rowptr[r + 1]].tolist()
+        colset = set(cols)
+        ins = next(c for base in cols for c in (base + 1, base - 1,
+                                                base + 2, base - 2)
+                   if 0 <= c < matrix.num_cols and c not in colset)
+        inserts.append([r, int(ins), 1.0])
+        deletes.append([r, int(cols[0])])
+    return inserts, deletes
+
+
+def expect_error(fn, status, error_type=None):
+    try:
+        fn()
+    except ServiceError as exc:
+        assert exc.status == status, (exc.status, status, exc.error)
+        if error_type is not None:
+            assert exc.error.get("type") == error_type, exc.error
+        return exc
+    raise AssertionError(f"expected a {status} ServiceError")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--selftest", action="store_true",
+                        help="quiet mode for CI: asserts only")
+    args = parser.parse_args()
+    say = (lambda *_: None) if args.selftest else print
+
+    matrix = banded(3_000, 8, 6, seed=1)
+    batch1 = band_edits(matrix, [10, 500, 1500])
+    batch2 = band_edits(matrix, [40, 900, 2200])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        proc, client = launch_daemon(str(Path(tmp) / "cache"))
+        try:
+            # -- 1. the base request: its key is the delta base ---------
+            base = client.advise(matrix=matrix, **SETUP)
+            assert base["ok"], base
+            base_key = base["key"]
+            say(f"base advise stored under key {base_key}")
+
+            # -- 2. one edit batch, byte-identical to a full submit -----
+            d1 = client.delta(base_key, inserts=batch1[0], deletes=batch1[1])
+            assert d1["ok"], d1
+            meta = d1["delta"]
+            assert meta["base"] == base_key, meta
+            assert meta["chain_length"] == 1, meta
+            assert meta["path"] == "incremental", meta
+            assert meta["edits"] == len(batch1[0]) + len(batch1[1]), meta
+            assert 0.0 <= meta["drift"] < 1.0, meta
+            edited = MatrixDelta.from_dict(
+                {"inserts": batch1[0], "deletes": batch1[1]}
+            ).apply(matrix).matrix
+            full = client.advise(matrix=edited, **SETUP)
+            assert d1["result"] == full["result"], \
+                "delta answer diverged from the full re-submission"
+            say(f"delta #1: path={meta['path']} drift={meta['drift']:.2e}, "
+                "byte-identical to the full re-submission")
+
+            # -- 3. a second batch chains off the derived key -----------
+            d2 = client.delta(d1["key"], inserts=batch2[0],
+                              deletes=batch2[1])
+            assert d2["ok"], d2
+            assert d2["delta"]["chain_length"] == 2, d2["delta"]
+            assert d2["delta"]["path"] == "incremental", d2["delta"]
+            assert d2["delta"]["state"] == "warm", (
+                "chained delta should patch the worker's warm reuse state",
+                d2["delta"],
+            )
+            assert d2["key"] != d1["key"] != base_key
+            say(f"delta #2: chained to length 2 off {d1['key']}, "
+                f"state={d2['delta']['state']}")
+
+            # -- 4. a repeated batch is served from the cache -----------
+            again = client.delta(base_key, inserts=batch1[0],
+                                 deletes=batch1[1])
+            assert again["ok"] and again["cached"] == "memory", again
+            assert again["key"] == d1["key"]
+            assert again["result"] == d1["result"]
+            say("delta #1 repeated: served from the memory cache, same key")
+
+            # -- 5. failure modes ---------------------------------------
+            existing = [[7, int(matrix.colidx[matrix.rowptr[7]]), 1.0]]
+            expect_error(
+                lambda: client.delta(base_key, inserts=existing),
+                400, "DeltaError",
+            )
+            expect_error(
+                lambda: client.delta("0" * 32, inserts=batch1[0]),
+                404,
+            )
+            expect_error(lambda: client.delta(base_key), 400)
+            parallel = client.advise(matrix=matrix, num_threads=8, scale=16)
+            fb = client.delta(parallel["key"], inserts=batch1[0],
+                              deletes=batch1[1])
+            assert fb["ok"], fb
+            assert fb["delta"]["path"] == "fallback", fb["delta"]
+            assert fb["delta"]["reason"] == "threads", fb["delta"]
+            assert fb["result"], fb
+            say("failure modes: DeltaError 400, unknown base 404, empty "
+                "batch 400; parallel base fell back "
+                f"(reason={fb['delta']['reason']}) but still answered")
+
+            # -- 6. the delta metric families ---------------------------
+            snapshot = client.metrics()["delta"]
+            applied = snapshot["applied"].get("advise", {})
+            assert applied.get("incremental", 0) >= 2, snapshot
+            fallback = snapshot["fallback"].get("advise", {})
+            assert fallback.get("threads", 0) >= 1, snapshot
+            assert snapshot["drift"]["count"] >= 2, snapshot
+            samples = parse_prometheus_text(
+                client.metrics(format="prometheus"))
+            assert samples["repro_delta_applied_total"]
+            assert samples["repro_delta_fallback_total"]
+            say(f"metrics: applied={snapshot['applied']} "
+                f"fallback={snapshot['fallback']} "
+                f"drift count={snapshot['drift']['count']}")
+
+            client.shutdown()
+        finally:
+            client.close()
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    if args.selftest:
+        print("delta_smoke selftest: OK")
+    else:
+        print("delta smoke: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,7 @@ from ..service.httpd import (
 from ..service.protocol import (
     ENDPOINTS,
     RequestError,
+    normalize_delta,
     normalize_request,
     request_key,
 )
@@ -135,6 +136,9 @@ class GatewayMetrics:
         self.exhausted = 0
         #: requests refused because the ring was empty
         self.no_replicas = 0
+        #: delta forwards retried on another replica after a registry 404
+        #: (a chained base key can hash away from its chain root's owner)
+        self.delta_retargets = 0
         #: forwarded requests that carried a peer warm-fill hint
         self.peer_hints = 0
         self.bad_requests = 0
@@ -148,6 +152,7 @@ class GatewayMetrics:
             "uptime_seconds": time.monotonic() - self.started,
             "routed": {ep: dict(c) for ep, c in sorted(self.routed.items())},
             "failovers": self.failovers,
+            "delta_retargets": self.delta_retargets,
             "exhausted": self.exhausted,
             "no_replicas": self.no_replicas,
             "peer_hints": self.peer_hints,
@@ -260,6 +265,19 @@ class ClusterGateway:
                                     error=type(exc).__name__)
                     continue
                 forward.annotate(outcome="ok", status=status)
+            if endpoint == "delta" and status == 404 and len(candidates) > 1:
+                # the ring owner of a *derived* base key need not hold the
+                # chain root's registry entry (the root request was routed
+                # by its own key) — a registry 404 is only authoritative
+                # once every live replica has said it.  Evaluations are
+                # idempotent, so asking the rest costs one miss each.
+                forward.annotate(outcome="retarget", status=status)
+                tried.add(replica.node)
+                self.metrics.delta_retargets += 1
+                obs_events.emit("gateway.delta_retarget", trace_id=trace_id,
+                                endpoint=endpoint, key=key,
+                                replica=replica.node)
+                continue
             self.metrics.routed[endpoint][replica.node] += 1
             return status, response, (forward if tracer is not None else None)
 
@@ -282,11 +300,21 @@ class ClusterGateway:
             if header_ctx is not None:
                 payload["trace_context"] = header_ctx.to_dict()
         try:
-            task = normalize_request(endpoint, payload)
+            if endpoint == "delta":
+                # a delta must land on the replica that answered — and so
+                # stores the task, warm cache entries and worker reuse
+                # states of — its base request; that replica was chosen by
+                # hashing the base key, so routing by the base key again
+                # is exactly the affinity needed.  Base resolution
+                # (404/409) stays with the replica that owns the registry.
+                task = normalize_delta(payload)
+                key = task["base"]
+            else:
+                task = normalize_request(endpoint, payload)
+                key = request_key(task)
         except RequestError as exc:
             self.metrics.bad_requests += 1
             return exc.status, _error_payload(endpoint, "RequestError", str(exc))
-        key = request_key(task)
         # this gateway hop of the distributed trace: child of the caller's
         # context when one came in, a fresh root otherwise (minted when the
         # request wants a trace or an event log needs correlation)
@@ -558,7 +586,7 @@ class ClusterGateway:
         if path == "/shutdown":
             return 200, {"ok": True, "status": "shutting down"}, True
         endpoint = path.lstrip("/")
-        if endpoint not in ENDPOINTS:
+        if endpoint not in ENDPOINTS and endpoint != "delta":
             return 404, _error_payload(endpoint, "NotFound",
                                        f"no such endpoint {endpoint!r}"), False
         status, payload = await self._handle_model(endpoint, body, headers)
@@ -678,6 +706,11 @@ def render_gateway_prometheus(snapshot: dict, prefix: str = "repro_gateway") -> 
     name = w.family("failovers_total", "counter",
                     "Forwards retried on the next replica after a dead socket.")
     w.sample(name, snapshot.get("failovers", 0))
+    name = w.family("delta_retargets_total", "counter",
+                    "Delta forwards retried on another replica after a "
+                    "registry 404 (chained base keys can hash away from "
+                    "their chain root's owner).")
+    w.sample(name, snapshot.get("delta_retargets", 0))
     name = w.family("requests_exhausted_total", "counter",
                     "Requests every candidate replica failed (lost work).")
     w.sample(name, snapshot.get("exhausted", 0))

@@ -1,0 +1,177 @@
+"""The ``delta`` experiment: incremental reuse patching across the taxonomy.
+
+For one representative matrix per paper class (banded, block-diagonal,
+random, power-law) this builds a locality-preserving edit batch, prices
+it twice — through :meth:`repro.delta.ReuseState.apply` (the incremental
+engine behind ``POST /delta``) and through a fresh
+:func:`~repro.delta.full_reuse_state` pass — and tabulates which path
+the engine took, the measured work against the patch budget, the
+speedup, and whether the patched distances are byte-identical to the
+fresh pass.
+
+The expected shape *is* the paper's locality argument: classes 1 and 2
+localize an edit inside short reuse windows (incremental, exact, large
+speedup); classes 3a/3b couple an edit to trace-spanning windows, the
+budget overflows, and the engine falls back to the full pass — reported
+honestly rather than hidden.  ``benchmarks/bench_delta.py`` reuses this
+harness for its committed regression numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..delta import BudgetExceeded, DEFAULT_BUDGET, MatrixDelta, full_reuse_state
+from ..matrices.generators import (
+    banded,
+    block_diagonal,
+    power_law,
+    random_uniform,
+)
+from ..spmv.csr import CSRMatrix
+from .common import ExperimentSetup
+
+#: One representative generator per paper class; sized so a full pass is
+#: expensive enough to measure but the experiment stays interactive.
+CLASS_CASES = (
+    ("1", "banded", lambda n: banded(n, 16, 12, seed=7, name="banded")),
+    ("2", "block_diagonal",
+     lambda n: block_diagonal(n, 64, fill=0.25, seed=7, name="block")),
+    ("3a", "random_uniform",
+     lambda n: random_uniform(n, 8, seed=7, name="random")),
+    ("3b", "power_law", lambda n: power_law(n, 8, seed=7, name="power")),
+)
+
+
+def pattern_edits(matrix: CSRMatrix, count: int, seed: int = 0) -> MatrixDelta:
+    """A locality-preserving edit batch: neighbor inserts plus deletes.
+
+    Inserts go next to existing nonzeros (the column neighbors an edge
+    the row already has), the way dynamic graphs densify neighborhoods;
+    deletes remove existing edges.  Both kinds of edit perturb the
+    x-access trace only where the structure already reuses, which is what
+    gives the incremental engine its chance on classes 1 and 2.
+    """
+    rng = np.random.default_rng(seed)
+    nnz_per_row = np.diff(matrix.rowptr)
+    occupied = np.flatnonzero(nnz_per_row > 0)
+    n_inserts = count - count // 2
+    inserts: list[list] = []
+    deletes: list[list] = []
+    taken: set[tuple[int, int]] = set()
+    for r in rng.permutation(occupied):
+        if len(inserts) >= n_inserts:
+            break
+        r = int(r)
+        cols = matrix.colidx[matrix.rowptr[r]:matrix.rowptr[r + 1]]
+        colset = set(cols.tolist())
+        c0 = int(cols[rng.integers(len(cols))])
+        for c in (c0 + 1, c0 - 1, c0 + 2, c0 - 2):
+            if (0 <= c < matrix.num_cols and c not in colset
+                    and (r, c) not in taken):
+                inserts.append([r, c, 1.0])
+                taken.add((r, c))
+                break
+    for r in rng.permutation(occupied):
+        if len(deletes) >= count // 2:
+            break
+        r = int(r)
+        cols = matrix.colidx[matrix.rowptr[r]:matrix.rowptr[r + 1]]
+        c = int(cols[rng.integers(len(cols))])
+        if (r, c) not in taken:
+            deletes.append([r, c])
+            taken.add((r, c))
+    return MatrixDelta.from_dict({"inserts": inserts, "deletes": deletes})
+
+
+def measure_delta(matrix: CSRMatrix, line_size: int, delta: MatrixDelta,
+                  budget: int = DEFAULT_BUDGET) -> dict:
+    """Patch vs full pass on one matrix; the shared measurement core.
+
+    The prefix state is captured first (that cost is the *base*
+    request's, paid once and cached by the service/worker); both timed
+    paths then start from the edit batch: CSR apply + incremental patch
+    against CSR apply + full periodic pass.
+    """
+    state = full_reuse_state(matrix, line_size)
+
+    t0 = time.perf_counter()
+    application = delta.apply(matrix)
+    try:
+        patched = state.apply(application, budget)
+        path, reason, work = "incremental", None, None
+    except BudgetExceeded as exc:
+        patched, path, reason, work = None, "fallback", "budget", exc.work
+    incremental_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    application = delta.apply(matrix)
+    full = full_reuse_state(application.matrix, line_size)
+    full_seconds = time.perf_counter() - t0
+
+    return {
+        "nnz": int(matrix.nnz),
+        "edits": delta.num_edits,
+        "path": path,
+        "reason": reason,
+        "work": work,
+        "budget": budget,
+        "incremental_seconds": incremental_seconds,
+        "full_seconds": full_seconds,
+        "speedup": (full_seconds / incremental_seconds
+                    if path == "incremental" else None),
+        "identical": (patched is not None
+                      and np.array_equal(patched.rd, full.rd)),
+    }
+
+
+def run_delta(setup: ExperimentSetup, n: int = 200_000, edits: int = 64,
+              budget: int = DEFAULT_BUDGET, seed: int = 0,
+              verbose: bool = False) -> list[dict]:
+    """One delta-vs-full measurement per paper class."""
+    machine = setup.machine()
+    rows = []
+    for cls, label, make in CLASS_CASES:
+        matrix = make(n)
+        delta = pattern_edits(matrix, edits, seed=seed)
+        row = {"class": cls, "matrix": label}
+        row.update(measure_delta(matrix, machine.line_size, delta,
+                                 budget=budget))
+        rows.append(row)
+        if verbose:
+            print(f"  {label}: {row['path']}"
+                  + (f" ({row['speedup']:.1f}x)" if row["speedup"] else ""))
+    return rows
+
+
+def render_delta(rows: list[dict]) -> str:
+    """The per-class table plus the identity/speedup summary."""
+    lines = [
+        "Incremental reuse engine: patch vs full periodic pass per class",
+        f"{'class':>5} {'matrix':<16} {'nnz':>9} {'edits':>5} "
+        f"{'path':<12} {'work':>9} {'patch[ms]':>10} {'full[ms]':>9} "
+        f"{'speedup':>8} {'exact':>6}",
+    ]
+    for row in rows:
+        work = row["work"] if row["work"] is not None else "-"
+        speedup = f"{row['speedup']:.1f}x" if row["speedup"] else "-"
+        exact = "byte" if row["identical"] else "n/a"
+        path = row["path"] + (f"({row['reason']})" if row["reason"] else "")
+        lines.append(
+            f"{row['class']:>5} {row['matrix']:<16} {row['nnz']:>9} "
+            f"{row['edits']:>5} {path:<12} {work:>9} "
+            f"{row['incremental_seconds'] * 1e3:>10.2f} "
+            f"{row['full_seconds'] * 1e3:>9.2f} {speedup:>8} {exact:>6}"
+        )
+    incremental = [r for r in rows if r["path"] == "incremental"]
+    mismatches = sum(1 for r in incremental if not r["identical"])
+    lines.append(
+        f"incremental: {len(incremental)}/{len(rows)} classes"
+        f"; byte-identity mismatches: {mismatches}"
+        + (f"; min speedup: "
+           f"{min(r['speedup'] for r in incremental):.1f}x"
+           if incremental else "")
+    )
+    return "\n".join(lines)

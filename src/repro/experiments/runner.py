@@ -40,12 +40,13 @@ EXPERIMENTS = ("table1", "table2", "table3", "figure2", "figure3", "figure4", "f
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    # "ladder", "optimize" and "cluster" are opt-in (not part of "all"):
-    # they explore the fidelity trade-off / reordering search / sharded
-    # service rather than reproducing a paper artifact
+    # "ladder", "optimize", "cluster" and "delta" are opt-in (not part of
+    # "all"): they explore the fidelity trade-off / reordering search /
+    # sharded service / incremental reuse engine rather than reproducing
+    # a paper artifact
     parser.add_argument("--exp",
                         choices=EXPERIMENTS + ("all", "ladder", "optimize",
-                                               "cluster"),
+                                               "cluster", "delta"),
                         default="all")
     parser.add_argument("--collection", choices=("tiny", "small", "full"), default="small")
     parser.add_argument("--limit", type=int, default=None, help="cap the matrix count")
@@ -95,6 +96,15 @@ def main(argv: list[str] | None = None) -> int:
         "--window", type=int, default=8,
         help="batch in-flight window for --exp cluster",
     )
+    parser.add_argument(
+        "--delta-budget", type=int, default=None, metavar="ELEMENTS",
+        help="patch-work ceiling for --exp delta (summed dirty "
+             "reuse-window elements; default 65536)",
+    )
+    parser.add_argument(
+        "--delta-edits", type=int, default=64,
+        help="edit-batch size for --exp delta",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.accuracy is not None and args.accuracy <= 0:
@@ -109,6 +119,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--replicas must be positive")
     if args.window < 1:
         parser.error("--window must be positive")
+    if args.delta_budget is not None and args.delta_budget < 0:
+        parser.error("--delta-budget must be non-negative")
+    if args.delta_edits < 1:
+        parser.error("--delta-edits must be positive")
 
     cache = args.cache or None
     wanted = EXPERIMENTS if args.exp == "all" else (args.exp,)
@@ -160,6 +174,18 @@ def _run(args: argparse.Namespace, cache: str | None, wanted: tuple[str, ...]) -
             limit=args.limit, verbose=args.verbose,
         )
         print(render_optimize(rows, config))
+        print()
+
+    if "delta" in wanted:
+        from ..delta import DEFAULT_BUDGET
+        from .delta import render_delta, run_delta
+
+        setup = ExperimentSetup(scale=args.scale, num_threads=1)
+        budget = (DEFAULT_BUDGET if args.delta_budget is None
+                  else args.delta_budget)
+        rows = run_delta(setup, edits=args.delta_edits, budget=budget,
+                         seed=args.seed, verbose=args.verbose)
+        print(render_delta(rows))
         print()
 
     if "cluster" in wanted:

@@ -226,6 +226,15 @@ _named_dims: dict[tuple[str, int, str], MatrixDims] = {}
 def dims_from_task(task: dict, machine: A64FX) -> MatrixDims:
     """Dims of a canonical task's matrix without a pool evaluation."""
     spec = task["matrix"]
+    if spec["kind"] == "delta":
+        # an edit batch moves nnz by its insert/delete counts and nothing
+        # else the closed forms read — the base dims do the heavy lifting
+        base = dims_from_task({"matrix": spec["base"], "setup": task["setup"]},
+                              machine)
+        nnz = base.nnz
+        for batch in spec["batches"]:
+            nnz += len(batch.get("inserts", ())) - len(batch.get("deletes", ()))
+        return MatrixDims(base.num_rows, base.num_cols, max(nnz, 0))
     if spec["kind"] == "csr":
         rowptr = spec["rowptr"]
         nnz = int(rowptr[-1]) if rowptr else 0

@@ -172,6 +172,29 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
         w.sample(f"{name}_sum", float(improvement.get("sum_seconds", 0.0)))
         w.sample(f"{name}_count", improvement.get("count", 0))
 
+    delta = snapshot.get("delta", {})
+    name = w.family("delta_applied_total", "counter",
+                    "Delta evaluations answered without a full stack "
+                    "pass, by endpoint and path.")
+    for endpoint, paths in sorted(delta.get("applied", {}).items()):
+        for path, count in sorted(paths.items()):
+            w.sample(name, count, endpoint=endpoint, path=path)
+    name = w.family("delta_fallback_total", "counter",
+                    "Delta evaluations that fell back to full "
+                    "re-evaluation, by endpoint and reason.")
+    for endpoint, reasons in sorted(delta.get("fallback", {}).items()):
+        for reason, count in sorted(reasons.items()):
+            w.sample(name, count, endpoint=endpoint, reason=reason)
+    drift = delta.get("drift", {})
+    if drift.get("count"):
+        name = w.family("delta_drift", "histogram",
+                        "Accumulated edit fraction (edits over base "
+                        "nonzeros) per delta evaluation.")
+        for bound, cumulative in drift.get("buckets", {}).items():
+            w.sample(f"{name}_bucket", cumulative, le=bound)
+        w.sample(f"{name}_sum", float(drift.get("sum_seconds", 0.0)))
+        w.sample(f"{name}_count", drift.get("count", 0))
+
     name = w.family("peer_fill_total", "counter",
                     "Warm-cache fills attempted against a peer replica, "
                     "by outcome.")

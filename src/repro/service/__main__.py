@@ -114,7 +114,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-buffer", type=int, default=64,
                         metavar="N",
                         help="traced requests kept for GET /debug/traces")
+    parser.add_argument("--delta-budget", type=int, default=65536,
+                        metavar="ELEMENTS",
+                        help="patch-work ceiling of the POST /delta "
+                             "incremental engine (summed dirty reuse-window "
+                             "elements; past it a delta falls back to full "
+                             "re-evaluation, 0 forces the fallback always)")
     args = parser.parse_args(argv)
+    if args.delta_budget < 0:
+        parser.error("--delta-budget must be non-negative")
     if args.gc_interval is not None and args.gc_max_age is None \
             and args.gc_max_bytes is None:
         parser.error("--gc-interval needs --gc-max-age and/or --gc-max-bytes")
@@ -163,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
         audit_budget_seconds=args.audit_budget_seconds,
         audit_seed=args.audit_seed,
         trace_buffer_size=args.trace_buffer,
+        delta_budget=args.delta_budget,
     )
     if args.event_log_bytes is not None:
         config = replace(config, event_log_max_bytes=args.event_log_bytes)

@@ -73,13 +73,17 @@ from .httpd import PayloadTooLarge, read_request, request_json, respond
 from .metrics import ServiceMetrics
 from ..spmv.sector_policy import SectorPolicy
 from .protocol import (
+    DELTA_BASE_ENDPOINTS,
     ENDPOINTS,
     RequestError,
+    derive_delta_task,
     matrix_name,
+    normalize_delta,
     normalize_request,
     request_key,
     setup_from_task,
 )
+from .registry import TaskRegistry
 from .worker import evaluate
 
 
@@ -150,6 +154,10 @@ class ServiceConfig:
     audit_seed: int = 0
     #: finished traced requests retained for ``GET /debug/traces``
     trace_buffer_size: int = 64
+    #: patch-work ceiling of the incremental delta engine (summed dirty
+    #: reuse-window elements); past it a ``POST /delta`` evaluation falls
+    #: back to full re-evaluation.  0 forces the fallback always.
+    delta_budget: int = 65_536
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -195,6 +203,8 @@ class ServiceConfig:
             raise ValueError("audit_seed must be non-negative")
         if self.trace_buffer_size < 1:
             raise ValueError("trace_buffer_size must be positive")
+        if self.delta_budget < 0:
+            raise ValueError("delta_budget must be non-negative")
 
 
 class _EvaluationError(Exception):
@@ -222,8 +232,12 @@ class _DegradedService(Exception):
         self.retry_after_seconds = retry_after_seconds
 
 
-#: Worker-side exception types that indicate a bad request, not a bad server.
-_CLIENT_ERRORS = frozenset({"ValueError", "TypeError", "KeyError"})
+#: Worker-side exception types that indicate a bad request, not a bad
+#: server.  DeltaError covers edit batches that are well-formed but
+#: inapplicable to their base pattern (inserting an existing edge,
+#: deleting an absent one) — only detectable at apply time.
+_CLIENT_ERRORS = frozenset({"ValueError", "TypeError", "KeyError",
+                            "DeltaError"})
 
 
 class LocalityService:
@@ -247,6 +261,9 @@ class LocalityService:
             for endpoint in ENDPOINTS
         }
         self.traces = TraceBuffer(config.trace_buffer_size)
+        # stored base tasks POST /delta patches against (same dir as the
+        # result cache: a GC'd base 404s and the client re-submits once)
+        self.registry = TaskRegistry(config.cache_dir)
         self.auditor = (
             AccuracyAuditor(config.audit_rate, seed=config.audit_seed,
                             budget_seconds=config.audit_budget_seconds)
@@ -335,6 +352,19 @@ class LocalityService:
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 return 400, _error_payload("cache/peek", "BadJSON", str(exc)), False
             status, response = self._handle_cache_peek(payload)
+            return status, response, False
+        if path == "/delta":
+            try:
+                payload = json.loads(body.decode() or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, _error_payload("delta", "BadJSON", str(exc)), False
+            if isinstance(payload, dict) and "trace_context" not in payload:
+                header_ctx = TraceContext.from_header(
+                    (headers or {}).get(TRACE_HEADER.lower())
+                )
+                if header_ctx is not None:
+                    payload["trace_context"] = header_ctx.to_dict()
+            status, response = await self._handle_delta(payload)
             return status, response, False
         endpoint = path.lstrip("/")
         if endpoint not in ENDPOINTS:
@@ -480,13 +510,97 @@ class LocalityService:
             peer = task.pop("peer", None)
             plan = (faults.FaultPlan.from_dict(task["faults"])
                     if "faults" in task else None)
+            if (endpoint in DELTA_BASE_ENDPOINTS and plan is None
+                    and "x_test_sleep" not in task
+                    and "x_test_crash" not in task):
+                # record the computation-defining task so a later POST
+                # /delta can patch against this key (chaos and test-hook
+                # requests are excluded: their stored form would not
+                # re-derive the key)
+                self.registry.put(key, task)
         except RequestError as exc:
             seconds = time.perf_counter() - started
             self.metrics.observe_request(endpoint, "error", seconds)
             obs_events.emit("request", endpoint=endpoint, status="rejected",
                             seconds=seconds, error=str(exc))
             return exc.status, _error_payload(endpoint, "RequestError", str(exc))
+        return await self._finish_task(endpoint, task, key, peer, plan, started)
 
+    async def _handle_delta(self, payload: object) -> tuple[int, dict]:
+        """``POST /delta``: patch a stored request with one edit batch.
+
+        The body references a base request by its cache key; the daemon
+        recovers the stored task from the registry, **revalidates** it
+        (the recomputed key must match — a tampered or truncated record
+        404s/409s instead of silently patching the wrong base), derives
+        the edited task with the batch appended to its delta chain, and
+        resolves it through the ordinary cache/coalesce/evaluate
+        machinery under the *derived* key.  The derived task is
+        registered too, so the key this response returns is itself a
+        valid base — warm entries chain instead of going cold.
+        """
+        started = time.perf_counter()
+        try:
+            normalized = normalize_delta(payload)
+            base_key = normalized["base"]
+            stored = self.registry.get(base_key)
+            if stored is None:
+                raise RequestError(
+                    f"unknown base key {base_key!r}: not in the stored-task "
+                    "registry (never seen, or evicted/GC'd) — submit the "
+                    "full request once and retry the delta",
+                    status=404,
+                )
+            if request_key(stored) != base_key:
+                raise RequestError(
+                    f"stored record for base key {base_key!r} failed "
+                    "revalidation (its recomputed key differs) — submit "
+                    "the full request once and retry the delta",
+                    status=409,
+                )
+            endpoint = stored.get("endpoint")
+            if endpoint not in DELTA_BASE_ENDPOINTS:
+                raise RequestError(
+                    f"a {endpoint!r} result cannot take deltas; the base "
+                    f"must be one of: {', '.join(DELTA_BASE_ENDPOINTS)}",
+                    status=400,
+                )
+            task = derive_delta_task(stored, normalized,
+                                     self.config.delta_budget)
+            if "accuracy" not in task and self.config.default_accuracy is not None:
+                task["accuracy"] = self.config.default_accuracy
+            if "max_tier" not in task and self.config.default_max_tier is not None:
+                task["max_tier"] = self.config.default_max_tier
+            key = request_key(task)
+            self.registry.put(key, task)
+        except RequestError as exc:
+            seconds = time.perf_counter() - started
+            self.metrics.observe_request("delta", "error", seconds)
+            obs_events.emit("request", endpoint="delta", status="rejected",
+                            seconds=seconds, error=str(exc))
+            return exc.status, _error_payload("delta", "RequestError", str(exc))
+        envelope = {"delta": {
+            "base": base_key,
+            "chain_length": len(task["matrix"]["batches"]),
+        }}
+        return await self._finish_task(endpoint, task, key, None, None,
+                                       started, envelope=envelope)
+
+    async def _finish_task(
+        self, endpoint: str, task: dict, key: str, peer: dict | None,
+        plan: faults.FaultPlan | None, started: float,
+        envelope: dict | None = None,
+    ) -> tuple[int, dict]:
+        """Resolve a normalized task and build its response envelope.
+
+        The shared tail of ``_handle_model`` and ``_handle_delta``:
+        trace-context minting, the resolve pipeline, degraded/error
+        handling, metrics, and the wire envelope.  ``envelope`` entries
+        are merged into every response (success or not); worker-side
+        delta metadata (``task["_delta_meta"]``, attached by the resolve
+        path) is folded into the envelope's ``"delta"`` object.
+        """
+        extra = envelope or {}
         # distributed trace context: adopt the caller's hop and mint this
         # hop's own span id (the parent of the fork-worker's span).  When
         # no caller context exists, a trace is started locally whenever
@@ -549,7 +663,7 @@ class LocalityService:
                                             "fallback applies",
                                  "reason": exc.reason,
                                  "retry_after_seconds": exc.retry_after_seconds,
-                             }}
+                             }} | extra
             self.metrics.observe_request(
                 endpoint, "degraded",
                 finished("degraded", reason=exc.reason))
@@ -558,7 +672,8 @@ class LocalityService:
             # marked, and "cached" is null so clients can tell them apart
             return 200, {"ok": True, "endpoint": endpoint, "key": key,
                          "cached": None, "degraded": True,
-                         "degraded_reason": exc.reason, "result": result}
+                         "degraded_reason": exc.reason,
+                         "result": result} | extra
         except _EvaluationError as exc:
             self.metrics.observe_request(
                 endpoint, "error",
@@ -566,7 +681,7 @@ class LocalityService:
             detail = dict(exc.detail)
             detail.setdefault("type", "EvaluationError")
             return exc.status, {"ok": False, "endpoint": endpoint, "key": key,
-                                "error": detail}
+                                "error": detail} | extra
         merged = local = None
         if tracer is not None and trace is not None:
             # the envelope trace: this hop's service.request root next to
@@ -587,7 +702,10 @@ class LocalityService:
         if cached in ("memory", "disk"):
             self.metrics.cache_served[endpoint][cached] += 1
         response = {"ok": True, "endpoint": endpoint, "key": key,
-                    "cached": cached, "result": result}
+                    "cached": cached, "result": result} | extra
+        meta = task.pop("_delta_meta", None)
+        if meta is not None:
+            response.setdefault("delta", {}).update(meta)
         if fidelity is not None:
             response["fidelity"] = fidelity
         if task.get("trace"):
@@ -699,6 +817,7 @@ class LocalityService:
             if future is not None:
                 self._inflight.pop(key, None)
         self.metrics.observe_phases(endpoint, payload.get("phase_seconds", {}))
+        self._observe_delta(endpoint, task, payload)
         if endpoint == "optimize":
             # counts per-strategy outcomes, the predicted-improvement
             # histogram, and the search's ladder answers (asserting "no
@@ -769,6 +888,7 @@ class LocalityService:
                 breaker.record_success()
             raise
         self.metrics.observe_phases(endpoint, payload.get("phase_seconds", {}))
+        self._observe_delta(endpoint, task, payload)
         fidelity = payload.get("fidelity") or {}
         answered = fidelity.get("tier")
         if answered is not None:
@@ -782,6 +902,23 @@ class LocalityService:
             if answered in (0, 1):
                 self._offer_audit(endpoint, task, key, answered, result)
         return result, None, payload.get("trace"), fidelity
+
+    def _observe_delta(self, endpoint: str, task: dict,
+                       payload: dict) -> None:
+        """Fold a fresh evaluation's delta metadata into metrics + task.
+
+        The worker attaches ``payload["delta"]`` only for delta-kind
+        tasks; it rides back to :meth:`_finish_task` on the task dict
+        (the result itself stays byte-identical to full re-evaluation,
+        so the envelope — not the cached result — carries the metadata).
+        Cache hits and coalesced followers never reach here: no patch
+        ran, so nothing is counted.
+        """
+        meta = payload.get("delta")
+        if meta is None:
+            return
+        task["_delta_meta"] = meta
+        self.metrics.observe_delta(endpoint, meta)
 
     def _tier2_bound(self, task: dict) -> float:
         """The tier-2 a-priori bound of a task (inf when indeterminable)."""

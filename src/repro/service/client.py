@@ -284,6 +284,29 @@ class ServiceClient:
             "max_tier": max_tier,
         })
 
+    def delta(self, base: str, *, inserts=None, deletes=None,
+              accuracy=None, max_tier=None, timeout=None,
+              trace=None) -> dict:
+        """``POST /delta`` — patch a stored request with one edit batch.
+
+        ``base`` is the ``"key"`` of a previous classify/predict/advise
+        envelope (or of a previous delta response — edits chain);
+        ``inserts`` is ``[[row, col, value?], ...]`` and ``deletes``
+        ``[[row, col], ...]``.  The response envelope carries the derived
+        ``"key"`` (the next base), the inner endpoint's result —
+        byte-identical to re-submitting the edited matrix in full — and a
+        ``"delta"`` object saying how it was priced.
+        """
+        payload: dict = {
+            "base": base,
+            "delta": {"inserts": inserts or [], "deletes": deletes or []},
+        }
+        payload.update({k: v for k, v in {
+            "accuracy": accuracy, "max_tier": max_tier,
+            "timeout": timeout, "trace": trace,
+        }.items() if v is not None})
+        return self.request("POST", "/delta", payload)
+
     def sweep(self, matrix=None, *, name=None, collection=None,
               timeout=None, trace=None, faults=None, **setup) -> dict:
         return self._model("sweep", matrix, name, collection, setup,

@@ -19,12 +19,17 @@ from typing import Callable
 # here because service code and its tests import it from this module
 from ..obs.histogram import LATENCY_BUCKETS, LatencyHistogram
 
-__all__ = ["IMPROVEMENT_BUCKETS", "LATENCY_BUCKETS", "LatencyHistogram",
-           "ServiceMetrics"]
+__all__ = ["DRIFT_BUCKETS", "IMPROVEMENT_BUCKETS", "LATENCY_BUCKETS",
+           "LatencyHistogram", "ServiceMetrics"]
 
 #: predicted-improvement histogram boundaries (fraction of baseline
 #: misses removed; 1.0 would mean every L2 miss optimized away)
 IMPROVEMENT_BUCKETS = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0)
+
+#: accumulated-drift histogram boundaries (edited-edge fraction of the
+#: base pattern across a delta chain; 1.0 would mean as many edits as
+#: base nonzeros)
+DRIFT_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0)
 
 
 class ServiceMetrics:
@@ -65,6 +70,14 @@ class ServiceMetrics:
         self.gc_deleted = 0
         self.gc_deleted_bytes = 0
         self.gc_quarantined = 0
+        #: delta: endpoint -> path ("incremental"/"tier0"/"ladder") ->
+        #: evaluations answered without a full stack pass
+        self.delta_applied: dict[str, Counter] = defaultdict(Counter)
+        #: delta: endpoint -> reason ("budget"/"threads"/"iterations") ->
+        #: evaluations that fell back to full re-evaluation
+        self.delta_fallback: dict[str, Counter] = defaultdict(Counter)
+        #: accumulated drift (edit fraction) per delta evaluation
+        self.delta_drift = LatencyHistogram(buckets=DRIFT_BUCKETS)
         #: optimize: strategy label -> terminal status -> searches
         self.optimize_strategies: dict[str, Counter] = defaultdict(Counter)
         #: optimize: confirmed predicted improvement per fresh search
@@ -123,6 +136,22 @@ class ServiceMetrics:
                 "ladder_answers", {}).items():
             counter[str(tier)] += int(count)
 
+    def observe_delta(self, endpoint: str, meta: dict) -> None:
+        """Account one fresh delta evaluation (its worker metadata).
+
+        ``meta["path"]`` says how the worker priced it: any value but
+        ``"fallback"`` means the full stack pass was avoided (counted in
+        ``delta_applied`` under the path), ``"fallback"`` counts under
+        its reason.  The accumulated drift always feeds the histogram.
+        """
+        path = meta.get("path", "incremental")
+        if path == "fallback":
+            self.delta_fallback[endpoint][meta.get("reason", "unknown")] += 1
+        else:
+            self.delta_applied[endpoint][path] += 1
+        if "drift" in meta:
+            self.delta_drift.observe(float(meta["drift"]))
+
     def observe_gc(self, stats: dict) -> None:
         """Fold one :func:`~repro.service.cache.gc_sweep` result in."""
         self.gc_sweeps += 1
@@ -160,6 +189,13 @@ class ServiceMetrics:
                 "strategies": {label: dict(c) for label, c
                                in sorted(self.optimize_strategies.items())},
                 "improvement": self.optimize_improvement.snapshot(),
+            },
+            "delta": {
+                "applied": {ep: dict(c) for ep, c
+                            in sorted(self.delta_applied.items())},
+                "fallback": {ep: dict(c) for ep, c
+                             in sorted(self.delta_fallback.items())},
+                "drift": self.delta_drift.snapshot(),
             },
             "peer_fill": {k: self.peer_fill[k] for k in sorted(self.peer_fill)},
             "cache_peek": {k: self.cache_peek[k]

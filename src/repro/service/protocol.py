@@ -44,6 +44,11 @@ from ..spmv.sector_policy import SectorPolicy
 #: The model-serving endpoints (metrics/health/shutdown are transport-level).
 ENDPOINTS = ("classify", "predict", "advise", "sweep", "optimize")
 
+#: Endpoints whose stored tasks may serve as the base of a ``POST /delta``
+#: (sweep measures the simulator and optimize permutes the pattern —
+#: neither has a meaningful "same question, edited matrix" form).
+DELTA_BASE_ENDPOINTS = ("classify", "predict", "advise")
+
 #: Advisor defaults mirroring :class:`repro.core.SectorAdvisor`.
 ADVISE_WAY_OPTIONS = (2, 3, 4, 5, 6)
 
@@ -335,6 +340,105 @@ def normalize_request(endpoint: str, payload: object) -> dict:
     return task
 
 
+def normalize_delta(payload: object) -> dict:
+    """Validate a ``POST /delta`` body into its canonical form.
+
+    The body references a previously stored request by cache key and
+    carries one edit batch::
+
+        {"base": "<32-hex request key>",
+         "delta": {"inserts": [[r, c, v?], ...], "deletes": [[r, c], ...]}}
+
+    plus the optional per-request flags the model endpoints accept
+    (``accuracy``/``max_tier``/``timeout``/``trace``/``trace_context``).
+    The batch is canonicalized through
+    :class:`repro.delta.delta.MatrixDelta` — sorted, deduplicated,
+    values explicit — so equal edits derive equal chained keys.  Base
+    resolution (404/409) happens in the daemon, which owns the stored
+    task registry; this function is shape validation only, shared with
+    the cluster gateway.
+    """
+    from ..delta.delta import DeltaError, MatrixDelta
+
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    base = payload.get("base")
+    _require(isinstance(base, str) and len(base) == 32
+             and all(c in "0123456789abcdef" for c in base),
+             "'base' must be a 32-hex request key")
+    try:
+        batch = MatrixDelta.from_dict(payload.get("delta")).to_dict()
+    except DeltaError as exc:
+        raise RequestError(f"bad delta: {exc}") from None
+    normalized: dict = {"base": base, "delta": batch}
+    for name, caster, check, message in (
+        ("accuracy", float, lambda v: v > 0, "accuracy must be positive"),
+        ("max_tier", int, lambda v: 0 <= v <= 3,
+         "max_tier must be between 0 and 3"),
+        ("timeout", float, lambda v: v > 0, "timeout must be positive"),
+    ):
+        value = payload.get(name)
+        if value is not None:
+            try:
+                value = caster(value)
+            except (TypeError, ValueError):
+                raise RequestError(f"{name} must be a number") from None
+            _require(check(value), message)
+            normalized[name] = value
+    if payload.get("trace"):
+        normalized["trace"] = True
+    if "trace_context" in payload:
+        context = payload["trace_context"]
+        problems = validate_context_dict(context)
+        _require(not problems, "invalid trace_context: " + "; ".join(problems))
+        normalized["trace_context"] = {"trace_id": context["trace_id"],
+                                       "span_id": context["span_id"]}
+    return normalized
+
+
+def delta_routing_key(payload: object) -> str:
+    """The base key a ``/delta`` request routes by (gateway-side).
+
+    Delta requests must land on the replica that answered — and so holds
+    the stored task, warm cache entries and worker reuse states of — the
+    base request; hashing the ring by the base key achieves exactly that,
+    since the base request itself was routed by it.  Shape problems raise
+    :class:`RequestError` so the gateway can reject without a hop.
+    """
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    base = payload.get("base")
+    _require(isinstance(base, str) and len(base) == 32
+             and all(c in "0123456789abcdef" for c in base),
+             "'base' must be a 32-hex request key")
+    return base
+
+
+def derive_delta_task(stored: dict, normalized: dict, delta_budget: int) -> dict:
+    """The canonical task of a delta request against its stored base.
+
+    The derived task is the stored base task with its matrix wrapped (or
+    extended) as a ``{"kind": "delta"}`` spec — so the inner endpoint,
+    setup and endpoint knobs are inherited verbatim and the derived
+    request key chains deterministically from the base content plus the
+    canonical batch.  Volatile flags never survive from the stored task;
+    the fresh request's own flags are applied instead.
+    """
+    task = {k: v for k, v in stored.items()
+            if k not in ("timeout", "trace", "trace_context", "faults",
+                         "peer", "accuracy", "max_tier", "delta_budget")}
+    matrix = task["matrix"]
+    if matrix["kind"] == "delta":
+        task["matrix"] = {"kind": "delta", "base": matrix["base"],
+                          "batches": list(matrix["batches"]) + [normalized["delta"]]}
+    else:
+        task["matrix"] = {"kind": "delta", "base": matrix,
+                          "batches": [normalized["delta"]]}
+    for flag in ("accuracy", "max_tier", "timeout", "trace", "trace_context"):
+        if flag in normalized:
+            task[flag] = normalized[flag]
+    task["delta_budget"] = int(delta_budget)
+    return task
+
+
 def request_key(task: dict) -> str:
     """Cache/coalescing key of a canonical task.
 
@@ -352,9 +456,14 @@ def request_key(task: dict) -> str:
     to read and write — see :mod:`repro.service.app`).  ``optimize`` is
     the exception: its ``accuracy`` shapes the *search* (the confirmation
     tier is part of the result), so it stays in the key alongside the
-    strategies/budget/seed search config.
+    strategies/budget/seed search config.  ``delta_budget`` (the daemon's
+    patch-work ceiling, injected into derived delta tasks) is excluded
+    for the same reason as the ladder flags: in-budget and fallback
+    evaluations answer identically byte for byte, so daemons configured
+    with different budgets must still share cache entries.
     """
-    excluded = ("timeout", "trace", "trace_context", "faults", "peer")
+    excluded = ("timeout", "trace", "trace_context", "faults", "peer",
+                "delta_budget")
     if task.get("endpoint") != "optimize":
         excluded += ("accuracy", "max_tier")
     keyed = {k: v for k, v in task.items() if k not in excluded}
@@ -391,6 +500,8 @@ def matrix_name(task: dict) -> str:
     if matrix["kind"] == "named":
         return matrix["name"]
     digest = hashlib.sha256(canonical_json(matrix).encode()).hexdigest()[:12]
+    if matrix["kind"] == "delta":
+        return f"delta-{digest}"
     return f"inline-{digest}"
 
 
@@ -398,6 +509,18 @@ def matrix_from_task(task: dict) -> CSRMatrix:
     """Materialize a task's matrix (runs inside a pool worker)."""
     spec = task["matrix"]
     name = matrix_name(task)
+    if spec["kind"] == "delta":
+        # base pattern plus the accumulated edit chain, every batch
+        # validated against the pattern it lands on
+        import dataclasses
+
+        from ..delta.delta import MatrixDelta
+
+        matrix = matrix_from_task({"matrix": spec["base"],
+                                   "setup": task.get("setup")})
+        for batch in spec["batches"]:
+            matrix = MatrixDelta.from_dict(batch).apply(matrix).matrix
+        return dataclasses.replace(matrix, name=name)
     if spec["kind"] == "named":
         machine = setup_from_task(task).machine()
         for candidate in collection(spec["collection"], machine=machine):

@@ -1,0 +1,83 @@
+"""Stored-task registry: the base records ``POST /delta`` patches against.
+
+A delta request references an earlier request by its cache key; to
+derive the edited task the daemon must recover the *canonical task* that
+key was computed from.  The registry records it at request time — a
+bounded in-memory map fronting optional ``<key>.task.json`` files next
+to the result cache — and revalidates on the way out: a stored task
+whose recomputed :func:`~repro.service.protocol.request_key` no longer
+matches its file name (disk tampering, a truncated write, a format
+drift across versions) is treated as absent rather than silently
+patching the wrong base.
+
+Only the computation-defining fields are stored (volatile flags like
+``trace_context``/``timeout`` are stripped first), so the stored bytes
+reproduce the key exactly and registering the same request twice is
+idempotent.  Disk entries use the ``.task.json`` suffix — distinct from
+the result entries' ``.<endpoint>.json`` — and are subject to the same
+GC sweep as results: an expired base simply 404s and the client
+re-submits the full matrix once.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+from ..analysis.report import canonical_json
+
+#: Fields stripped before storage so the stored bytes re-derive the key.
+VOLATILE_FIELDS = ("timeout", "trace", "trace_context", "faults", "peer",
+                   "accuracy", "max_tier", "delta_budget",
+                   "x_test_sleep", "x_test_crash")
+
+
+def stored_form(task: dict) -> dict:
+    """The computation-defining subset of a canonical task."""
+    return {k: v for k, v in task.items() if k not in VOLATILE_FIELDS}
+
+
+class TaskRegistry:
+    """Bounded memory map plus optional disk persistence of stored tasks."""
+
+    def __init__(self, cache_dir: str | Path | None,
+                 capacity: int = 4096) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.capacity = capacity
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+
+    def _path(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.task.json"
+
+    def put(self, key: str, task: dict) -> None:
+        """Record a task under its request key (idempotent)."""
+        stored = stored_form(task)
+        known = key in self._memory
+        self._memory[key] = stored
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+        path = self._path(key)
+        if path is not None and not known and not path.exists():
+            path.write_text(canonical_json(stored))
+
+    def get(self, key: str) -> dict | None:
+        """The stored task of a key, or ``None`` when absent/unparseable."""
+        task = self._memory.get(key)
+        if task is not None:
+            self._memory.move_to_end(key)
+            return task
+        path = self._path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            task = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(task, dict):
+            return None
+        self._memory[key] = task
+        return task

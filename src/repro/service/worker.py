@@ -70,7 +70,7 @@ def evaluate(task: dict) -> dict:
             faults.perform(faults.fire("worker.evaluate"))
             with Tracer(memory="rss" if want_trace else None) as tracer:
                 with installed(tracer), tracer.span("evaluate", **span_attrs):
-                    result, fidelity = _dispatch(task)
+                    result, fidelity, delta_meta = _dispatch(task)
         obs_events.emit(
             "worker.evaluate", trace_id=ctx.get("trace_id"),
             endpoint=task.get("endpoint", ""), status="ok",
@@ -84,6 +84,8 @@ def evaluate(task: dict) -> dict:
         }
         if fidelity is not None:
             payload["fidelity"] = fidelity
+        if delta_meta is not None:
+            payload["delta"] = delta_meta
         if want_trace:
             payload["trace"] = tree.to_dict()
         if plan is not None:
@@ -117,8 +119,27 @@ def _test_hooks(task: dict) -> None:
         os._exit(2)  # hard worker death: exercises BrokenProcessPool handling
 
 
-def _dispatch(task: dict) -> tuple[dict, dict | None]:
-    """Run one task; returns ``(result, fidelity_or_None)``.
+def _dispatch(task: dict) -> tuple[dict, dict | None, dict | None]:
+    """Run one task; returns ``(result, fidelity, delta_meta)``.
+
+    Tasks whose matrix spec is a delta chain (derived by ``POST /delta``)
+    route through :func:`repro.delta.engine.evaluate_delta_task`: the
+    result stays byte-identical to full re-evaluation of the edited
+    pattern, while the incremental-vs-fallback metadata rides back to the
+    daemon as the third slot (``payload["delta"]``, outside the cached
+    result).  Everything else dispatches through :func:`_dispatch_model`
+    with no delta metadata.
+    """
+    if task.get("matrix", {}).get("kind") == "delta":
+        from ..delta.engine import evaluate_delta_task
+
+        return evaluate_delta_task(task)
+    result, fidelity = _dispatch_model(task)
+    return result, fidelity, None
+
+
+def _dispatch_model(task: dict) -> tuple[dict, dict | None]:
+    """Run one non-delta task; returns ``(result, fidelity_or_None)``.
 
     Tasks carrying the fidelity-ladder flags (``accuracy``/``max_tier``)
     route through :class:`repro.ladder.Ladder` — the matrix is only

@@ -216,3 +216,66 @@ def test_rebalanced_keys_fill_from_peers_not_reevaluation(tmp_path):
         )
         assert peeks >= len(peer_served)
         client.close()
+
+
+def _band_edits(matrix, rows):
+    """Band-local edits (the incremental path) for the delta routing tests."""
+    inserts, deletes = [], []
+    for r in rows:
+        cols = matrix.colidx[matrix.rowptr[r]:matrix.rowptr[r + 1]].tolist()
+        colset = set(cols)
+        ins = next(c for base in cols for c in (base + 1, base - 1)
+                   if 0 <= c < matrix.num_cols and c not in colset)
+        inserts.append([r, int(ins), 1.0])
+        deletes.append([r, int(cols[0])])
+    return inserts, deletes
+
+
+def test_delta_routes_by_base_key_to_the_owning_replica(cluster):
+    """A delta must land where the base's registry entry and warm reuse
+    state live: the replica the base key hashed to."""
+    from repro.delta import MatrixDelta
+    from repro.matrices.generators import banded
+
+    harness, client = cluster
+    matrix = banded(800, 6, 4, seed=13)
+    base = client.advise(matrix=matrix, num_threads=1, scale=16)
+    assert base["ok"], base
+    owner = harness.gateway.membership.owner(base["key"])
+
+    ins, dels = _band_edits(matrix, [17, 400])
+    d1 = client.delta(base["key"], inserts=ins, deletes=dels)
+    assert d1["ok"], d1
+    assert d1["delta"]["path"] == "incremental", d1["delta"]
+
+    # byte identity survives the extra hop
+    edited = MatrixDelta.from_dict(
+        {"inserts": ins, "deletes": dels}).apply(matrix).matrix
+    full = client.advise(matrix=edited, num_threads=1, scale=16)
+    assert canonical_json(d1["result"]) == canonical_json(full["result"])
+
+    # the owning replica priced it; the gateway counted the route
+    owner_client = ServiceClient(owner.host, owner.port, timeout=30.0)
+    applied = owner_client.metrics()["delta"]["applied"]
+    assert applied.get("advise", {}).get("incremental", 0) >= 1, applied
+    owner_client.close()
+    routed = client.metrics()["routed"].get("delta", {})
+    assert sum(routed.values()) >= 1
+
+    # chaining keeps the affinity: the derived key hashes wherever it
+    # likes, but the *request* still routes by its own base argument
+    ins2, dels2 = _band_edits(edited, [80, 600])
+    d2 = client.delta(d1["key"], inserts=ins2, deletes=dels2)
+    assert d2["ok"] and d2["delta"]["chain_length"] == 2, d2
+
+
+def test_gateway_rejects_malformed_delta_without_forwarding(cluster):
+    _, client = cluster
+    before = sum(client.metrics()["routed"].get("delta", {}).values())
+    with pytest.raises(ServiceError) as err:
+        client.delta("not-a-key", inserts=[[0, 1]])
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        client.request("POST", "/delta", {"base": "a" * 32, "delta": {}})
+    assert err.value.status == 400
+    assert sum(client.metrics()["routed"].get("delta", {}).values()) == before

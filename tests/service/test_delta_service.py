@@ -1,0 +1,146 @@
+"""``POST /delta`` end to end: identity, chaining, failure modes, metrics."""
+
+import pytest
+
+from repro.delta import MatrixDelta
+from repro.matrices.generators import banded
+from repro.service.client import ServiceError
+
+#: The incremental engine patches single-thread traces, so delta bases
+#: are submitted sequentially (the module conftest's 8-thread SETUP is
+#: exercised separately as the ``threads`` fallback).
+SEQ = {"num_threads": 1, "scale": 16}
+
+MATRIX = banded(1_200, 8, 6, seed=2)
+
+
+def band_edits(matrix, rows):
+    inserts, deletes = [], []
+    for r in rows:
+        cols = matrix.colidx[matrix.rowptr[r]:matrix.rowptr[r + 1]].tolist()
+        colset = set(cols)
+        ins = next(c for base in cols for c in (base + 1, base - 1)
+                   if 0 <= c < matrix.num_cols and c not in colset)
+        inserts.append([r, int(ins), 1.0])
+        deletes.append([r, int(cols[0])])
+    return inserts, deletes
+
+
+def expect_error(fn, status):
+    with pytest.raises(ServiceError) as excinfo:
+        fn()
+    assert excinfo.value.status == status, excinfo.value.error
+    return excinfo.value
+
+
+def test_delta_answer_is_byte_identical_and_chains_keys(client):
+    base = client.advise(matrix=MATRIX, **SEQ)
+    assert base["ok"], base
+
+    ins1, del1 = band_edits(MATRIX, [10, 400, 900])
+    d1 = client.delta(base["key"], inserts=ins1, deletes=del1)
+    assert d1["ok"] and d1["delta"]["path"] == "incremental", d1
+    assert d1["delta"]["base"] == base["key"]
+    assert d1["delta"]["chain_length"] == 1
+    assert d1["delta"]["edits"] == len(ins1) + len(del1)
+
+    edited = MatrixDelta.from_dict(
+        {"inserts": ins1, "deletes": del1}).apply(MATRIX).matrix
+    full = client.advise(matrix=edited, **SEQ)
+    assert d1["result"] == full["result"]
+
+    # the derived key is itself a registered base: edits chain
+    ins2, del2 = band_edits(edited, [60, 700])
+    d2 = client.delta(d1["key"], inserts=ins2, deletes=del2)
+    assert d2["ok"] and d2["delta"]["chain_length"] == 2, d2
+    assert len({base["key"], d1["key"], d2["key"]}) == 3
+    twice = MatrixDelta.from_dict(
+        {"inserts": ins2, "deletes": del2}).apply(edited).matrix
+    assert d2["result"] == client.advise(matrix=twice, **SEQ)["result"]
+
+    # a repeated batch costs a cache lookup, not another patch
+    again = client.delta(base["key"], inserts=ins1, deletes=del1)
+    assert again["cached"] == "memory" and again["key"] == d1["key"]
+    assert again["result"] == d1["result"]
+    assert again["delta"]["chain_length"] == 1
+
+
+def test_unknown_base_is_404(client):
+    ins, _ = band_edits(MATRIX, [5])
+    exc = expect_error(lambda: client.delta("f" * 32, inserts=ins), 404)
+    assert "registry" in exc.error["message"]
+
+
+def test_tampered_registry_record_is_409(server, client):
+    base = client.advise(matrix=MATRIX, **SEQ)
+    key = base["key"]
+    registry = server.service.registry
+    original = registry._memory[key]
+    tampered = dict(original, setup=dict(original["setup"], scale=17))
+    registry._memory[key] = tampered
+    try:
+        ins, del_ = band_edits(MATRIX, [5])
+        exc = expect_error(
+            lambda: client.delta(key, inserts=ins, deletes=del_), 409)
+        assert "revalidation" in exc.error["message"]
+    finally:
+        registry._memory[key] = original
+
+
+def test_bad_batches_are_400(client):
+    base = client.advise(matrix=MATRIX, **SEQ)
+    # inserting an edge that already exists: DeltaError out of the worker
+    existing = [[3, int(MATRIX.colidx[MATRIX.rowptr[3]]), 1.0]]
+    exc = expect_error(lambda: client.delta(base["key"], inserts=existing),
+                       400)
+    assert exc.error["type"] == "DeltaError"
+    # an empty batch is rejected at validation, before any base lookup
+    expect_error(lambda: client.delta(base["key"]), 400)
+    # malformed base keys never reach the registry
+    expect_error(lambda: client.delta("nope", inserts=[[0, 1]]), 400)
+
+
+def test_non_model_base_is_never_registered(client):
+    # only classify/predict/advise keys enter the stored-task registry;
+    # a sweep key is valid for cache reads but can never take deltas
+    swept = client.sweep(matrix=banded(600, 4, 3, seed=5), **SEQ)
+    ins = [[0, 599, 1.0]]
+    exc = expect_error(lambda: client.delta(swept["key"], inserts=ins), 404)
+    assert "registry" in exc.error["message"]
+
+
+def test_parallel_base_falls_back_but_still_answers(client):
+    base = client.advise(matrix=MATRIX, num_threads=8, scale=16)
+    ins, del_ = band_edits(MATRIX, [33])
+    fb = client.delta(base["key"], inserts=ins, deletes=del_)
+    assert fb["ok"], fb
+    assert fb["delta"]["path"] == "fallback"
+    assert fb["delta"]["reason"] == "threads"
+    edited = MatrixDelta.from_dict(
+        {"inserts": ins, "deletes": del_}).apply(MATRIX).matrix
+    assert fb["result"] == client.advise(matrix=edited,
+                                         num_threads=8, scale=16)["result"]
+
+
+def test_ladder_flags_ride_the_delta(client):
+    base = client.advise(matrix=MATRIX, **SEQ)
+    ins, del_ = band_edits(MATRIX, [77])
+    loose = client.delta(base["key"], inserts=ins, deletes=del_,
+                         accuracy=10.0)
+    assert loose["ok"], loose
+    assert loose["delta"]["path"] == "tier0"
+    assert loose["delta"]["reason"] == "drift-within-bound"
+    assert loose["fidelity"]["tier"] == 0
+    assert loose["fidelity"]["drift"] == loose["delta"]["drift"] > 0
+
+
+def test_metrics_expose_the_delta_families(client):
+    base = client.advise(matrix=MATRIX, **SEQ)
+    ins, del_ = band_edits(MATRIX, [123, 456])
+    assert client.delta(base["key"], inserts=ins, deletes=del_)["ok"]
+    snapshot = client.metrics()["delta"]
+    assert snapshot["applied"]["advise"]["incremental"] >= 1
+    assert snapshot["fallback"].get("advise", {}).get("threads", 0) >= 0
+    drift = snapshot["drift"]
+    assert drift["count"] >= 1 and drift["sum_seconds"] >= 0.0
+    assert any(v >= 1 for v in drift["buckets"].values())
